@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md from benchmarks/results/.
+
+Run after a full benchmark pass:
+
+    pytest benchmarks/ --benchmark-only
+    python benchmarks/make_experiments_md.py
+
+Prepends the reproduction preamble (protocol and shape criteria) to the
+tables rendered by :mod:`repro.reporting.experiment_report`.
+"""
+
+import pathlib
+import sys
+
+from repro.reporting.experiment_report import render_markdown
+
+PREAMBLE = """\
+# EXPERIMENTS — paper vs measured
+
+Every table and figure of the paper's evaluation (Section 6), reproduced
+on the simulated platform, plus the extension ablations DESIGN.md §5
+lists.  Regenerate after a benchmark pass with:
+
+```bash
+pytest benchmarks/ --benchmark-only        # writes benchmarks/results/*.json
+python benchmarks/make_experiments_md.py   # rewrites this file
+```
+
+## How to read the numbers
+
+The substrate is an analytic simulator, not the authors' Xeon testbed,
+so absolute Joules/Watts/heartbeats differ by construction.  What the
+reproduction commits to — and what the benchmark assertions enforce —
+is the paper's *shape*:
+
+* **orderings** (LEO most accurate; race-to-idle most wasteful; offline
+  stronger on power than on performance),
+* **approximate factors** (LEO within a few percent of optimal energy;
+  heuristics tens of percent above),
+* **structural features** (the online baseline's 15-sample rank-
+  deficiency cliff; LEO ≡ offline at zero samples; kmeans' 8-core peak;
+  every approach meeting the performance goal through the phase change).
+
+Protocol notes: 20 random samples of 1024 configurations (< 2 % of the
+space), leave-one-out priors over the 25-benchmark suite, Eq. (5)
+accuracy against noise-free exhaustive-search truth, deadline-energy
+accounting with energy charged per unit of completed work (DESIGN.md §2
+documents the two explicit protocol choices).  Trials per figure follow
+`REPRO_BENCH_SCALE` (1.0 for the numbers below).
+
+"""
+
+
+def main() -> int:
+    root = pathlib.Path(__file__).resolve().parent
+    results = root / "results"
+    body = render_markdown(results)
+    # Drop the renderer's own H1 header; the preamble provides it.
+    lines = body.splitlines()
+    while lines and not lines[0].startswith("## "):
+        lines.pop(0)
+    output = PREAMBLE + "\n".join(lines) + "\n"
+    target = root.parent / "EXPERIMENTS.md"
+    target.write_text(output)
+    print(f"wrote {target} ({len(output.splitlines())} lines)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,88 @@
+"""Ablation: uncertainty-guided (active) sampling vs random sampling.
+
+An extension beyond the paper (DESIGN.md section 5): LEO's posterior
+variance tells the runtime where measuring next is most informative.
+This ablation compares estimation accuracy at small sample budgets for
+random sampling (the paper's protocol) against active acquisition, on
+the hardest benchmarks (early scaling peaks that sparse random samples
+often miss).
+"""
+
+import numpy as np
+
+from conftest import save_results
+from repro.core.accuracy import accuracy
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.leo import LEOEstimator
+from repro.experiments.harness import format_table, sample_target
+from repro.runtime.active_sampling import ActiveCalibrator
+from repro.runtime.sampling import RandomSampler
+
+BENCHMARKS = ("kmeans", "kmeansnf", "bfs", "filebound")
+BUDGETS = (8, 12, 16)
+
+
+def _random_accuracy(ctx, name, budget, trials=3):
+    view = ctx.dataset.leave_one_out(name)
+    truth = ctx.truth.leave_one_out(name).true_rates
+    scores = []
+    for trial in range(trials):
+        indices = RandomSampler(seed=100 + trial).select(len(ctx.space),
+                                                         budget)
+        rate_obs, _ = sample_target(ctx, ctx.profile(name), indices,
+                                    seed_offset=trial)
+        problem = EstimationProblem(
+            features=ctx.features, prior=view.prior_rates,
+            observed_indices=indices, observed_values=rate_obs)
+        normalized, scale = normalize_problem(problem)
+        estimate = LEOEstimator().estimate(normalized) * scale
+        scores.append(accuracy(estimate, truth))
+    return float(np.mean(scores))
+
+
+def _active_accuracy(ctx, name, budget):
+    view = ctx.dataset.leave_one_out(name)
+    truth = ctx.truth.leave_one_out(name).true_rates
+    calibrator = ActiveCalibrator(
+        machine=ctx.machine(seed_offset=900), space=ctx.space,
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+        seed_count=min(6, budget), batch_size=2)
+    result = calibrator.calibrate(ctx.profile(name), budget)
+    return accuracy(result.rates, truth)
+
+
+def test_ablation_active_sampling(full_ctx, benchmark):
+    def run():
+        table = {}
+        for name in BENCHMARKS:
+            table[name] = {
+                budget: {
+                    "random": _random_accuracy(full_ctx, name, budget),
+                    "active": _active_accuracy(full_ctx, name, budget),
+                }
+                for budget in BUDGETS
+            }
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, by_budget in table.items():
+        for budget, scores in by_budget.items():
+            rows.append([name, budget, scores["random"], scores["active"]])
+    print()
+    print(format_table(
+        ["benchmark", "budget", "random acc", "active acc"],
+        rows, title="Ablation: random vs uncertainty-guided sampling"))
+    save_results("ablation_active", table)
+
+    # At the smallest budget, active acquisition should not lose to
+    # random on average, and nothing should collapse.
+    smallest = BUDGETS[0]
+    random_mean = np.mean([table[n][smallest]["random"] for n in BENCHMARKS])
+    active_mean = np.mean([table[n][smallest]["active"] for n in BENCHMARKS])
+    assert active_mean > random_mean - 0.05
+    for name in BENCHMARKS:
+        # filebound's near-flat curve makes Eq. (5) unforgiving; 0.6 is
+        # already a tight absolute fit there (see DESIGN.md).
+        assert table[name][BUDGETS[-1]]["active"] > 0.6, name

@@ -1,0 +1,91 @@
+"""Ablation: control strategy on the learned hull (paper Section 7).
+
+Two ways to act on LEO's estimates: re-solve the Eq. (1) LP from the
+remaining work every quantum (this repo's default runtime), or hold the
+rate reference with one integral controller stepping along the hull (the
+CALOREE-style coupling the paper's Section 7 anticipates).  Both consume
+the same LEO calibration; the comparison isolates the control layer.
+
+Expected shape: near-identical energy when the model is accurate; both
+meet the demand; the feedback controller does no run-time optimization
+(one hull lookup per quantum).
+"""
+
+from conftest import save_results
+from repro.estimators.registry import create_estimator
+from repro.experiments.harness import (
+    DEADLINE_SECONDS,
+    estimate_curves,
+    format_table,
+    random_indices,
+    sample_target,
+)
+from repro.optimize.lp import EnergyMinimizer
+from repro.runtime.controller import RuntimeController, TradeoffEstimate
+from repro.runtime.feedback import HullRateController
+
+BENCHMARKS = ("kmeans", "swish", "x264", "jacobi")
+UTILIZATION = 0.5
+
+
+def _compare(ctx, name):
+    profile = ctx.profile(name)
+    view = ctx.dataset.leave_one_out(name)
+    truth = ctx.truth.leave_one_out(name)
+    idle = ctx.idle_power()
+    work = UTILIZATION * float(truth.true_rates.max()) * DEADLINE_SECONDS
+    optimal = EnergyMinimizer(truth.true_rates, truth.true_powers,
+                              idle).min_energy(work, DEADLINE_SECONDS)
+
+    indices = random_indices(len(ctx.space), 20, ctx.seed + 80)
+    rate_obs, power_obs = sample_target(ctx, profile, indices,
+                                        seed_offset=81)
+    curves = estimate_curves(ctx, view, indices, rate_obs, power_obs, "leo")
+    estimate = TradeoffEstimate(rates=curves.rates, powers=curves.powers,
+                                estimator_name="leo")
+
+    machine = ctx.machine(seed_offset=450)
+    lp_controller = RuntimeController(
+        machine=machine, space=ctx.space, estimator=create_estimator("leo"),
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+    lp_report = lp_controller.run(profile, work, DEADLINE_SECONDS, estimate)
+
+    feedback = HullRateController(machine, ctx.space)
+    fb_report = feedback.run(profile, work, DEADLINE_SECONDS, estimate)
+
+    def adjusted(report):
+        fraction = min(report.work_done / work, 1.0)
+        return report.energy / max(fraction, 1e-6) / optimal
+
+    return {
+        "lp-resolve": adjusted(lp_report),
+        "hull-feedback": adjusted(fb_report),
+        "lp_met": bool(lp_report.met_target),
+        "fb_met": bool(fb_report.met_target),
+    }
+
+
+def test_ablation_feedback_control(full_ctx, benchmark):
+    def run():
+        return {name: _compare(full_ctx, name) for name in BENCHMARKS}
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = [[name, scores["lp-resolve"], scores["hull-feedback"],
+             scores["lp_met"], scores["fb_met"]]
+            for name, scores in table.items()]
+    print()
+    print(format_table(
+        ["benchmark", "LP re-solve E/opt", "hull feedback E/opt",
+         "LP met", "feedback met"],
+        rows, title=f"Ablation: control strategy at "
+                    f"{UTILIZATION:.0%} utilization (same LEO model)"))
+    save_results("ablation_feedback", table)
+
+    for name, scores in table.items():
+        # Both controllers meet the demand from the same model.
+        assert scores["lp_met"], name
+        assert scores["fb_met"], name
+        # And land within a few percent of each other near the optimum.
+        assert scores["hull-feedback"] < 1.15, name
+        assert abs(scores["hull-feedback"] - scores["lp-resolve"]) < 0.10, name

@@ -1,0 +1,37 @@
+"""Ablation: input drift (Section 4's input-dependence claim).
+
+Targets are seeded input variants of suite applications — heavier
+datasets, shifted memory behaviour, moved scaling peaks — while the
+offline library holds only reference-input profiles.  The approaches'
+relative standing should mirror the main accuracy figures: LEO adapts
+to the variant from its samples; the offline mean can only replay the
+reference trend.
+"""
+
+from conftest import save_results
+from repro.experiments.harness import format_table
+from repro.experiments.input_drift import input_drift_experiment
+
+
+def test_ablation_input_drift(full_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: input_drift_experiment(full_ctx), rounds=1, iterations=1)
+
+    rows = [[name, scores["leo"], scores["online"], scores["offline"]]
+            for name, scores in result.perf.items()]
+    means = result.mean_perf()
+    rows.append(["MEAN", means["leo"], means["online"], means["offline"]])
+    print()
+    print(format_table(
+        ["benchmark (variants)", "leo", "online", "offline"], rows,
+        title=f"Ablation: accuracy on input variants "
+              f"({result.variants_per_app} per app)"))
+    save_results("ablation_inputs", {
+        "per_benchmark": result.perf,
+        "mean": means,
+        "variants_per_app": result.variants_per_app,
+    })
+
+    assert means["leo"] > 0.85
+    assert means["leo"] > means["offline"] + 0.05
+    assert means["leo"] >= means["online"] - 0.02

@@ -1,0 +1,43 @@
+"""Ablation: robustness to measurement noise.
+
+Sweeps the relative noise on the target's sampled values and measures
+estimation accuracy.  Expected shape: LEO degrades gracefully (the
+hierarchy's shrinkage absorbs noise), the online regression degrades
+fastest (nothing anchors it but the noisy samples), and the offline
+mean is flat by construction (it ignores the samples' values except for
+scale).
+"""
+
+from conftest import save_results
+from repro.experiments.harness import format_table
+from repro.experiments.noise import noise_experiment
+
+
+def test_ablation_noise(full_ctx, benchmark):
+    result = benchmark.pedantic(lambda: noise_experiment(full_ctx),
+                                rounds=1, iterations=1)
+
+    rows = []
+    for i, level in enumerate(result.noise_levels):
+        rows.append([f"{level:.0%}", result.perf["leo"][i],
+                     result.perf["online"][i], result.perf["offline"][i]])
+    print()
+    print(format_table(
+        ["sample noise", "leo", "online", "offline"], rows,
+        title="Ablation: accuracy vs measurement noise"))
+    save_results("ablation_noise", {
+        "noise_levels": list(result.noise_levels),
+        "perf": result.perf,
+        "benchmarks": list(result.benchmarks),
+    })
+
+    leo = result.perf["leo"]
+    online = result.perf["online"]
+    # Clean samples: both sample-driven approaches are strong.
+    assert leo[0] > 0.9
+    # At the highest noise, LEO retains most of its accuracy and leads
+    # the online regression clearly.
+    assert leo[-1] > 0.75
+    assert leo[-1] > online[-1] + 0.05
+    # Degradation is monotone-ish for the online approach (noise hurts).
+    assert online[-1] < online[0]

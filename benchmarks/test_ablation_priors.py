@@ -1,0 +1,44 @@
+"""Ablation: how much prior knowledge does the hierarchy need?
+
+Sweeps the number of offline applications available as priors (the
+paper always uses 24) and measures held-out estimation accuracy for LEO
+and the k-nearest-neighbour baseline.  Expected shape: steep gains over
+the first few applications, saturation well before 24, and LEO at least
+matching kNN throughout (the model interpolates *between* neighbours
+instead of copying them).
+"""
+
+from conftest import save_results
+from repro.experiments.harness import format_table, scaled
+from repro.experiments.scaling import prior_scaling_experiment
+
+
+def test_ablation_prior_library_size(full_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: prior_scaling_experiment(
+            full_ctx, subsets_per_size=scaled(3, minimum=1)),
+        rounds=1, iterations=1)
+
+    rows = []
+    for i, size in enumerate(result.library_sizes):
+        rows.append([size, result.perf["leo"][i], result.perf["knn"][i]])
+    print()
+    print(format_table(
+        ["prior apps", "leo perf acc", "knn perf acc"], rows,
+        title=f"Ablation: prior-library size (targets: "
+              f"{', '.join(result.targets)})"))
+    save_results("ablation_priors", {
+        "library_sizes": list(result.library_sizes),
+        "perf": result.perf,
+        "targets": list(result.targets),
+    })
+
+    leo = result.perf["leo"]
+    # More prior knowledge helps: the full library beats a single app.
+    assert leo[-1] > leo[0]
+    # Saturation: most of the benefit arrives by half the library.
+    half_index = len(leo) // 2
+    assert leo[half_index] > leo[0] + 0.5 * (leo[-1] - leo[0])
+    # The model is never (materially) worse than copying neighbours.
+    for leo_acc, knn_acc in zip(result.perf["leo"], result.perf["knn"]):
+        assert leo_acc >= knn_acc - 0.08

@@ -1,0 +1,69 @@
+"""Ablation: sampling strategy (random vs grid vs stratified).
+
+The paper samples uniformly spaced configurations in the motivational
+example (Section 2) and randomly in the full evaluation (Section 6.3).
+This ablation compares LEO's accuracy under the three strategies at the
+standard 20-sample budget, averaged over the representative benchmarks.
+"""
+
+import numpy as np
+
+from conftest import save_results
+from repro.core.accuracy import accuracy
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.leo import LEOEstimator
+from repro.experiments.harness import format_table, sample_target
+from repro.runtime.sampling import GridSampler, RandomSampler, StratifiedSampler
+
+BENCHMARKS = ("kmeans", "swish", "x264", "streamcluster", "filebound")
+
+
+def _accuracy_for(ctx, name, sampler):
+    view = ctx.dataset.leave_one_out(name)
+    truth = ctx.truth.leave_one_out(name).true_rates
+    indices = sampler.select(len(ctx.space), 20)
+    rate_obs, _ = sample_target(ctx, ctx.profile(name), indices,
+                                seed_offset=23)
+    problem = EstimationProblem(
+        features=ctx.features, prior=view.prior_rates,
+        observed_indices=indices, observed_values=rate_obs)
+    normalized, scale = normalize_problem(problem)
+    estimate = LEOEstimator().estimate(normalized) * scale
+    return accuracy(estimate, truth)
+
+
+def test_ablation_sampling_strategies(full_ctx, benchmark):
+    samplers = {
+        "random": lambda: RandomSampler(seed=3),
+        "grid": lambda: GridSampler(),
+        "stratified": lambda: StratifiedSampler(seed=3),
+    }
+
+    def run():
+        scores = {}
+        for label, factory in samplers.items():
+            scores[label] = {
+                name: _accuracy_for(full_ctx, name, factory())
+                for name in BENCHMARKS
+            }
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for label in samplers:
+        per = scores[label]
+        rows.append([label] + [per[b] for b in BENCHMARKS]
+                    + [float(np.mean(list(per.values())))])
+    print()
+    print(format_table(["strategy"] + list(BENCHMARKS) + ["mean"], rows,
+                       title="Ablation: sampling strategy (20 samples)"))
+    save_results("ablation_sampling", scores)
+
+    # Every strategy supports accurate estimation at this budget; none
+    # collapses (the model, not the sampling pattern, carries the day).
+    # The mean includes filebound, whose near-flat curve bounds Eq. (5)
+    # well below 1 for every approach.
+    for label in samplers:
+        mean = float(np.mean(list(scores[label].values())))
+        assert mean > 0.8, label

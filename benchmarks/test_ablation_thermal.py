@@ -1,0 +1,58 @@
+"""Ablation: adapting to thermal throttling (extension).
+
+With the RC thermal model enabled, sustained load derates the machine
+mid-run — a phase change the application didn't cause.  The adaptive
+runtime (phase detector + re-calibration) keeps meeting the demand on
+the derated machine; the static runtime, still believing its cool-
+machine model, does not.
+"""
+
+from conftest import save_results
+from repro.experiments.harness import format_table
+from repro.experiments.thermal_study import thermal_experiment
+
+
+def test_ablation_thermal(full_ctx, benchmark):
+    result = benchmark.pedantic(lambda: thermal_experiment(full_ctx),
+                                rounds=1, iterations=1)
+
+    rows = [
+        ["adaptive", result.adaptive.met_target,
+         result.adaptive.reestimations, result.adaptive.energy,
+         result.adaptive.work_done / result.adaptive.work_target],
+        ["static", result.static.met_target,
+         result.static.reestimations, result.static.energy,
+         result.static.work_done / result.static.work_target],
+    ]
+    print()
+    print(format_table(
+        ["runtime", "met demand", "re-estimations", "energy (J)",
+         "work fraction"],
+        rows, title="Ablation: thermal throttling "
+                    f"(throttled: {result.throttled})"))
+    save_results("ablation_thermal", {
+        "throttled": result.throttled,
+        "adaptive": {
+            "met": bool(result.adaptive.met_target),
+            "reestimations": result.adaptive.reestimations,
+            "energy": result.adaptive.energy,
+            "work_fraction": result.adaptive.work_done
+            / result.adaptive.work_target,
+        },
+        "static": {
+            "met": bool(result.static.met_target),
+            "reestimations": result.static.reestimations,
+            "energy": result.static.energy,
+            "work_fraction": result.static.work_done
+            / result.static.work_target,
+        },
+    })
+
+    assert result.throttled
+    assert result.adaptive.met_target
+    assert result.adaptive.reestimations >= 1
+    assert result.static.reestimations == 0
+    # The static runtime delivers less of the demand on the hot machine.
+    assert (result.static.work_done / result.static.work_target
+            < result.adaptive.work_done / result.adaptive.work_target
+            + 1e-9)

@@ -1,0 +1,56 @@
+"""Figure 1: the Kmeans motivational example (paper Section 2).
+
+Regenerates all three panels on the 32-configuration core-allocation
+space from six observed core counts: (a) performance estimates vs cores,
+(b) power estimates vs cores, (c) measured energy vs utilization.
+
+Shape requirements: kmeans truly peaks at 8 cores; LEO places the peak
+near 8 while the offline trend predicts a high-core peak; LEO's energy
+curve hugs the optimal one and race-to-idle sits far above.
+"""
+
+import numpy as np
+
+from conftest import save_results
+from repro.experiments.harness import format_table
+from repro.experiments.motivation import motivation_experiment
+
+
+def test_fig01_motivation(cores_ctx, benchmark):
+    result = benchmark.pedantic(
+        lambda: motivation_experiment(cores_ctx, num_utilizations=12),
+        rounds=1, iterations=1)
+
+    rows = []
+    for approach in ("leo", "online", "offline"):
+        rows.append([
+            approach,
+            result.estimated_peak(approach),
+            float(np.mean(result.energy[approach])
+                  / np.mean(result.energy["optimal"])),
+        ])
+    rows.append(["race-to-idle", "-",
+                 float(np.mean(result.energy["race-to-idle"])
+                       / np.mean(result.energy["optimal"]))])
+    print()
+    print(format_table(
+        ["approach", "estimated peak (cores)", "mean energy / optimal"],
+        rows, title=f"Figure 1 (true peak = {result.true_peak()} cores)"))
+
+    save_results("fig01_motivation", {
+        "true_peak": result.true_peak(),
+        "estimated_peaks": {a: result.estimated_peak(a)
+                            for a in result.est_rates},
+        "utilizations": list(result.utilizations),
+        "energy": {a: list(v) for a, v in result.energy.items()},
+    })
+
+    # Paper shape: kmeans peaks at 8; LEO finds it, offline does not.
+    assert result.true_peak() == 8
+    assert abs(result.estimated_peak("leo") - 8) <= 3
+    assert result.estimated_peak("offline") > result.estimated_peak("leo")
+    # LEO saves energy over every baseline across the sweep.
+    mean_energy = {a: float(np.mean(v)) for a, v in result.energy.items()}
+    assert mean_energy["leo"] <= mean_energy["online"]
+    assert mean_energy["leo"] <= mean_energy["offline"]
+    assert mean_energy["leo"] < mean_energy["race-to-idle"]

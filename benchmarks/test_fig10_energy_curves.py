@@ -1,0 +1,60 @@
+"""Figure 10: energy vs utilization for kmeans, swish, and x264.
+
+The paper fixes the deadline and sweeps the workload across utilization
+demands, measuring the energy each approach's runtime consumes.
+Required shape: LEO's curve is the lowest of the estimating approaches
+and close to optimal across the full sweep; race-to-idle is clearly
+above everything for the scaling-limited applications.
+"""
+
+import numpy as np
+
+from conftest import save_results
+from repro.experiments.harness import format_table
+
+
+def test_fig10_energy_curves(energy_curves, benchmark):
+    representatives = {"kmeans", "swish", "x264"}
+    selected = [c for c in energy_curves if c.benchmark in representatives]
+    assert len(selected) == 3
+
+    def summarize():
+        return {
+            c.benchmark: {a: c.normalized_mean(a)
+                          for a in ("leo", "online", "offline",
+                                    "race-to-idle")}
+            for c in selected
+        }
+
+    summary = benchmark.pedantic(summarize, rounds=1, iterations=1)
+
+    rows = []
+    payload = {}
+    for curve in selected:
+        scores = summary[curve.benchmark]
+        rows.append([curve.benchmark, scores["leo"], scores["online"],
+                     scores["offline"], scores["race-to-idle"]])
+        payload[curve.benchmark] = {
+            "utilizations": list(curve.utilizations),
+            "energy": {a: list(v) for a, v in curve.energy.items()},
+            "met": {a: [bool(x) for x in v] for a, v in curve.met.items()},
+            "normalized_mean": scores,
+        }
+    print()
+    print(format_table(
+        ["benchmark", "leo", "online", "offline", "race-to-idle"],
+        rows, title="Figure 10: mean energy / optimal across utilizations"))
+    save_results("fig10_energy_curves", payload)
+
+    for curve in selected:
+        scores = summary[curve.benchmark]
+        # LEO closest to optimal among the estimating approaches.
+        assert scores["leo"] <= scores["online"] + 0.02, curve.benchmark
+        assert scores["leo"] <= scores["offline"] + 0.02, curve.benchmark
+        assert scores["leo"] < 1.15, curve.benchmark
+        # Energy grows with utilization for the optimal schedule.
+        optimal = np.asarray(curve.energy["optimal"])
+        assert optimal[-1] > optimal[0]
+    # Race-to-idle is dramatically wasteful on the early-peak app.
+    kmeans_scores = summary["kmeans"]
+    assert kmeans_scores["race-to-idle"] > 1.5

@@ -1,0 +1,42 @@
+"""Figure 11: average energy normalized to optimal, per benchmark.
+
+Paper headline: across all 25 applications and all utilization levels,
+LEO consumes 6% over optimal versus Online 24%, Offline 29%, and
+race-to-idle 90%.  Required shape: that ordering, with LEO within a few
+percent of optimal and race-to-idle far above the estimating approaches.
+"""
+
+from conftest import PAPER, save_results
+from repro.experiments.energy import (
+    overall_normalized,
+    summarize_normalized,
+)
+from repro.experiments.harness import format_table
+
+APPROACH_ORDER = ("leo", "online", "offline", "race-to-idle")
+
+
+def test_fig11_energy_summary(energy_curves, benchmark):
+    table = benchmark.pedantic(
+        lambda: summarize_normalized(energy_curves), rounds=1, iterations=1)
+    overall = overall_normalized(energy_curves)
+
+    rows = [[name] + [scores[a] for a in APPROACH_ORDER]
+            for name, scores in sorted(table.items())]
+    rows.append(["MEAN"] + [overall[a] for a in APPROACH_ORDER])
+    paper = PAPER["fig11_energy"]
+    rows.append(["PAPER"] + [paper[a] for a in APPROACH_ORDER])
+    print()
+    print(format_table(["benchmark"] + list(APPROACH_ORDER), rows,
+                       title="Figure 11: energy normalized to optimal"))
+    save_results("fig11_energy_summary",
+                 {"per_benchmark": table, "overall": overall,
+                  "paper": paper})
+
+    # Paper shape: LEO near optimal, then online/offline, race worst.
+    assert overall["leo"] < 1.10
+    assert overall["leo"] < overall["online"]
+    assert overall["leo"] < overall["offline"]
+    assert overall["online"] < overall["race-to-idle"]
+    assert overall["offline"] < overall["race-to-idle"]
+    assert overall["race-to-idle"] > 1.3

@@ -1,0 +1,55 @@
+"""Figure 12: estimation accuracy vs number of sampled configurations.
+
+Two structural features must reproduce exactly (they are stated in the
+paper's caption): the online baseline "cannot perform below 15 samples
+because the design matrix of the regression model would be rank
+deficient — effectively 0 accuracy", and "with 0 samples, LEO behaves as
+the offline method and its accuracy increases with the sample size until
+it quickly reaches near optimal accuracy".
+"""
+
+import numpy as np
+
+from conftest import save_results
+from repro.experiments.harness import format_table
+
+
+def test_fig12_sensitivity(sensitivity_result, benchmark):
+    result = benchmark.pedantic(lambda: sensitivity_result,
+                                rounds=1, iterations=1)
+
+    rows = []
+    for i, size in enumerate(result.sizes):
+        rows.append([size,
+                     result.perf["leo"][i], result.perf["online"][i],
+                     result.power["leo"][i], result.power["online"][i]])
+    print()
+    print(format_table(
+        ["samples", "perf leo", "perf online", "power leo",
+         "power online"],
+        rows,
+        title=(f"Figure 12 (offline reference: perf "
+               f"{result.offline_perf:.3f}, power "
+               f"{result.offline_power:.3f})")))
+    save_results("fig12_sensitivity", {
+        "sizes": list(result.sizes),
+        "perf": result.perf, "power": result.power,
+        "offline_perf": result.offline_perf,
+        "offline_power": result.offline_power,
+    })
+
+    sizes = np.array(result.sizes)
+    online_perf = np.array(result.perf["online"])
+    leo_perf = np.array(result.perf["leo"])
+
+    # Online: zero accuracy strictly below 15 samples, positive at >= 15.
+    assert (online_perf[sizes < 15] == 0.0).all()
+    assert (online_perf[sizes >= 15] > 0.0).all()
+
+    # LEO at 0 samples equals the offline reference.
+    assert leo_perf[0] == np.float64(result.offline_perf)
+    # LEO grows quickly and saturates near optimal accuracy.
+    assert leo_perf[-1] > 0.9
+    assert leo_perf[-1] >= leo_perf[0]
+    # LEO dominates online at every sample size.
+    assert (leo_perf >= online_perf - 0.02).all()

@@ -1,0 +1,52 @@
+"""Figure 13 and Table 1: reacting to dynamic phase changes (Section 6.6).
+
+fluidanimate's input switches to a phase needing 2/3 the resources; all
+approaches keep meeting the per-frame deadline (gradient-ascent
+feedback), and the energy difference shows up in power.  Table 1's paper
+values — energy relative to optimal per phase — are LEO 1.045/1.005/
+1.028, Offline 1.169/1.275/1.216, Online 1.325/1.248/1.291.
+
+Required shape: every approach meets the performance goal in both
+phases; LEO detects the phase change (re-estimates at least once) and
+its overall relative energy is the lowest and close to 1.
+"""
+
+from conftest import PAPER, save_results
+from repro.experiments.dynamic import table1_rows
+from repro.experiments.harness import format_table
+
+
+def test_fig13_table1_phases(dynamic_result, benchmark):
+    result = benchmark.pedantic(lambda: dynamic_result,
+                                rounds=1, iterations=1)
+
+    rows = table1_rows(result)
+    paper = PAPER["table1"]
+    for approach, values in paper.items():
+        rows.append([f"PAPER {approach}"] + values)
+    print()
+    print(format_table(["Algorithm", "Phase#1", "Phase#2", "Overall"],
+                       rows, title="Table 1: energy relative to optimal"))
+    save_results("fig13_table1_phases", {
+        "relative": result.relative,
+        "optimal_energy": result.optimal_energy,
+        "reestimations": {a: result.reestimations(a)
+                          for a in result.reports},
+        "power_traces": {a: [r.power_trace for r in reports]
+                         for a, reports in result.reports.items()},
+        "paper": paper,
+    })
+
+    # All approaches meet the performance goal in both phases.
+    for approach, reports in result.reports.items():
+        for i, report in enumerate(reports):
+            assert report.met_target, (approach, i)
+
+    # LEO noticed the phase change.
+    assert result.reestimations("leo") >= 1
+
+    # LEO's overall relative energy is the best and near-optimal.
+    overall = {a: rel[2] for a, rel in result.relative.items()}
+    assert overall["leo"] <= overall["online"] + 1e-9
+    assert overall["leo"] <= overall["offline"] + 1e-9
+    assert overall["leo"] < 1.15

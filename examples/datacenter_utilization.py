@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Datacenter scenario: a server sweeping through utilization levels.
+
+The paper's motivation (Section 1) is that datacenter servers are
+chronically underutilized — yet must meet whatever demand arrives.  This
+example models a day on one server: a web-search workload (swish) whose
+demand follows a diurnal curve from 15% to 95% utilization, re-optimized
+each hour.  It compares LEO against race-to-idle, the common production
+heuristic, and prints the daily energy bill difference.
+
+Run:  python examples/datacenter_utilization.py
+"""
+
+import numpy as np
+
+from repro import EnergyManager, get_benchmark
+from repro.experiments.harness import format_table
+
+
+#: Hourly demand profile: overnight trough, morning ramp, evening peak.
+DIURNAL_UTILIZATION = [
+    0.20, 0.15, 0.15, 0.15, 0.18, 0.25,   # 00:00 - 05:00
+    0.35, 0.50, 0.65, 0.75, 0.80, 0.85,   # 06:00 - 11:00
+    0.88, 0.90, 0.85, 0.80, 0.78, 0.82,   # 12:00 - 17:00
+    0.92, 0.95, 0.85, 0.60, 0.40, 0.28,   # 18:00 - 23:00
+]
+
+#: Each "hour" is compressed to this many simulated seconds.
+HOUR_SECONDS = 60.0
+
+
+def main() -> None:
+    swish = get_benchmark("swish")
+    manager = EnergyManager(estimator="leo", seed=1)
+
+    print("Calibrating LEO for the search server (one-time)...")
+    estimate = manager.estimate_tradeoffs(swish)
+
+    rows = []
+    leo_total = 0.0
+    race_total = 0.0
+    for hour, utilization in enumerate(DIURNAL_UTILIZATION):
+        leo = manager.optimize(swish, utilization=utilization,
+                               deadline=HOUR_SECONDS, estimate=estimate)
+        race = manager.race_to_idle(swish, utilization=utilization,
+                                    deadline=HOUR_SECONDS)
+        leo_total += leo.energy
+        race_total += race.energy
+        rows.append([f"{hour:02d}:00", f"{utilization:.0%}",
+                     leo.energy, race.energy,
+                     100.0 * (1 - leo.energy / race.energy)])
+
+    print(format_table(
+        ["hour", "demand", "LEO (J)", "race-to-idle (J)", "savings %"],
+        rows, title="A day of demand on one search server"))
+
+    savings = 100.0 * (1.0 - leo_total / race_total)
+    print(f"\nDaily total:  LEO {leo_total:,.0f} J   "
+          f"race-to-idle {race_total:,.0f} J   ({savings:.1f}% saved)")
+    print("Savings concentrate in the underutilized hours — exactly the "
+          "regime the paper targets.")
+
+    trough = np.argmin(DIURNAL_UTILIZATION)
+    peak = np.argmax(DIURNAL_UTILIZATION)
+    print(f"Biggest win at {trough:02d}:00 "
+          f"({DIURNAL_UTILIZATION[trough]:.0%} demand); "
+          f"smallest near {peak:02d}:00 "
+          f"({DIURNAL_UTILIZATION[peak]:.0%} demand).")
+
+
+if __name__ == "__main__":
+    main()

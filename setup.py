@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so `pip install -e .` works on
+environments whose pip/setuptools lack PEP 660 editable-wheel support
+(the legacy `setup.py develop` path needs this file).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,101 @@
+"""LEO: probabilistic graphical model-based energy minimization.
+
+A full reproduction of Mishra, Zhang, Lafferty & Hoffmann, "A
+Probabilistic Graphical Model-based Approach for Minimizing Energy Under
+Performance Constraints" (ASPLOS 2015), including the simulated test
+platform, the 25-benchmark workload suite, all comparison estimators, the
+energy-minimization runtime, and one experiment module per paper figure
+and table.
+
+Quickstart::
+
+    from repro import EnergyManager, get_benchmark
+
+    manager = EnergyManager(estimator="leo")
+    report = manager.optimize(get_benchmark("kmeans"), utilization=0.5)
+    print(report.energy, report.met_target)
+
+See README.md for the architecture overview and DESIGN.md for the
+system inventory and per-experiment index.
+"""
+
+from repro.core import (
+    EMConfig,
+    HierarchicalBayesianModel,
+    NIWPrior,
+    ObservationSet,
+    accuracy,
+)
+from repro.estimators import (
+    EstimationProblem,
+    Estimator,
+    ExhaustiveOracle,
+    InsufficientSamplesError,
+    LEOEstimator,
+    OfflineEstimator,
+    OnlineEstimator,
+    available_estimators,
+    create_estimator,
+    register_estimator,
+)
+from repro.optimize import EnergyMinimizer, Schedule, Slot, TradeoffFrontier
+from repro.platform import Configuration, ConfigurationSpace, Machine, Topology
+from repro.runtime import (
+    ActiveCalibrator,
+    EnergyManager,
+    RaceToIdleController,
+    RunReport,
+    RuntimeController,
+    TradeoffEstimate,
+)
+from repro.workloads import (
+    ApplicationProfile,
+    OfflineDataset,
+    PhasedWorkload,
+    ProfileGenerator,
+    benchmark_names,
+    get_benchmark,
+    paper_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EMConfig",
+    "HierarchicalBayesianModel",
+    "NIWPrior",
+    "ObservationSet",
+    "accuracy",
+    "EstimationProblem",
+    "Estimator",
+    "ExhaustiveOracle",
+    "InsufficientSamplesError",
+    "LEOEstimator",
+    "OfflineEstimator",
+    "OnlineEstimator",
+    "available_estimators",
+    "create_estimator",
+    "register_estimator",
+    "EnergyMinimizer",
+    "Schedule",
+    "Slot",
+    "TradeoffFrontier",
+    "Configuration",
+    "ConfigurationSpace",
+    "Machine",
+    "Topology",
+    "ActiveCalibrator",
+    "EnergyManager",
+    "RaceToIdleController",
+    "RunReport",
+    "RuntimeController",
+    "TradeoffEstimate",
+    "ApplicationProfile",
+    "OfflineDataset",
+    "PhasedWorkload",
+    "ProfileGenerator",
+    "benchmark_names",
+    "get_benchmark",
+    "paper_suite",
+    "__version__",
+]

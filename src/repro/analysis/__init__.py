@@ -1,0 +1,15 @@
+"""Statistical analysis helpers for experiment results."""
+
+from repro.analysis.stats import (
+    ConfidenceInterval,
+    bootstrap_mean_ci,
+    paired_diff_ci,
+    probability_of_superiority,
+)
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_mean_ci",
+    "paired_diff_ci",
+    "probability_of_superiority",
+]

@@ -1,0 +1,280 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list-benchmarks`` — the 25-benchmark suite with suite membership.
+* ``show-benchmark NAME`` — one profile's behavioural parameters.
+* ``estimate`` — sample a benchmark and print each approach's accuracy.
+* ``optimize`` — run a benchmark at a utilization demand and report
+  energy against race-to-idle and the true optimum.
+* ``reproduce`` — regenerate a paper figure/table and print its rows
+  (``fig1 fig5 fig6 fig11 fig12 table1``).
+
+Every command accepts ``--seed`` for reproducibility and ``--space``
+(``paper`` = 1024 configurations, ``cores`` = the Section 2 32-config
+space).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.accuracy import accuracy
+from repro.experiments import harness
+from repro.experiments.harness import default_context, format_table
+from repro.optimize.lp import EnergyMinimizer
+from repro.workloads.suite import SUITE_MEMBERSHIP, get_benchmark, paper_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LEO (ASPLOS 2015) reproduction command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-benchmarks",
+                   help="list the 25-benchmark suite")
+
+    show = sub.add_parser("show-benchmark",
+                          help="show one benchmark's profile")
+    show.add_argument("name")
+
+    estimate = sub.add_parser(
+        "estimate", help="estimate a benchmark's tradeoff curves")
+    estimate.add_argument("--benchmark", default="kmeans")
+    estimate.add_argument("--samples", type=int, default=20)
+    estimate.add_argument("--space", choices=("paper", "cores"),
+                          default="paper")
+    estimate.add_argument("--seed", type=int, default=0)
+
+    optimize = sub.add_parser(
+        "optimize", help="minimize energy for a utilization demand")
+    optimize.add_argument("--benchmark", default="kmeans")
+    optimize.add_argument("--utilization", type=float, default=0.5)
+    optimize.add_argument("--deadline", type=float, default=100.0)
+    optimize.add_argument("--estimator", default="leo")
+    optimize.add_argument("--samples", type=int, default=20)
+    optimize.add_argument("--space", choices=("paper", "cores"),
+                          default="paper")
+    optimize.add_argument("--seed", type=int, default=0)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate a paper figure or table")
+    reproduce.add_argument("target",
+                           choices=("fig1", "fig5", "fig6", "fig11",
+                                    "fig12", "table1"))
+    reproduce.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def _cmd_list_benchmarks() -> int:
+    rows = [[p.name, SUITE_MEMBERSHIP[p.name], p.base_rate,
+             p.scaling_peak, p.memory_intensity, p.io_intensity]
+            for p in paper_suite()]
+    print(format_table(
+        ["benchmark", "suite", "base hb/s", "scaling peak",
+         "memory", "io"],
+        rows, title="The 25-benchmark suite (Section 6.1)"))
+    return 0
+
+
+def _cmd_show_benchmark(name: str) -> int:
+    try:
+        profile = get_benchmark(name)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    for field in ("name", "base_rate", "serial_fraction", "scaling_peak",
+                  "contention_slope", "memory_intensity", "io_intensity",
+                  "ht_efficiency", "memory_parallelism", "activity_factor",
+                  "noise"):
+        print(f"{field:20s} {getattr(profile, field)}")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    ctx = default_context(space_kind=args.space, seed=args.seed)
+    try:
+        view = ctx.dataset.leave_one_out(args.benchmark)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    truth = ctx.truth.leave_one_out(args.benchmark)
+    indices = harness.random_indices(len(ctx.space), args.samples,
+                                     args.seed)
+    rate_obs, power_obs = harness.sample_target(
+        ctx, ctx.profile(args.benchmark), indices, seed_offset=args.seed)
+
+    rows = []
+    for approach in harness.APPROACHES:
+        estimate = harness.estimate_curves(ctx, view, indices, rate_obs,
+                                           power_obs, approach)
+        if not estimate.feasible:
+            rows.append([approach, "infeasible", "infeasible", "-"])
+            continue
+        rows.append([
+            approach,
+            accuracy(estimate.rates, truth.true_rates),
+            accuracy(estimate.powers, truth.true_powers),
+            int(np.argmax(estimate.rates)),
+        ])
+    rows.append(["(truth)", 1.0, 1.0, int(np.argmax(truth.true_rates))])
+    print(format_table(
+        ["approach", "perf accuracy", "power accuracy", "peak config"],
+        rows,
+        title=(f"{args.benchmark} on the {args.space} space, "
+               f"{args.samples} samples of {len(ctx.space)}")))
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    if not 0 < args.utilization <= 1:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 1
+    from repro.estimators.registry import create_estimator
+    from repro.runtime.controller import RuntimeController, TradeoffEstimate
+    from repro.runtime.race_to_idle import RaceToIdleController
+
+    ctx = default_context(space_kind=args.space, seed=args.seed)
+    try:
+        view = ctx.dataset.leave_one_out(args.benchmark)
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    truth = ctx.truth.leave_one_out(args.benchmark)
+    profile = ctx.profile(args.benchmark)
+    machine = ctx.machine(seed_offset=args.seed + 1)
+
+    indices = harness.random_indices(len(ctx.space), args.samples,
+                                     args.seed)
+    rate_obs, power_obs = harness.sample_target(ctx, profile, indices,
+                                                seed_offset=args.seed)
+    estimate = harness.estimate_curves(ctx, view, indices, rate_obs,
+                                       power_obs, args.estimator)
+    if not estimate.feasible:
+        print(f"estimator {args.estimator!r} cannot fit "
+              f"{args.samples} samples", file=sys.stderr)
+        return 1
+
+    controller = RuntimeController(
+        machine=machine, space=ctx.space,
+        estimator=create_estimator(args.estimator),
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+    work = args.utilization * float(truth.true_rates.max()) * args.deadline
+    report = controller.run(
+        profile, work, args.deadline,
+        TradeoffEstimate(rates=estimate.rates, powers=estimate.powers,
+                         estimator_name=args.estimator))
+
+    racer = RaceToIdleController(machine, ctx.space)
+    race = racer.run(profile, work, args.deadline)
+    optimal = EnergyMinimizer(truth.true_rates, truth.true_powers,
+                              ctx.idle_power())
+    optimal_energy = optimal.min_energy(work, args.deadline)
+
+    rows = [
+        [args.estimator, report.energy, report.energy / optimal_energy,
+         report.met_target],
+        ["race-to-idle", race.energy, race.energy / optimal_energy,
+         race.met_target],
+        ["optimal", optimal_energy, 1.0, True],
+    ]
+    print(format_table(
+        ["approach", "energy (J)", "vs optimal", "demand met"],
+        rows,
+        title=(f"{args.benchmark} at {args.utilization:.0%} utilization, "
+               f"{args.deadline:g}s deadline")))
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    if args.target == "fig1":
+        from repro.experiments.motivation import motivation_experiment
+        ctx = default_context(space_kind="cores", seed=args.seed)
+        result = motivation_experiment(ctx)
+        rows = [[a, result.estimated_peak(a),
+                 float(np.mean(result.energy[a])
+                       / np.mean(result.energy["optimal"]))]
+                for a in result.est_rates]
+        print(format_table(
+            ["approach", "estimated peak", "mean energy / optimal"], rows,
+            title=f"Figure 1 (true peak = {result.true_peak()} cores)"))
+        return 0
+    if args.target in ("fig5", "fig6"):
+        from repro.experiments.estimation import accuracy_experiment
+        ctx = default_context(space_kind="paper", seed=args.seed)
+        result = accuracy_experiment(ctx, trials=1)
+        table = result.perf if args.target == "fig5" else result.power
+        means = (result.mean_perf() if args.target == "fig5"
+                 else result.mean_power())
+        rows = [[name] + [table[name][a] for a in harness.APPROACHES]
+                for name in sorted(table)]
+        rows.append(["MEAN"] + [means[a] for a in harness.APPROACHES])
+        label = "performance" if args.target == "fig5" else "power"
+        print(format_table(["benchmark"] + list(harness.APPROACHES), rows,
+                           title=f"Figure {args.target[-1]}: {label} "
+                                 f"accuracy"))
+        return 0
+    if args.target == "fig11":
+        from repro.experiments.energy import (energy_experiment,
+                                              overall_normalized,
+                                              summarize_normalized)
+        ctx = default_context(space_kind="paper", seed=args.seed)
+        curves = energy_experiment(ctx, num_utilizations=8)
+        table = summarize_normalized(curves)
+        overall = overall_normalized(curves)
+        order = ("leo", "online", "offline", "race-to-idle")
+        rows = [[name] + [scores[a] for a in order]
+                for name, scores in sorted(table.items())]
+        rows.append(["MEAN"] + [overall[a] for a in order])
+        print(format_table(["benchmark"] + list(order), rows,
+                           title="Figure 11: energy normalized to optimal"))
+        return 0
+    if args.target == "fig12":
+        from repro.experiments.sensitivity import sensitivity_experiment
+        ctx = default_context(space_kind="paper", seed=args.seed)
+        result = sensitivity_experiment(
+            ctx, sizes=(0, 5, 10, 15, 20, 30),
+            benchmarks=ctx.benchmark_names[:8])
+        rows = [[s, result.perf["leo"][i], result.perf["online"][i]]
+                for i, s in enumerate(result.sizes)]
+        print(format_table(["samples", "leo perf acc", "online perf acc"],
+                           rows, title="Figure 12: sample-size sweep"))
+        return 0
+    # table1
+    from repro.experiments.dynamic import dynamic_experiment, table1_rows
+    ctx = default_context(space_kind="paper", seed=args.seed)
+    result = dynamic_experiment(ctx)
+    print(format_table(["Algorithm", "Phase#1", "Phase#2", "Overall"],
+                       table1_rows(result),
+                       title="Table 1: energy relative to optimal"))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "list-benchmarks":
+        return _cmd_list_benchmarks()
+    if args.command == "show-benchmark":
+        return _cmd_show_benchmark(args.name)
+    if args.command == "estimate":
+        return _cmd_estimate(args)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "reproduce":
+        return _cmd_reproduce(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

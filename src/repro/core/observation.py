@@ -1,0 +1,153 @@
+"""Observation sets: the data matrix Y and the indicator matrix L.
+
+The model's data is a matrix of per-configuration measurements for M
+applications, where the first M-1 rows (the offline-profiled priors) are
+fully observed and the last row (the target application) is observed only
+at the small sampled subset Omega_M (paper Sections 5.2 and 5.4).  The
+indicator L marks which entries exist: ``L[i, j] = 1`` iff application i
+was observed in configuration j.
+
+:class:`ObservationSet` stores exactly that, supports any missingness
+pattern (not just the fully-observed-priors special case), and exposes
+the mask groupings the EM engine exploits: applications sharing a mask
+share their posterior covariance, so the E-step cost is paid once per
+*unique* mask rather than once per application.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+
+class ObservationSet:
+    """Partially observed measurements of M applications in n configs.
+
+    Args:
+        values: ``(M, n)`` array; entries where ``mask`` is False are
+            ignored (they may be NaN).
+        mask: ``(M, n)`` boolean array, True where observed.
+    """
+
+    def __init__(self, values: np.ndarray, mask: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        mask = np.asarray(mask, dtype=bool)
+        if values.ndim != 2:
+            raise ValueError(f"values must be 2-D, got shape {values.shape}")
+        if mask.shape != values.shape:
+            raise ValueError(
+                f"mask shape {mask.shape} != values shape {values.shape}"
+            )
+        if not mask.any(axis=1).all():
+            empty = int(np.where(~mask.any(axis=1))[0][0])
+            raise ValueError(f"application {empty} has no observations")
+        if not np.all(np.isfinite(values[mask])):
+            raise ValueError("observed entries must be finite")
+        self._values = np.where(mask, values, 0.0)
+        self._mask = mask
+
+    # ------------------------------------------------------------------
+    # Shape and access
+    # ------------------------------------------------------------------
+    @property
+    def num_applications(self) -> int:
+        """M: number of applications (rows)."""
+        return self._values.shape[0]
+
+    @property
+    def num_configs(self) -> int:
+        """n: number of configurations (columns)."""
+        return self._values.shape[1]
+
+    @property
+    def values(self) -> np.ndarray:
+        """``(M, n)`` values with unobserved entries zeroed."""
+        return self._values
+
+    @property
+    def mask(self) -> np.ndarray:
+        """``(M, n)`` boolean indicator (the paper's L, rows per app)."""
+        return self._mask
+
+    @property
+    def total_observations(self) -> int:
+        """``||L||_F^2``: the total number of observed entries."""
+        return int(self._mask.sum())
+
+    def observed_indices(self, app: int) -> np.ndarray:
+        """Omega_i: sorted configuration indices observed for ``app``."""
+        return np.where(self._mask[app])[0]
+
+    def observed_values(self, app: int) -> np.ndarray:
+        """The measurements of ``app`` at its observed indices."""
+        return self._values[app, self._mask[app]]
+
+    # ------------------------------------------------------------------
+    # Mask grouping for the EM engine
+    # ------------------------------------------------------------------
+    def mask_groups(self) -> List[Tuple[np.ndarray, List[int]]]:
+        """Applications grouped by identical observation mask.
+
+        Returns a list of ``(observed_indices, app_indices)`` pairs.  In
+        the paper's setting this has two groups: the fully observed
+        priors and the sparsely observed target.
+        """
+        groups: Dict[bytes, List[int]] = {}
+        for i in range(self.num_applications):
+            groups.setdefault(self._mask[i].tobytes(), []).append(i)
+        result = []
+        for apps in groups.values():
+            result.append((self.observed_indices(apps[0]), apps))
+        return result
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_prior_and_target(cls, prior: np.ndarray,
+                              target_indices: Sequence[int],
+                              target_values: Sequence[float],
+                              num_configs: int = 0) -> "ObservationSet":
+        """The paper's layout: M-1 full rows plus a sparse target row.
+
+        Args:
+            prior: ``(M-1, n)`` fully observed offline table.  May be
+                empty (shape ``(0, n)``) for the online-only setting.
+            target_indices: Omega_M, the sampled configuration indices.
+            target_values: Measurements at those indices.
+            num_configs: Required when ``prior`` is empty to fix n.
+        """
+        prior = np.asarray(prior, dtype=float)
+        if prior.ndim != 2:
+            raise ValueError(f"prior must be 2-D, got shape {prior.shape}")
+        n = prior.shape[1] if prior.size or prior.shape[1] else num_configs
+        if n == 0:
+            n = num_configs
+        if n <= 0:
+            raise ValueError("cannot infer the number of configurations")
+        idx = np.asarray(target_indices, dtype=int)
+        vals = np.asarray(target_values, dtype=float)
+        if idx.shape != vals.shape or idx.ndim != 1:
+            raise ValueError("target indices and values must be equal-length 1-D")
+        if idx.size == 0:
+            raise ValueError("the target needs at least one observation")
+        if len(np.unique(idx)) != idx.size:
+            raise ValueError("target indices must be unique")
+        if idx.min() < 0 or idx.max() >= n:
+            raise ValueError(f"target indices must lie in [0, {n})")
+
+        m = prior.shape[0] + 1
+        values = np.zeros((m, n))
+        mask = np.zeros((m, n), dtype=bool)
+        if prior.shape[0]:
+            values[:-1] = prior
+            mask[:-1] = True
+        values[-1, idx] = vals
+        mask[-1, idx] = True
+        return cls(values, mask)
+
+    @property
+    def target_row(self) -> int:
+        """Index of the last row, the target application by convention."""
+        return self.num_applications - 1

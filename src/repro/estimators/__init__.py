@@ -1,0 +1,33 @@
+"""The estimation approaches the paper compares (Section 6.2)."""
+
+from repro.estimators.base import (
+    EstimationProblem,
+    Estimator,
+    InsufficientSamplesError,
+    normalize_problem,
+)
+from repro.estimators.exhaustive import ExhaustiveOracle
+from repro.estimators.knn import KNNEstimator
+from repro.estimators.leo import LEOEstimator
+from repro.estimators.offline import OfflineEstimator
+from repro.estimators.online import OnlineEstimator
+from repro.estimators.registry import (
+    available_estimators,
+    create_estimator,
+    register_estimator,
+)
+
+__all__ = [
+    "EstimationProblem",
+    "Estimator",
+    "InsufficientSamplesError",
+    "normalize_problem",
+    "ExhaustiveOracle",
+    "KNNEstimator",
+    "LEOEstimator",
+    "OfflineEstimator",
+    "OnlineEstimator",
+    "available_estimators",
+    "create_estimator",
+    "register_estimator",
+]

@@ -1,0 +1,138 @@
+"""The estimation problem and the estimator interface.
+
+Every approach the paper compares (Section 6.2) answers the same
+question: given a few observations of the target application, plus
+optionally the offline profiles of other applications, predict the
+target's value (power or performance) in *every* configuration.
+:class:`EstimationProblem` is that question as data;
+:class:`Estimator` is the interface each approach implements.
+
+Performance curves are compared across applications in a normalized
+space (the paper reports performance "measured as speedup"): raw
+heartbeat rates span four orders of magnitude across the suite, so
+estimators that pool applications (offline mean, LEO) operate on curves
+normalized by each application's mean over the observed subset, and the
+target's absolute scale is recovered from its own observations.
+:func:`normalize_problem` performs this transformation.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class InsufficientSamplesError(ValueError):
+    """The estimator cannot produce a well-posed estimate from so few samples."""
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimationProblem:
+    """One target-application estimation instance.
+
+    Attributes:
+        features: ``(n, d)`` numeric knob values of each configuration
+            (cores, threads, memory controllers, speed index) — the
+            predictors of the online regression baseline.
+        prior: ``(M-1, n)`` offline table of other applications, or
+            ``None`` when no offline data exists.
+        observed_indices: Omega_M — sampled configuration indices.
+        observed_values: Measurements of the target at those indices.
+    """
+
+    features: np.ndarray
+    prior: Optional[np.ndarray]
+    observed_indices: np.ndarray
+    observed_values: np.ndarray
+
+    def __post_init__(self) -> None:
+        features = np.asarray(self.features, dtype=float)
+        idx = np.asarray(self.observed_indices, dtype=int)
+        vals = np.asarray(self.observed_values, dtype=float)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {features.shape}")
+        if idx.ndim != 1 or idx.shape != vals.shape:
+            raise ValueError("observed indices/values must be aligned 1-D arrays")
+        if idx.size and (idx.min() < 0 or idx.max() >= features.shape[0]):
+            raise ValueError("observed indices out of configuration range")
+        if idx.size and len(np.unique(idx)) != idx.size:
+            raise ValueError("observed indices must be unique")
+        if self.prior is not None:
+            prior = np.asarray(self.prior, dtype=float)
+            if prior.ndim != 2 or prior.shape[1] != features.shape[0]:
+                raise ValueError(
+                    f"prior shape {prior.shape} incompatible with "
+                    f"{features.shape[0]} configurations"
+                )
+        object.__setattr__(self, "features", features)
+        object.__setattr__(self, "observed_indices", idx)
+        object.__setattr__(self, "observed_values", vals)
+        if self.prior is not None:
+            object.__setattr__(self, "prior",
+                               np.asarray(self.prior, dtype=float))
+
+    @property
+    def num_configs(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_observations(self) -> int:
+        return self.observed_indices.size
+
+    @property
+    def num_prior_applications(self) -> int:
+        return 0 if self.prior is None else self.prior.shape[0]
+
+
+class Estimator(abc.ABC):
+    """An approach that completes a target application's curve."""
+
+    #: Short identifier used in registries, experiments, and reports.
+    name: str = "estimator"
+
+    @abc.abstractmethod
+    def estimate(self, problem: EstimationProblem) -> np.ndarray:
+        """Predict the target's value in every configuration.
+
+        Returns an array of shape ``(problem.num_configs,)``.
+
+        Raises:
+            InsufficientSamplesError: If the approach is ill-posed for
+                the problem's sample count (e.g. polynomial regression
+                below its coefficient count).
+        """
+
+
+def normalize_problem(problem: EstimationProblem
+                      ) -> Tuple[EstimationProblem, float]:
+    """Rescale a problem into normalized (speedup-like) space.
+
+    Each prior application's row is divided by its own mean over the
+    observed index subset, and the target's observations by their mean.
+    Returns the rescaled problem and the target's scale factor; an
+    estimate made on the normalized problem times the scale factor is an
+    estimate in original units.
+    """
+    if problem.num_observations == 0:
+        raise ValueError("cannot normalize a problem with no observations")
+    scale = float(np.mean(problem.observed_values))
+    if scale <= 0:
+        raise ValueError(
+            f"observed values must have a positive mean, got {scale}"
+        )
+    prior = problem.prior
+    if prior is not None:
+        anchors = prior[:, problem.observed_indices].mean(axis=1, keepdims=True)
+        if np.any(anchors <= 0):
+            raise ValueError("prior rows must have positive observed means")
+        prior = prior / anchors
+    normalized = EstimationProblem(
+        features=problem.features,
+        prior=prior,
+        observed_indices=problem.observed_indices,
+        observed_values=problem.observed_values / scale,
+    )
+    return normalized, scale

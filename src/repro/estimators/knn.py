@@ -1,0 +1,51 @@
+"""k-nearest-neighbour estimation over the prior application library.
+
+A non-parametric middle ground between the offline mean and LEO: find
+the k prior applications whose curves best match the target at the
+sampled configurations and blend them (inverse-distance weighting).
+It captures the paper's core intuition — "LEO quickly matches the
+behavior of the current application to a subset of the previously
+observed applications" — without the probabilistic machinery, which
+makes it a useful baseline for quantifying what the hierarchical model
+itself adds (see ``benchmarks/test_ablation_priors.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.base import EstimationProblem, Estimator
+
+
+class KNNEstimator(Estimator):
+    """Blend of the k most similar prior applications.
+
+    Args:
+        k: Neighbours blended.  ``k=1`` copies the closest application's
+            curve outright.
+        epsilon: Distance floor preventing division by zero when a
+            prior matches the observations exactly.
+    """
+
+    name = "knn"
+
+    def __init__(self, k: int = 3, epsilon: float = 1e-9) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.k = k
+        self.epsilon = epsilon
+
+    def estimate(self, problem: EstimationProblem) -> np.ndarray:
+        if problem.prior is None or problem.num_prior_applications == 0:
+            raise ValueError("the knn estimator requires prior data")
+        prior = problem.prior
+        observed = prior[:, problem.observed_indices]
+        distances = np.linalg.norm(observed - problem.observed_values,
+                                   axis=1)
+        k = min(self.k, prior.shape[0])
+        nearest = np.argsort(distances)[:k]
+        weights = 1.0 / (distances[nearest] + self.epsilon)
+        weights /= weights.sum()
+        return weights @ prior[nearest]

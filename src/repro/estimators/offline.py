@@ -1,0 +1,30 @@
+"""The offline-learning baseline (Section 6.2).
+
+"This method takes the mean over the rest of the applications to estimate
+the power and performance of the given application ... This strategy only
+uses prior information and does not update based on runtime observations."
+
+It predicts the general trend across the training set and is therefore
+accurate exactly when the target follows that trend — the paper measures
+0.68 average accuracy for performance (where applications diverge wildly)
+but 0.89 for power (where they are much more alike).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.estimators.base import EstimationProblem, Estimator
+
+
+class OfflineEstimator(Estimator):
+    """Predicts the per-configuration mean of the prior applications."""
+
+    name = "offline"
+
+    def estimate(self, problem: EstimationProblem) -> np.ndarray:
+        if problem.prior is None or problem.num_prior_applications == 0:
+            raise ValueError(
+                "the offline estimator requires prior application data"
+            )
+        return problem.prior.mean(axis=0)

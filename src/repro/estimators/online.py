@@ -1,0 +1,109 @@
+"""The online-learning baseline (Section 6.2).
+
+"This strategy carries out polynomial multivariate regression on the
+observed dataset using configuration values (the number of cores, memory
+control and speed-settings) as predictors, and estimates the rest of the
+datapoints based on the same model. ... This method uses only the
+observations and not the prior data."
+
+With the platform's four knobs and the default total degree of two, the
+design matrix has 15 monomial columns (1 constant + 4 linear + 10
+quadratic), which is why the paper's Figure 12 notes the online baseline
+"cannot perform below 15 samples because the design matrix of the
+regression model would be rank deficient — effectively 0 accuracy".
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.estimators.base import (
+    EstimationProblem,
+    Estimator,
+    InsufficientSamplesError,
+)
+
+
+def monomial_exponents(num_features: int, degree: int) -> List[Tuple[int, ...]]:
+    """All exponent tuples with total degree <= ``degree``.
+
+    Ordered by total degree, then lexicographically, so the constant term
+    comes first and linear terms precede quadratic ones.
+    """
+    if num_features < 1:
+        raise ValueError(f"num_features must be >= 1, got {num_features}")
+    if degree < 0:
+        raise ValueError(f"degree must be >= 0, got {degree}")
+    exponents = []
+    for total in range(degree + 1):
+        for combo in itertools.combinations_with_replacement(
+                range(num_features), total):
+            exps = [0] * num_features
+            for feature in combo:
+                exps[feature] += 1
+            exponents.append(tuple(exps))
+    return exponents
+
+
+def design_matrix(features: np.ndarray, degree: int) -> np.ndarray:
+    """Monomial design matrix of ``features`` up to total ``degree``.
+
+    Features are scaled to [0, 1] per column (using each column's range)
+    before exponentiation to keep the normal equations well conditioned.
+    """
+    features = np.asarray(features, dtype=float)
+    lo = features.min(axis=0)
+    span = features.max(axis=0) - lo
+    span[span == 0] = 1.0
+    scaled = (features - lo) / span
+    exps = monomial_exponents(features.shape[1], degree)
+    columns = [np.prod(scaled ** np.array(e), axis=1) for e in exps]
+    return np.stack(columns, axis=1)
+
+
+class OnlineEstimator(Estimator):
+    """Polynomial multivariate regression on the sampled configurations."""
+
+    name = "online"
+
+    def __init__(self, degree: int = 2, clip_floor: float = 1e-9) -> None:
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        if clip_floor < 0:
+            raise ValueError(f"clip_floor must be >= 0, got {clip_floor}")
+        self.degree = degree
+        self.clip_floor = clip_floor
+
+    def num_coefficients(self, num_features: int) -> int:
+        """Size of the monomial basis for ``num_features`` knobs."""
+        return len(monomial_exponents(num_features, self.degree))
+
+    def estimate(self, problem: EstimationProblem) -> np.ndarray:
+        # Knobs that never vary (e.g. the fixed speed setting of the
+        # Section 2 cores-only space) contribute nothing but collinear
+        # columns; drop them before building the basis.
+        varying = np.ptp(problem.features, axis=0) > 0
+        features = problem.features[:, varying]
+        if features.shape[1] == 0:
+            features = np.ones((problem.num_configs, 1))
+        needed = self.num_coefficients(features.shape[1])
+        if problem.num_observations < needed:
+            raise InsufficientSamplesError(
+                f"polynomial regression of degree {self.degree} over "
+                f"{features.shape[1]} varying knobs needs at least {needed} "
+                f"samples; got {problem.num_observations}"
+            )
+        full_design = design_matrix(features, self.degree)
+        observed = full_design[problem.observed_indices]
+        coeffs, *_ = np.linalg.lstsq(observed, problem.observed_values,
+                                     rcond=None)
+        prediction = full_design @ coeffs
+        # Polynomial extrapolation can dip below zero, which is physically
+        # meaningless for rates and powers; floor it relative to the
+        # smallest observation.
+        floor = self.clip_floor * max(float(np.min(np.abs(
+            problem.observed_values))), 1.0)
+        return np.maximum(prediction, floor)

@@ -1,0 +1,55 @@
+"""Name-based estimator construction.
+
+Experiments refer to approaches by the paper's names ("leo", "online",
+"offline"); the registry turns those names into fresh estimator
+instances.  The exhaustive oracle is not registered because it needs the
+ground truth at construction time — it is not buildable from a name
+alone.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.estimators.base import Estimator
+from repro.estimators.knn import KNNEstimator
+from repro.estimators.leo import LEOEstimator
+from repro.estimators.offline import OfflineEstimator
+from repro.estimators.online import OnlineEstimator
+
+_FACTORIES: Dict[str, Callable[[], Estimator]] = {
+    "knn": KNNEstimator,
+    "leo": LEOEstimator,
+    "offline": OfflineEstimator,
+    "online": OnlineEstimator,
+}
+
+
+def create_estimator(name: str, **kwargs) -> Estimator:
+    """Instantiate an estimator by its paper name.
+
+    Keyword arguments are forwarded to the estimator's constructor.
+    """
+    try:
+        factory = _FACTORIES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown estimator {name!r}; known: {sorted(_FACTORIES)}"
+        ) from None
+    return factory(**kwargs)
+
+
+def available_estimators() -> List[str]:
+    """Names accepted by :func:`create_estimator`."""
+    return sorted(_FACTORIES)
+
+
+def register_estimator(name: str, factory: Callable[[], Estimator]) -> None:
+    """Add (or replace) a named estimator factory.
+
+    Lets downstream users plug their own approaches into the experiment
+    harness without forking it.
+    """
+    if not name:
+        raise ValueError("estimator name must be non-empty")
+    _FACTORIES[name.lower()] = factory

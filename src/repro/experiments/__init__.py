@@ -1,0 +1,29 @@
+"""One module per paper figure/table; see DESIGN.md's experiment index."""
+
+from repro.experiments.harness import (
+    APPROACHES,
+    DEADLINE_SECONDS,
+    CurveEstimate,
+    ExperimentContext,
+    bench_scale,
+    default_context,
+    estimate_curves,
+    format_table,
+    random_indices,
+    sample_target,
+    scaled,
+)
+
+__all__ = [
+    "APPROACHES",
+    "DEADLINE_SECONDS",
+    "CurveEstimate",
+    "ExperimentContext",
+    "bench_scale",
+    "default_context",
+    "estimate_curves",
+    "format_table",
+    "random_indices",
+    "sample_target",
+    "scaled",
+]

@@ -1,0 +1,129 @@
+"""Dynamic adaptation: Figure 13 and Table 1 (Section 6.6).
+
+fluidanimate runs an input with two phases; both phases share the same
+per-frame deadline but the second phase "requires 2/3 the resources of
+the first".  Every approach meets the performance goal (the controller's
+per-quantum feedback is the paper's gradient ascent); the difference is
+power: LEO re-estimates after its phase detector fires and lands near
+the optimal power for the light phase, while the baselines' poorer
+models overspend.
+
+Table 1 reports per-phase energy relative to the per-phase optimum
+(paper values: LEO 1.045/1.005/1.028, Offline 1.169/1.275/1.216,
+Online 1.325/1.248/1.291).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.estimators.registry import create_estimator
+from repro.experiments import harness
+from repro.experiments.harness import APPROACHES, ExperimentContext
+from repro.optimize.lp import EnergyMinimizer
+from repro.runtime.controller import RunReport, RuntimeController
+from repro.runtime.sampling import RandomSampler
+from repro.workloads.phases import PhasedWorkload, fluidanimate_two_phase
+from repro.workloads.profile import ApplicationProfile
+
+
+@dataclasses.dataclass
+class DynamicResult:
+    """Figure 13 / Table 1 data.
+
+    Attributes:
+        workload: The phased workload executed.
+        reports: ``{approach: [RunReport per phase]}``.
+        optimal_energy: Analytic per-phase optimal energy (J).
+        relative: ``{approach: [phase1, phase2, overall]}`` energy
+            relative to optimal — Table 1's rows.
+    """
+
+    workload: PhasedWorkload
+    reports: Dict[str, List[RunReport]]
+    optimal_energy: List[float]
+    relative: Dict[str, List[float]]
+
+    def reestimations(self, approach: str) -> int:
+        """Total phase-change re-calibrations across phases."""
+        return sum(r.reestimations for r in self.reports[approach])
+
+
+def _phase_truth(ctx: ExperimentContext, profile: ApplicationProfile):
+    machine = ctx.machine()
+    rates = np.array([machine.true_rate(profile, c) for c in ctx.space])
+    powers = np.array([machine.true_power(profile, c) for c in ctx.space])
+    return rates, powers
+
+
+def dynamic_experiment(ctx: Optional[ExperimentContext] = None,
+                       benchmark: str = "fluidanimate",
+                       utilization: float = 0.6,
+                       phase_seconds: float = 30.0,
+                       work_ratio: float = 2.0 / 3.0) -> DynamicResult:
+    """Run the Section 6.6 phased experiment for every approach.
+
+    Args:
+        utilization: Per-frame demand as a fraction of the heavy phase's
+            peak rate (the constraint both phases must meet).
+        phase_seconds: Approximate wall-clock length of each phase.
+        work_ratio: Phase-2 per-frame work relative to phase 1.
+    """
+    if ctx is None:
+        ctx = harness.default_context()
+    if not 0 < utilization < 1:
+        raise ValueError(f"utilization must be in (0, 1), got {utilization}")
+    if phase_seconds <= 0:
+        raise ValueError(f"phase_seconds must be positive, got {phase_seconds}")
+
+    profile = ctx.profile(benchmark)
+    view = ctx.dataset.leave_one_out(benchmark)
+    idle = ctx.idle_power()
+
+    heavy_rates, _ = _phase_truth(ctx, profile)
+    target_rate = utilization * float(heavy_rates.max())
+    frame_deadline = 1.0 / target_rate
+    frames = max(int(round(phase_seconds * target_rate)), 10)
+    workload = fluidanimate_two_phase(profile, frames_per_phase=frames,
+                                      frame_deadline=frame_deadline,
+                                      work_ratio=work_ratio)
+
+    # Analytic per-phase optimum on each phase's true curves.
+    optimal_energy = []
+    for phase in workload:
+        rates, powers = _phase_truth(ctx, phase.profile)
+        minimizer = EnergyMinimizer(rates, powers, idle)
+        optimal_energy.append(
+            minimizer.min_energy(float(phase.frames), phase.duration))
+
+    reports: Dict[str, List[RunReport]] = {}
+    relative: Dict[str, List[float]] = {}
+    for a, approach in enumerate(APPROACHES):
+        machine = ctx.machine(seed_offset=600 + a)
+        controller = RuntimeController(
+            machine=machine, space=ctx.space,
+            estimator=create_estimator(approach),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(ctx.seed + a))
+        phase_reports = controller.run_phased(workload, adapt=True)
+        reports[approach] = phase_reports
+        energies = [r.energy for r in phase_reports]
+        rel = [e / o for e, o in zip(energies, optimal_energy)]
+        rel.append(sum(energies) / sum(optimal_energy))
+        relative[approach] = rel
+
+    return DynamicResult(workload=workload, reports=reports,
+                         optimal_energy=optimal_energy, relative=relative)
+
+
+def table1_rows(result: DynamicResult) -> List[List[object]]:
+    """Rows of Table 1: algorithm, phase 1, phase 2, overall."""
+    label = {"leo": "LEO", "offline": "Offline", "online": "Online"}
+    rows = []
+    for approach in APPROACHES:
+        rel = result.relative[approach]
+        rows.append([label.get(approach, approach), rel[0], rel[1], rel[2]])
+    return rows

@@ -1,0 +1,113 @@
+"""Pareto-frontier comparison: Figure 9.
+
+The paper plots, for the representative applications, the power/
+performance convex hulls estimated by each approach against the true
+hull from exhaustive search: "When the estimated curves are below
+optimal plots, it represents worse performance i.e. missed deadlines,
+whereas the estimations above the optimal waste energy."
+
+Performance is reported as speedup — rate relative to the application's
+rate in the base configuration (index 0), matching Figure 9's x-axis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments import harness
+from repro.experiments.harness import (
+    APPROACHES,
+    ExperimentContext,
+    estimate_curves,
+    random_indices,
+    sample_target,
+)
+from repro.experiments.estimation import REPRESENTATIVES
+from repro.optimize.pareto import TradeoffFrontier
+
+
+@dataclasses.dataclass
+class FrontierComparison:
+    """True and estimated tradeoff frontiers for one application.
+
+    ``hulls`` maps approach name (plus ``"true"``) to arrays of hull
+    vertices ``(speedup, watts)`` sorted by increasing speedup.
+    """
+
+    benchmark: str
+    hulls: Dict[str, np.ndarray]
+
+    def hull_area_error(self, approach: str,
+                        grid_points: int = 64) -> float:
+        """Mean |estimated - true| hull power over a shared speedup grid.
+
+        A scalar summary of how far an estimated frontier sits from the
+        true one (Watts of average vertical gap).
+        """
+        true_hull = self.hulls["true"]
+        est_hull = self.hulls[approach]
+        lo = max(true_hull[0, 0], est_hull[0, 0])
+        hi = min(true_hull[-1, 0], est_hull[-1, 0])
+        if hi <= lo:
+            raise ValueError(
+                f"frontiers of {approach!r} and truth do not overlap"
+            )
+        grid = np.linspace(lo, hi, grid_points)
+        true_power = np.interp(grid, true_hull[:, 0], true_hull[:, 1])
+        est_power = np.interp(grid, est_hull[:, 0], est_hull[:, 1])
+        return float(np.mean(np.abs(est_power - true_power)))
+
+
+def _hull_points(rates: np.ndarray, powers: np.ndarray, base_rate: float,
+                 idle_power: float) -> np.ndarray:
+    frontier = TradeoffFrontier(rates / base_rate, powers,
+                                idle_power=idle_power)
+    return np.array([[v.rate, v.power] for v in frontier.vertices])
+
+
+def frontier_experiment(ctx: Optional[ExperimentContext] = None,
+                        benchmarks: Sequence[str] = REPRESENTATIVES,
+                        sample_count: int = 20
+                        ) -> List[FrontierComparison]:
+    """Build Figure 9's frontier comparisons."""
+    if ctx is None:
+        ctx = harness.default_context()
+    idle = ctx.idle_power()
+    results = []
+    for b, name in enumerate(benchmarks):
+        view = ctx.dataset.leave_one_out(name)
+        truth_view = ctx.truth.leave_one_out(name)
+        base_rate = float(truth_view.true_rates[0])
+
+        seed = ctx.seed + 9000 + b
+        indices = random_indices(len(ctx.space), sample_count, seed)
+        rate_obs, power_obs = sample_target(ctx, ctx.profile(name), indices,
+                                            seed_offset=seed)
+
+        hulls: Dict[str, np.ndarray] = {
+            "true": _hull_points(truth_view.true_rates,
+                                 truth_view.true_powers, base_rate, idle),
+        }
+        for approach in APPROACHES:
+            estimate = estimate_curves(ctx, view, indices, rate_obs,
+                                       power_obs, approach)
+            if estimate.feasible:
+                hulls[approach] = _hull_points(
+                    estimate.rates, estimate.powers, base_rate, idle)
+        results.append(FrontierComparison(benchmark=name, hulls=hulls))
+    return results
+
+
+def frontier_summary(comparisons: Sequence[FrontierComparison]
+                     ) -> Dict[str, Dict[str, float]]:
+    """Per-benchmark mean hull gap (W) for each approach."""
+    out: Dict[str, Dict[str, float]] = {}
+    for comparison in comparisons:
+        out[comparison.benchmark] = {
+            approach: comparison.hull_area_error(approach)
+            for approach in comparison.hulls if approach != "true"
+        }
+    return out

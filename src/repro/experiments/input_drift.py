@@ -1,0 +1,95 @@
+"""Input-drift study: estimation accuracy across input variants.
+
+Section 4 motivates online estimation with input dependence: "for many
+applications, these values also vary with varying inputs", so a model
+trained on one input's behaviour cannot simply be replayed on another.
+This experiment quantifies that: the offline library is profiled on
+*reference* inputs, targets are seeded input variants
+(:func:`repro.workloads.inputs.input_sweep`) of suite applications, and
+each approach estimates the variant's curves from 20 fresh samples.
+
+Expected shape: the offline mean suffers most (it can only predict the
+reference behaviour), while LEO stays accurate — the variant is just
+another application whose shape the hierarchy matches to the library.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.accuracy import accuracy
+from repro.estimators.base import (
+    EstimationProblem,
+    InsufficientSamplesError,
+    normalize_problem,
+)
+from repro.estimators.registry import create_estimator
+from repro.experiments import harness
+from repro.experiments.harness import APPROACHES, ExperimentContext
+from repro.workloads.inputs import input_sweep
+
+
+@dataclasses.dataclass
+class InputDriftResult:
+    """Accuracy on input variants, per base application and approach.
+
+    ``perf[name][approach]`` is the mean accuracy across that
+    application's input variants.
+    """
+
+    perf: Dict[str, Dict[str, float]]
+    variants_per_app: int
+
+    def mean_perf(self) -> Dict[str, float]:
+        """Per-approach mean accuracy across base applications."""
+        return harness.summarize_means(self.perf, APPROACHES)
+
+
+def input_drift_experiment(ctx: Optional[ExperimentContext] = None,
+                           benchmarks: Sequence[str] = ("kmeans", "swish",
+                                                        "x264", "jacobi"),
+                           variants_per_app: int = 3,
+                           sample_count: int = 20) -> InputDriftResult:
+    """Estimate input variants against reference-input priors."""
+    if ctx is None:
+        ctx = harness.default_context()
+    if variants_per_app < 1:
+        raise ValueError(
+            f"variants_per_app must be >= 1, got {variants_per_app}"
+        )
+
+    perf: Dict[str, Dict[str, float]] = {}
+    for b, name in enumerate(benchmarks):
+        base = ctx.profile(name)
+        view = ctx.dataset.leave_one_out(name)
+        variants = input_sweep(base, variants_per_app,
+                               seed=ctx.seed + 90 + b)
+        scores: Dict[str, List[float]] = {a: [] for a in APPROACHES}
+        for v, variant in enumerate(variants):
+            machine = ctx.machine(seed_offset=700 + 10 * b + v)
+            truth = np.array([machine.true_rate(variant, c)
+                              for c in ctx.space])
+            indices = harness.random_indices(
+                len(ctx.space), sample_count, ctx.seed + 91 + 10 * b + v)
+            machine.load(variant)
+            observed = []
+            for i in indices:
+                machine.apply(ctx.space[int(i)])
+                observed.append(machine.run_for(1.0).rate)
+            problem = EstimationProblem(
+                features=ctx.features, prior=view.prior_rates,
+                observed_indices=indices,
+                observed_values=np.array(observed))
+            normalized, scale = normalize_problem(problem)
+            for approach in APPROACHES:
+                try:
+                    estimate = create_estimator(approach).estimate(
+                        normalized) * scale
+                    scores[approach].append(accuracy(estimate, truth))
+                except InsufficientSamplesError:
+                    scores[approach].append(0.0)
+        perf[name] = {a: float(np.mean(v)) for a, v in scores.items()}
+    return InputDriftResult(perf=perf, variants_per_app=variants_per_app)

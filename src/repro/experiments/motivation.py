@@ -1,0 +1,129 @@
+"""The motivational example: Figure 1 (Section 2).
+
+Kmeans on the 32-configuration core-allocation space, observing only six
+uniformly spaced allocations (5, 10, ..., 30 logical CPUs).  Figure 1a is
+the performance estimate vs cores, 1b the power estimate, and 1c the
+energy consumed across utilization levels.  The headline behaviours:
+
+* kmeans truly peaks at 8 cores and degrades sharply beyond;
+* the offline mean predicts the suite-wide trend (peak near full
+  allocation);
+* the online polynomial learns that performance degrades but misplaces
+  the peak;
+* LEO recognizes the early-peak pattern from a previously seen
+  application and places the peak correctly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.estimators.registry import create_estimator
+from repro.experiments import harness
+from repro.experiments.harness import (
+    APPROACHES,
+    DEADLINE_SECONDS,
+    ExperimentContext,
+    estimate_curves,
+    sample_target,
+)
+from repro.optimize.lp import EnergyMinimizer
+from repro.runtime.controller import RuntimeController, TradeoffEstimate
+from repro.runtime.race_to_idle import RaceToIdleController
+
+#: The six observed logical-CPU counts of Section 2 (as 0-based indices).
+OBSERVED_CORES = (5, 10, 15, 20, 25, 30)
+
+
+@dataclasses.dataclass
+class MotivationResult:
+    """Figure 1's data.
+
+    Attributes:
+        cores: 1..32, the x-axis of Figures 1a/1b.
+        true_rates / true_powers: Exhaustive-search truth.
+        est_rates / est_powers: Per-approach estimated curves.
+        utilizations: X-axis of Figure 1c.
+        energy: Per-approach (plus "optimal" and "race-to-idle")
+            measured energy per utilization.
+    """
+
+    cores: np.ndarray
+    true_rates: np.ndarray
+    true_powers: np.ndarray
+    est_rates: Dict[str, np.ndarray]
+    est_powers: Dict[str, np.ndarray]
+    utilizations: np.ndarray
+    energy: Dict[str, List[float]]
+
+    def estimated_peak(self, approach: str) -> int:
+        """Estimated best core count (1-based)."""
+        return int(np.argmax(self.est_rates[approach])) + 1
+
+    def true_peak(self) -> int:
+        """Ground-truth best core count (1-based)."""
+        return int(np.argmax(self.true_rates)) + 1
+
+
+def motivation_experiment(ctx: Optional[ExperimentContext] = None,
+                          benchmark: str = "kmeans",
+                          num_utilizations: int = 12
+                          ) -> MotivationResult:
+    """Reproduce Figure 1 on the cores-only space."""
+    if ctx is None:
+        ctx = harness.default_context(space_kind="cores")
+    view = ctx.dataset.leave_one_out(benchmark)
+    truth_view = ctx.truth.leave_one_out(benchmark)
+    profile = ctx.profile(benchmark)
+    idle = ctx.idle_power()
+
+    indices = np.array([c - 1 for c in OBSERVED_CORES])
+    rate_obs, power_obs = sample_target(ctx, profile, indices,
+                                        seed_offset=ctx.seed + 5)
+
+    est_rates: Dict[str, np.ndarray] = {}
+    est_powers: Dict[str, np.ndarray] = {}
+    estimates: Dict[str, TradeoffEstimate] = {}
+    for approach in APPROACHES:
+        est = estimate_curves(ctx, view, indices, rate_obs, power_obs,
+                              approach)
+        if not est.feasible:
+            continue
+        est_rates[approach] = est.rates
+        est_powers[approach] = est.powers
+        estimates[approach] = TradeoffEstimate(
+            rates=est.rates, powers=est.powers, estimator_name=approach)
+
+    # Figure 1c: measured energy across utilization demands.
+    utilizations = np.linspace(0.1, 1.0, num_utilizations)
+    true_max = float(truth_view.true_rates.max())
+    optimal = EnergyMinimizer(truth_view.true_rates, truth_view.true_powers,
+                              idle)
+    machine = ctx.machine(seed_offset=17)
+    energy: Dict[str, List[float]] = {a: [] for a in estimates}
+    energy["optimal"] = []
+    energy["race-to-idle"] = []
+    for utilization in utilizations:
+        work = utilization * true_max * DEADLINE_SECONDS
+        energy["optimal"].append(optimal.min_energy(work, DEADLINE_SECONDS))
+        for approach, estimate in estimates.items():
+            controller = RuntimeController(
+                machine=machine, space=ctx.space,
+                estimator=create_estimator(approach),
+                prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+            report = controller.run(profile, work, DEADLINE_SECONDS, estimate)
+            energy[approach].append(report.energy)
+        racer = RaceToIdleController(machine, ctx.space)
+        energy["race-to-idle"].append(
+            racer.run(profile, work, DEADLINE_SECONDS).energy)
+
+    return MotivationResult(
+        cores=np.arange(1, len(ctx.space) + 1),
+        true_rates=truth_view.true_rates,
+        true_powers=truth_view.true_powers,
+        est_rates=est_rates, est_powers=est_powers,
+        utilizations=utilizations, energy=energy,
+    )

@@ -1,0 +1,109 @@
+"""Prior-library scaling study (beyond the paper's evaluation).
+
+LEO's premise is that "knowing about one application should help in
+producing better predictors for other applications" (Section 5.2).  A
+natural question the paper leaves open: how much prior knowledge does
+the hierarchy need?  This experiment sweeps the number of offline
+applications available as priors and measures estimation accuracy for
+held-out targets, for LEO and the k-nearest-neighbour baseline (which
+shares the "find similar applications" intuition without the model).
+
+The expected shape: accuracy rises steeply over the first several prior
+applications — as soon as the library contains *some* application from
+the target's behavioural family — and saturates well before 24.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.accuracy import accuracy
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.registry import create_estimator
+from repro.experiments import harness
+from repro.experiments.harness import (
+    ExperimentContext,
+    random_indices,
+    sample_target,
+)
+
+#: Estimators that consume the prior library.
+LIBRARY_APPROACHES: Tuple[str, ...] = ("leo", "knn")
+
+
+@dataclasses.dataclass
+class ScalingResult:
+    """Mean accuracy per prior-library size.
+
+    Attributes:
+        library_sizes: Number of prior applications made available.
+        perf: ``{approach: [mean accuracy per size]}``.
+        targets: The held-out applications evaluated.
+    """
+
+    library_sizes: Tuple[int, ...]
+    perf: Dict[str, List[float]]
+    targets: Tuple[str, ...]
+
+
+def prior_scaling_experiment(ctx: Optional[ExperimentContext] = None,
+                             library_sizes: Sequence[int] = (1, 2, 4, 8,
+                                                             16, 24),
+                             targets: Sequence[str] = ("kmeans", "swish",
+                                                       "x264", "bfs"),
+                             sample_count: int = 20,
+                             subsets_per_size: int = 3) -> ScalingResult:
+    """Sweep the prior-library size with random application subsets.
+
+    For each size, ``subsets_per_size`` random subsets of the other 24
+    applications serve as the library, and accuracies are averaged over
+    subsets and targets.
+    """
+    if ctx is None:
+        ctx = harness.default_context()
+    if any(size < 1 for size in library_sizes):
+        raise ValueError("library sizes must be >= 1")
+    if subsets_per_size < 1:
+        raise ValueError(
+            f"subsets_per_size must be >= 1, got {subsets_per_size}"
+        )
+
+    perf: Dict[str, List[float]] = {a: [] for a in LIBRARY_APPROACHES}
+    rng = np.random.default_rng(ctx.seed + 777)
+
+    # One sampling pass per target, shared across sizes and subsets.
+    samples = {}
+    for t, name in enumerate(targets):
+        indices = random_indices(len(ctx.space), sample_count,
+                                 ctx.seed + 600 + t)
+        rate_obs, _ = sample_target(ctx, ctx.profile(name), indices,
+                                    seed_offset=ctx.seed + 601 + t)
+        samples[name] = (indices, rate_obs)
+
+    for size in library_sizes:
+        scores = {a: [] for a in LIBRARY_APPROACHES}
+        for name in targets:
+            view = ctx.dataset.leave_one_out(name)
+            truth = ctx.truth.leave_one_out(name).true_rates
+            indices, rate_obs = samples[name]
+            max_size = view.prior_rates.shape[0]
+            usable = min(size, max_size)
+            for _ in range(subsets_per_size):
+                subset = rng.choice(max_size, size=usable, replace=False)
+                problem = EstimationProblem(
+                    features=ctx.features,
+                    prior=view.prior_rates[subset],
+                    observed_indices=indices, observed_values=rate_obs)
+                normalized, scale = normalize_problem(problem)
+                for approach in LIBRARY_APPROACHES:
+                    estimator = create_estimator(approach)
+                    estimate = estimator.estimate(normalized) * scale
+                    scores[approach].append(accuracy(estimate, truth))
+        for approach in LIBRARY_APPROACHES:
+            perf[approach].append(float(np.mean(scores[approach])))
+
+    return ScalingResult(library_sizes=tuple(library_sizes), perf=perf,
+                         targets=tuple(targets))

@@ -1,0 +1,116 @@
+"""Thermal-throttling adaptation study (extension).
+
+With the optional package thermal model enabled
+(:class:`repro.platform.thermal.ThermalModel`), sustained high-power
+operation derates frequency — the per-configuration curves silently
+change mid-run, exactly like a workload phase change.  This experiment
+runs a hot, scalable workload under a demanding constraint and compares
+the adaptive runtime (phase detector + re-calibration) against the
+static one (initial estimates only) on the same thermal machine.
+
+Expected shape: throttling occurs; the adaptive runtime notices (at
+least one re-estimation) and both runtimes keep meeting the demand via
+closed-loop feedback, with the adaptive runtime's model matching the
+derated machine afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+
+from repro.estimators.registry import create_estimator
+from repro.experiments import harness
+from repro.experiments.harness import ExperimentContext
+from repro.platform.machine import Machine
+from repro.platform.thermal import ThermalModel
+from repro.runtime.controller import RunReport, RuntimeController
+from repro.runtime.sampling import RandomSampler
+
+
+@dataclasses.dataclass
+class ThermalStudyResult:
+    """Outcome of the adaptive-vs-static comparison on a hot machine.
+
+    Attributes:
+        adaptive: Report of the run with phase detection enabled.
+        static: Report of the run without adaptation.
+        throttled: Whether the machine's thermal model ever throttled.
+        unthrottled_max_rate: The demand reference (cool-machine peak).
+    """
+
+    adaptive: RunReport
+    static: RunReport
+    throttled: bool
+    unthrottled_max_rate: float
+
+
+def _hot_machine(ctx: ExperimentContext, seed_offset: int,
+                 throttle_factor: float) -> Machine:
+    # High junction-to-ambient resistance and a low resume point: a
+    # poorly cooled box where even mid-power configurations keep the
+    # package hot, so throttling persists through the controlled run.
+    thermal = ThermalModel(throttle_celsius=75.0, resume_celsius=55.0,
+                           resistance=0.55, time_constant=15.0,
+                           throttle_factor=throttle_factor)
+    return Machine(ctx.space.topology, seed=ctx.seed + seed_offset,
+                   thermal=thermal)
+
+
+def thermal_experiment(ctx: Optional[ExperimentContext] = None,
+                       benchmark: str = "swaptions",
+                       utilization: float = 0.45,
+                       deadline: float = 120.0,
+                       throttle_factor: float = 0.6) -> ThermalStudyResult:
+    """Run the hot-machine comparison.
+
+    ``utilization`` is relative to the *unthrottled* peak; it must stay
+    feasible under the throttle factor for the comparison to be about
+    energy rather than feasibility.
+    """
+    if ctx is None:
+        ctx = harness.default_context()
+    if not 0 < utilization < throttle_factor:
+        raise ValueError(
+            "utilization must stay below throttle_factor so the demand "
+            f"remains feasible when throttled; got {utilization} vs "
+            f"{throttle_factor}"
+        )
+    profile = ctx.profile(benchmark)
+    view = ctx.dataset.leave_one_out(benchmark)
+    cool = ctx.machine()
+    unthrottled_max = max(cool.true_rate(profile, c) for c in ctx.space)
+    work = utilization * unthrottled_max * deadline
+
+    reports = {}
+    throttled = False
+    for label, adapt in (("adaptive", True), ("static", False)):
+        machine = _hot_machine(ctx, seed_offset=40 if adapt else 41,
+                               throttle_factor=throttle_factor)
+        controller = RuntimeController(
+            machine=machine, space=ctx.space,
+            estimator=create_estimator("leo"),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(ctx.seed + 7))
+        # Calibrate cool (the model the machine will drift away from):
+        # the thermal state is suspended during calibration so the
+        # fitted curves describe the unthrottled machine, then a burst
+        # at full allocation heats the package past its throttle point.
+        thermal = machine.thermal
+        machine.thermal = None
+        estimate = controller.calibrate(profile)
+        machine.thermal = thermal
+        machine.load(profile)
+        machine.apply(ctx.space[len(ctx.space) - 1])
+        for _ in range(12):
+            machine.run_for(5.0)
+        throttled = throttled or machine.thermal.throttled
+        reports[label] = controller.run(profile, work, deadline, estimate,
+                                        adapt=adapt)
+
+    return ThermalStudyResult(
+        adaptive=reports["adaptive"], static=reports["static"],
+        throttled=throttled,
+        unthrottled_max_rate=float(unthrottled_max),
+    )

@@ -1,0 +1,24 @@
+"""Energy-minimization machinery: Pareto frontier, LP solvers, schedules."""
+
+from repro.optimize.lp import EnergyMinimizer
+from repro.optimize.pareto import HullPoint, TradeoffFrontier, pareto_optimal_mask
+from repro.optimize.schedule import Schedule, Slot
+from repro.optimize.simplex import (
+    InfeasibleError,
+    SimplexSolution,
+    UnboundedError,
+    solve_lp,
+)
+
+__all__ = [
+    "EnergyMinimizer",
+    "HullPoint",
+    "TradeoffFrontier",
+    "pareto_optimal_mask",
+    "Schedule",
+    "Slot",
+    "InfeasibleError",
+    "SimplexSolution",
+    "UnboundedError",
+    "solve_lp",
+]

@@ -1,0 +1,171 @@
+"""A from-scratch dense primal simplex solver.
+
+Solves linear programs in standard equality form,
+
+    minimize    c' x
+    subject to  A x = b,  x >= 0,
+
+via the two-phase primal simplex method with Bland's anti-cycling rule.
+The energy-minimization problem (paper Eq. 1) reduces to two equality
+rows over the configuration residencies, so the instances here are tiny;
+this implementation favours clarity and numerical care over speed and is
+used to cross-check the specialized convex-hull solver in
+:mod:`repro.optimize.lp` (see the LP ablation benchmark).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+import numpy as np
+
+#: Feasibility / optimality tolerance.
+_EPS = 1e-9
+
+
+class InfeasibleError(ValueError):
+    """The LP has no feasible point."""
+
+
+class UnboundedError(ValueError):
+    """The LP objective is unbounded below."""
+
+
+@dataclasses.dataclass(frozen=True)
+class SimplexSolution:
+    """Result of a simplex solve.
+
+    Attributes:
+        x: Optimal primal solution.
+        objective: Optimal objective value ``c' x``.
+        iterations: Total pivots across both phases.
+    """
+
+    x: np.ndarray
+    objective: float
+    iterations: int
+
+
+def _pivot(tableau: np.ndarray, basis: np.ndarray, row: int, col: int) -> None:
+    """Pivot the tableau so column ``col`` enters the basis at ``row``."""
+    tableau[row] /= tableau[row, col]
+    for i in range(tableau.shape[0]):
+        if i != row and abs(tableau[i, col]) > 0:
+            tableau[i] -= tableau[i, col] * tableau[row]
+    basis[row] = col
+
+
+def _solve_phase(tableau: np.ndarray, basis: np.ndarray, num_vars: int,
+                 max_iterations: int) -> int:
+    """Run simplex pivots until optimal; returns the pivot count.
+
+    The tableau's last row holds reduced costs (objective row), the last
+    column holds the right-hand side.  Bland's rule (smallest eligible
+    index) guarantees termination.
+    """
+    iterations = 0
+    while True:
+        costs = tableau[-1, :num_vars]
+        entering = -1
+        for j in range(num_vars):
+            if costs[j] < -_EPS:
+                entering = j
+                break
+        if entering < 0:
+            return iterations
+        # Ratio test with Bland's tie-break on the leaving variable index.
+        ratios = np.full(tableau.shape[0] - 1, np.inf)
+        col = tableau[:-1, entering]
+        rhs = tableau[:-1, -1]
+        positive = col > _EPS
+        ratios[positive] = rhs[positive] / col[positive]
+        if not np.any(np.isfinite(ratios)):
+            raise UnboundedError("objective is unbounded below")
+        best = np.min(ratios)
+        candidates = np.where(ratios <= best + _EPS)[0]
+        leaving = min(candidates, key=lambda i: basis[i])
+        _pivot(tableau, basis, leaving, entering)
+        iterations += 1
+        if iterations > max_iterations:
+            raise RuntimeError(
+                f"simplex exceeded {max_iterations} pivots; "
+                "this should be impossible with Bland's rule"
+            )
+
+
+def solve_lp(c: np.ndarray, a: np.ndarray, b: np.ndarray,
+             max_iterations: Optional[int] = None) -> SimplexSolution:
+    """Solve ``min c'x s.t. a x = b, x >= 0`` by two-phase simplex.
+
+    Raises:
+        InfeasibleError: If no feasible point exists.
+        UnboundedError: If the objective is unbounded below.
+    """
+    c = np.asarray(c, dtype=float).ravel()
+    a = np.atleast_2d(np.asarray(a, dtype=float))
+    b = np.asarray(b, dtype=float).ravel()
+    m, n = a.shape
+    if c.size != n:
+        raise ValueError(f"c has {c.size} entries; A has {n} columns")
+    if b.size != m:
+        raise ValueError(f"b has {b.size} entries; A has {m} rows")
+    if not (np.all(np.isfinite(c)) and np.all(np.isfinite(a))
+            and np.all(np.isfinite(b))):
+        raise ValueError("LP data must be finite")
+    if max_iterations is None:
+        max_iterations = 200 * (n + m + 10)
+
+    # Normalize to b >= 0 so the artificial basis is feasible.
+    flip = b < 0
+    a = a.copy()
+    b = b.copy()
+    a[flip] *= -1
+    b[flip] *= -1
+
+    # Phase 1: minimize the sum of artificial variables.
+    tableau = np.zeros((m + 1, n + m + 1))
+    tableau[:m, :n] = a
+    tableau[:m, n:n + m] = np.eye(m)
+    tableau[:m, -1] = b
+    tableau[-1, n:n + m] = 1.0
+    basis = np.arange(n, n + m)
+    # Price out the artificial basis from the objective row.
+    for i in range(m):
+        tableau[-1] -= tableau[i]
+    iterations = _solve_phase(tableau, basis, n + m, max_iterations)
+    if tableau[-1, -1] < -_EPS:
+        raise InfeasibleError(
+            f"phase-1 optimum {-tableau[-1, -1]:g} > 0: LP is infeasible"
+        )
+
+    # Drive any artificial variables out of the basis (degenerate rows).
+    for i in range(m):
+        if basis[i] >= n:
+            pivot_col = -1
+            for j in range(n):
+                if abs(tableau[i, j]) > _EPS:
+                    pivot_col = j
+                    break
+            if pivot_col >= 0:
+                _pivot(tableau, basis, i, pivot_col)
+                iterations += 1
+            # Else the row is all zeros over the original columns: the
+            # constraint was redundant; the artificial stays at zero.
+
+    # Phase 2: original objective over the original columns.
+    phase2 = np.zeros((m + 1, n + 1))
+    phase2[:m, :n] = tableau[:m, :n]
+    phase2[:m, -1] = tableau[:m, -1]
+    phase2[-1, :n] = c
+    for i in range(m):
+        if basis[i] < n:
+            phase2[-1] -= phase2[-1, basis[i]] * phase2[i]
+    iterations += _solve_phase(phase2, basis, n, max_iterations)
+
+    x = np.zeros(n)
+    for i in range(m):
+        if basis[i] < n:
+            x[basis[i]] = phase2[i, -1]
+    x[np.abs(x) < _EPS] = 0.0
+    return SimplexSolution(x=x, objective=float(c @ x), iterations=iterations)

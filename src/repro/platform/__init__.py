@@ -1,0 +1,44 @@
+"""Simulated test platform: topology, DVFS, configurations, machine models.
+
+This package is the substrate standing in for the paper's dual-socket
+Xeon E5-2690 server (Section 6.1).  See DESIGN.md section 2 for the
+substitution rationale.
+"""
+
+from repro.platform.config_space import Configuration, ConfigurationSpace
+from repro.platform.dvfs import (
+    DVFS_FREQUENCIES_GHZ,
+    NOMINAL_GHZ,
+    TURBO_INDEX,
+    TURBO_PEAK_GHZ,
+    SpeedSetting,
+    dynamic_power_scale,
+    speed_ladder,
+    voltage_at,
+)
+from repro.platform.machine import Machine, Measurement
+from repro.platform.performance_model import PerformanceModel
+from repro.platform.power_model import PowerConstants, PowerModel
+from repro.platform.thermal import ThermalModel
+from repro.platform.topology import PAPER_TOPOLOGY, Topology
+
+__all__ = [
+    "Configuration",
+    "ConfigurationSpace",
+    "DVFS_FREQUENCIES_GHZ",
+    "NOMINAL_GHZ",
+    "TURBO_INDEX",
+    "TURBO_PEAK_GHZ",
+    "SpeedSetting",
+    "dynamic_power_scale",
+    "speed_ladder",
+    "voltage_at",
+    "Machine",
+    "Measurement",
+    "PerformanceModel",
+    "PowerConstants",
+    "PowerModel",
+    "ThermalModel",
+    "PAPER_TOPOLOGY",
+    "Topology",
+]

@@ -1,0 +1,107 @@
+"""Dynamic voltage and frequency scaling (DVFS) model.
+
+The paper's Xeon E5-2690 exposes fifteen DVFS settings from 1.2 to 2.9 GHz
+plus TurboBoost (Section 6.1), for sixteen speed settings in total.  This
+module enumerates that frequency ladder and provides the voltage/frequency
+relationship the power model builds on: across the DVFS range, supply
+voltage rises roughly linearly with frequency, so dynamic power grows like
+``C * V(f)^2 * f``.
+
+TurboBoost is modeled as an opportunistic boost above nominal frequency
+whose magnitude shrinks as more cores are active, following Intel's bin
+scheme (maximum boost with one or two active cores, stepping down as the
+active-core count rises).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Sequence
+
+import numpy as np
+
+#: Nominal DVFS frequencies in GHz: fifteen evenly spaced steps, 1.2-2.9 GHz.
+DVFS_FREQUENCIES_GHZ: Sequence[float] = tuple(
+    round(f, 5) for f in np.linspace(1.2, 2.9, 15)
+)
+
+#: Index used for the TurboBoost pseudo-frequency setting.
+TURBO_INDEX = len(DVFS_FREQUENCIES_GHZ)
+
+#: Peak single-core turbo frequency for the E5-2690 (3.8 GHz).
+TURBO_PEAK_GHZ = 3.8
+
+#: Nominal (all-core base) frequency.
+NOMINAL_GHZ = DVFS_FREQUENCIES_GHZ[-1]
+
+
+@dataclasses.dataclass(frozen=True)
+class SpeedSetting:
+    """One entry of the speed ladder: a DVFS step or TurboBoost.
+
+    Attributes:
+        index: Position in the ladder (0 = slowest, 15 = TurboBoost).
+        base_ghz: The guaranteed frequency of this setting.
+        turbo: Whether this setting enables opportunistic TurboBoost.
+    """
+
+    index: int
+    base_ghz: float
+    turbo: bool
+
+    def effective_ghz(self, active_cores: int, total_cores: int) -> float:
+        """Frequency actually delivered with ``active_cores`` running.
+
+        Non-turbo settings always deliver their base frequency.  Turbo
+        settings deliver a boost above nominal that decays linearly from
+        the single-core peak down to a small all-core boost, matching the
+        "fewer active cores, higher bins" behaviour of real TurboBoost.
+        """
+        if active_cores < 0:
+            raise ValueError(f"active_cores must be non-negative, got {active_cores}")
+        if total_cores < 1:
+            raise ValueError(f"total_cores must be positive, got {total_cores}")
+        if not self.turbo or active_cores == 0:
+            return self.base_ghz
+        active = min(active_cores, total_cores)
+        # All-core turbo for the E5-2690 is ~3.3 GHz; single core ~3.8 GHz.
+        all_core_boost = 3.3
+        if total_cores == 1:
+            return TURBO_PEAK_GHZ
+        frac = (active - 1) / (total_cores - 1)
+        return TURBO_PEAK_GHZ - frac * (TURBO_PEAK_GHZ - all_core_boost)
+
+
+def speed_ladder() -> List[SpeedSetting]:
+    """The sixteen speed settings of the paper's platform, slowest first."""
+    ladder = [
+        SpeedSetting(index=i, base_ghz=f, turbo=False)
+        for i, f in enumerate(DVFS_FREQUENCIES_GHZ)
+    ]
+    ladder.append(SpeedSetting(index=TURBO_INDEX, base_ghz=NOMINAL_GHZ, turbo=True))
+    return ladder
+
+
+def voltage_at(freq_ghz: float) -> float:
+    """Supply voltage (V) at a given frequency.
+
+    Uses a linear V/f curve fit to typical Sandy Bridge operating points:
+    ~0.85 V at 1.2 GHz rising to ~1.2 V at 2.9 GHz, extrapolating slightly
+    for turbo frequencies.
+    """
+    if freq_ghz <= 0:
+        raise ValueError(f"freq_ghz must be positive, got {freq_ghz}")
+    v_low, f_low = 0.85, 1.2
+    v_high, f_high = 1.20, 2.9
+    slope = (v_high - v_low) / (f_high - f_low)
+    return v_low + slope * (freq_ghz - f_low)
+
+
+def dynamic_power_scale(freq_ghz: float) -> float:
+    """Relative dynamic power ``V(f)^2 * f`` normalized to nominal frequency.
+
+    Returns 1.0 at the nominal (2.9 GHz) frequency.  The power model
+    multiplies per-core dynamic power by this factor.
+    """
+    nominal = voltage_at(NOMINAL_GHZ) ** 2 * NOMINAL_GHZ
+    return (voltage_at(freq_ghz) ** 2 * freq_ghz) / nominal

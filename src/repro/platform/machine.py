@@ -1,0 +1,200 @@
+"""The simulated machine: actuation, execution, and measurement.
+
+:class:`Machine` stands in for the paper's dual-socket Xeon testbed.  The
+runtime actuates it the way the paper's runtime drives Linux (affinity
+masks, cpufrequtils, numactl) — here reduced to :meth:`Machine.apply` — and
+reads it through the same two channels the paper uses: heartbeat rates
+(Application Heartbeats) and power draws (WattsUp / RAPL).
+
+The machine keeps a simulated clock.  :meth:`run_for` advances it, accruing
+heartbeats and energy for whatever application is loaded at whatever
+configuration is applied, with seeded measurement noise so experiments are
+reproducible yet realistically jittery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.platform.config_space import Configuration, ConfigurationSpace
+from repro.platform.performance_model import PerformanceModel
+from repro.platform.power_model import PowerModel
+from repro.platform.thermal import ThermalModel
+from repro.platform.topology import PAPER_TOPOLOGY, Topology
+from repro.workloads.profile import ApplicationProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class Measurement:
+    """One observation window of the running application.
+
+    Attributes:
+        duration: Window length in simulated seconds.
+        heartbeats: Heartbeats completed during the window.
+        rate: Observed heartbeat rate (heartbeats / duration).
+        system_power: Mean wall power over the window (WattsUp channel).
+        chip_power: Mean package power over the window (RAPL channel).
+        energy: System energy consumed over the window, in Joules.
+    """
+
+    duration: float
+    heartbeats: float
+    rate: float
+    system_power: float
+    chip_power: float
+
+    @property
+    def energy(self) -> float:
+        return self.system_power * self.duration
+
+
+class Machine:
+    """A configurable machine executing one application at a time."""
+
+    def __init__(self, topology: Topology = PAPER_TOPOLOGY,
+                 seed: Optional[int] = None,
+                 thermal: Optional[ThermalModel] = None) -> None:
+        self.topology = topology
+        self.performance_model = PerformanceModel(topology)
+        self.power_model = PowerModel(topology)
+        #: Optional package thermal model; None keeps the stationary
+        #: per-configuration behaviour the paper's model assumes.
+        self.thermal = thermal
+        self._rng = np.random.default_rng(seed)
+        self._profile: Optional[ApplicationProfile] = None
+        self._config: Optional[Configuration] = None
+        self.clock = 0.0
+        self.total_energy = 0.0
+        self.total_heartbeats = 0.0
+
+    # ------------------------------------------------------------------
+    # Actuation
+    # ------------------------------------------------------------------
+    def load(self, profile: ApplicationProfile) -> None:
+        """Start running ``profile`` (replacing any previous application)."""
+        self._profile = profile
+        self.total_heartbeats = 0.0
+
+    def apply(self, config: Configuration) -> None:
+        """Switch the machine to ``config`` (affinity + DVFS + numactl)."""
+        if config.cores > self.topology.total_cores:
+            raise ValueError(
+                f"configuration needs {config.cores} cores; machine has "
+                f"{self.topology.total_cores}"
+            )
+        self._config = config
+
+    @property
+    def profile(self) -> Optional[ApplicationProfile]:
+        return self._profile
+
+    @property
+    def config(self) -> Optional[Configuration]:
+        return self._config
+
+    def _require_running(self) -> Tuple[ApplicationProfile, Configuration]:
+        if self._profile is None:
+            raise RuntimeError("no application loaded; call load() first")
+        if self._config is None:
+            raise RuntimeError("no configuration applied; call apply() first")
+        return self._profile, self._config
+
+    # ------------------------------------------------------------------
+    # Ground truth (used by the exhaustive-search baseline and by tests)
+    # ------------------------------------------------------------------
+    def true_rate(self, profile: ApplicationProfile,
+                  config: Configuration) -> float:
+        """Noise-free heartbeat rate of ``profile`` at ``config``."""
+        return self.performance_model.heartbeat_rate(profile, config)
+
+    def true_power(self, profile: ApplicationProfile,
+                   config: Configuration) -> float:
+        """Noise-free system power of ``profile`` at ``config``."""
+        return self.power_model.system_power(profile, config)
+
+    def idle_power(self) -> float:
+        """System power when idling (race-to-idle's post-completion draw)."""
+        return self.power_model.idle_power()
+
+    # ------------------------------------------------------------------
+    # Execution and measurement
+    # ------------------------------------------------------------------
+    def run_for(self, duration: float) -> Measurement:
+        """Advance the simulated clock by ``duration`` seconds.
+
+        Returns the noisy measurement of the window and accrues energy
+        and heartbeats.  Noise is multiplicative Gaussian with the
+        application's per-profile relative standard deviation, averaged
+        over the window (longer windows are less noisy, like a real
+        meter integrating more samples).
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        profile, config = self._require_running()
+        rate = self.true_rate(profile, config)
+        system_power = self.true_power(profile, config)
+        chip_power = self.power_model.chip_power(profile, config)
+
+        if self.thermal is not None:
+            # Throttling derates delivered frequency and chip power for
+            # the window; the board floor and DRAM are unaffected.
+            factor = self.thermal.advance(chip_power, duration)
+            rate *= factor
+            system_power -= chip_power * (1.0 - factor)
+            chip_power *= factor
+
+        # Averaging ~duration independent 1 s samples shrinks the noise.
+        shrink = 1.0 / np.sqrt(max(duration, 1.0))
+        noise = profile.noise * shrink
+        rate_obs = rate * max(self._rng.normal(1.0, noise), 0.0)
+        power_obs = system_power * max(self._rng.normal(1.0, noise), 0.0)
+        chip_obs = chip_power * max(self._rng.normal(1.0, noise), 0.0)
+
+        heartbeats = rate_obs * duration
+        self.clock += duration
+        self.total_energy += power_obs * duration
+        self.total_heartbeats += heartbeats
+        return Measurement(duration=duration, heartbeats=heartbeats,
+                           rate=rate_obs, system_power=power_obs,
+                           chip_power=chip_obs)
+
+    def idle_for(self, duration: float) -> float:
+        """Idle the machine for ``duration`` seconds; returns energy spent."""
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        if self.thermal is not None and duration > 0:
+            self.thermal.advance(0.0, duration)
+        energy = self.idle_power() * duration
+        self.clock += duration
+        self.total_energy += energy
+        return energy
+
+    # ------------------------------------------------------------------
+    # Profiling sweeps
+    # ------------------------------------------------------------------
+    def sweep(self, profile: ApplicationProfile, space: ConfigurationSpace,
+              window: float = 1.0, noisy: bool = True
+              ) -> Tuple[np.ndarray, np.ndarray]:
+        """Measure ``profile`` in every configuration of ``space``.
+
+        Returns ``(rates, powers)`` arrays of length ``len(space)``.  This
+        is the offline profiling campaign (and, with ``noisy=False``, the
+        exhaustive-search ground truth).
+        """
+        previous = (self._profile, self._config)
+        self.load(profile)
+        rates = np.empty(len(space))
+        powers = np.empty(len(space))
+        for i, config in enumerate(space):
+            if noisy:
+                self.apply(config)
+                m = self.run_for(window)
+                rates[i], powers[i] = m.rate, m.system_power
+            else:
+                rates[i] = self.true_rate(profile, config)
+                powers[i] = self.true_power(profile, config)
+        self._profile, self._config = previous
+        return rates, powers

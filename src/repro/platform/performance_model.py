@@ -1,0 +1,102 @@
+"""Analytic performance model of the simulated platform.
+
+Maps an :class:`~repro.workloads.profile.ApplicationProfile` and a
+:class:`~repro.platform.config_space.Configuration` to a ground-truth
+heartbeat rate (heartbeats per second, the paper's performance metric from
+Section 6.1).
+
+The model decomposes per-heartbeat time at the baseline configuration
+(one core, nominal frequency, one memory controller) into compute, memory,
+and I/O portions and scales each with the relevant knobs:
+
+* compute time shrinks with thread-level speedup (Amdahl's law with an
+  effectiveness discount for hyperthread contexts) and with delivered
+  core frequency (including TurboBoost's active-core-dependent bins);
+* memory time shrinks with memory-level parallelism up to the
+  application's sustainable stream count, and with the number of
+  accessible memory controllers;
+* I/O time is invariant.
+
+On top of the decomposition, a contention penalty degrades throughput once
+the thread count exceeds the application's scaling peak, reproducing
+behaviours like kmeans' sharp drop past 8 threads (Section 2).
+"""
+
+from __future__ import annotations
+
+from repro.platform.config_space import Configuration
+from repro.platform.topology import PAPER_TOPOLOGY, Topology
+from repro.workloads.profile import ApplicationProfile
+from repro.platform.dvfs import NOMINAL_GHZ
+
+#: Throughput boost from unlocking the second memory controller for a
+#: fully memory-bound application.  Less memory-bound applications see
+#: proportionally less.
+MEMORY_CONTROLLER_BOOST = 0.7
+
+
+def thread_speedup(profile: ApplicationProfile, config: Configuration) -> float:
+    """Amdahl speedup of the compute portion at ``config``.
+
+    Hyperthread partner contexts contribute ``ht_efficiency`` of a
+    physical core each; negative efficiencies model destructive sharing.
+    """
+    extra = config.threads - config.cores
+    effective = config.cores + profile.ht_efficiency * extra
+    effective = max(effective, 0.1)
+    s = profile.serial_fraction
+    return 1.0 / (s + (1.0 - s) / effective)
+
+
+def contention_penalty(profile: ApplicationProfile, config: Configuration) -> float:
+    """Multiplicative throughput penalty past the scaling peak, in (0, 1]."""
+    over = max(0, config.threads - profile.scaling_peak)
+    return 1.0 / (1.0 + profile.contention_slope * over)
+
+
+def memory_speedup(profile: ApplicationProfile, config: Configuration) -> float:
+    """Speedup of the memory-bound portion at ``config``.
+
+    Memory time shrinks with overlapping streams (bounded by the
+    application's memory-level parallelism) and with controller count.
+    """
+    streams = min(config.threads, profile.memory_parallelism)
+    controllers = 1.0 + MEMORY_CONTROLLER_BOOST * (config.memory_controllers - 1)
+    return streams * controllers
+
+
+class PerformanceModel:
+    """Ground-truth heartbeat-rate model for a fixed topology."""
+
+    def __init__(self, topology: Topology = PAPER_TOPOLOGY) -> None:
+        self.topology = topology
+
+    def heartbeat_rate(self, profile: ApplicationProfile,
+                       config: Configuration) -> float:
+        """Noise-free heartbeats/s of ``profile`` running at ``config``."""
+        if config.cores > self.topology.total_cores:
+            raise ValueError(
+                f"configuration uses {config.cores} cores but the machine "
+                f"has {self.topology.total_cores}"
+            )
+        base_period = 1.0 / profile.base_rate
+        t_cpu0 = base_period * profile.compute_intensity
+        t_mem0 = base_period * profile.memory_intensity
+        t_io0 = base_period * profile.io_intensity
+
+        freq_factor = config.effective_ghz(self.topology.total_cores) / NOMINAL_GHZ
+        t_cpu = t_cpu0 / (thread_speedup(profile, config) * freq_factor)
+        t_mem = t_mem0 / memory_speedup(profile, config)
+        period = t_cpu + t_mem + t_io0
+
+        return contention_penalty(profile, config) / period
+
+    def speedup(self, profile: ApplicationProfile, config: Configuration,
+                baseline: Configuration) -> float:
+        """Rate at ``config`` relative to the rate at ``baseline``.
+
+        The paper reports performance "measured as speedup" in Figures 5
+        and 9; this helper provides the same normalization.
+        """
+        return (self.heartbeat_rate(profile, config)
+                / self.heartbeat_rate(profile, baseline))

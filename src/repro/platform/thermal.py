@@ -1,0 +1,96 @@
+"""First-order thermal model with throttling (optional realism).
+
+The paper's stationary model assumes each configuration has one fixed
+(rate, power) pair.  Real packages are not quite stationary: sustained
+high power heats the die, and past the throttle point the processor
+sheds frequency until it cools.  :class:`ThermalModel` is the standard
+RC lumped model,
+
+    T(t + dt) = T_amb + (T(t) - T_amb) e^{-dt/tau}
+                + P * R * (1 - e^{-dt/tau}),
+
+with hysteresis throttling: above ``throttle_celsius`` the delivered
+frequency (and dynamic power) is derated by ``throttle_factor`` until
+the die cools below ``resume_celsius``.
+
+Disabled by default — every paper experiment runs the stationary model —
+and enabled per machine (``Machine(thermal=ThermalModel())``) for the
+stress tests: a thermal event looks exactly like a workload phase
+change to the runtime, which is precisely what the phase detector is
+for.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass
+class ThermalModel:
+    """Lumped RC package thermal model with hysteresis throttling.
+
+    Attributes:
+        ambient_celsius: Temperature the package relaxes toward.
+        resistance: Junction-to-ambient thermal resistance (C/W) of the
+            chip power above idle.
+        time_constant: RC time constant in seconds.
+        throttle_celsius: Die temperature that trips throttling.
+        resume_celsius: Temperature below which throttling clears.
+        throttle_factor: Frequency/power derate while throttled, (0, 1).
+    """
+
+    ambient_celsius: float = 35.0
+    resistance: float = 0.30
+    time_constant: float = 20.0
+    throttle_celsius: float = 95.0
+    resume_celsius: float = 85.0
+    throttle_factor: float = 0.80
+
+    def __post_init__(self) -> None:
+        if self.resistance <= 0:
+            raise ValueError(f"resistance must be positive, got {self.resistance}")
+        if self.time_constant <= 0:
+            raise ValueError(
+                f"time_constant must be positive, got {self.time_constant}"
+            )
+        if self.resume_celsius >= self.throttle_celsius:
+            raise ValueError(
+                "resume_celsius must be below throttle_celsius "
+                f"({self.resume_celsius} >= {self.throttle_celsius})"
+            )
+        if not 0 < self.throttle_factor < 1:
+            raise ValueError(
+                f"throttle_factor must be in (0, 1), got {self.throttle_factor}"
+            )
+        self.temperature = self.ambient_celsius
+        self.throttled = False
+
+    def advance(self, chip_power: float, duration: float) -> float:
+        """Advance the die state by ``duration`` seconds at ``chip_power``.
+
+        Returns the performance/power derate factor in effect for the
+        window (1.0 when not throttled).  The derate is decided at the
+        window's start (hysteresis state), then the temperature is
+        integrated with the (possibly derated) power.
+        """
+        if chip_power < 0:
+            raise ValueError(f"chip_power must be >= 0, got {chip_power}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+
+        if self.throttled and self.temperature <= self.resume_celsius:
+            self.throttled = False
+        elif not self.throttled and self.temperature >= self.throttle_celsius:
+            self.throttled = True
+        factor = self.throttle_factor if self.throttled else 1.0
+
+        import math
+        decay = math.exp(-duration / self.time_constant)
+        steady = self.ambient_celsius + chip_power * factor * self.resistance
+        self.temperature = steady + (self.temperature - steady) * decay
+        return factor
+
+    def reset(self) -> None:
+        """Return to ambient, unthrottled."""
+        self.temperature = self.ambient_celsius
+        self.throttled = False

@@ -1,0 +1,87 @@
+"""Hardware topology of the simulated test platform.
+
+The paper's testbed is a dual-socket SuperMICRO X9DRL-iF board with two
+Intel Xeon E5-2690 processors (Section 6.1).  Each chip has eight cores,
+two-way hyperthreading, its own memory controller, and a 135 W thermal
+design power.  This module describes that topology so the rest of the
+simulator can reason about which socket a core lives on, how many memory
+controllers a configuration touches, and how many hardware thread contexts
+a core allocation provides.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class Topology:
+    """Static description of the machine's processor topology.
+
+    Attributes:
+        sockets: Number of processor packages.
+        cores_per_socket: Physical cores on each package.
+        threads_per_core: Hardware thread contexts per core (SMT width).
+        memory_controllers: Number of independent memory controllers
+            (one per socket on the paper's testbed).
+        tdp_watts: Thermal design power of a single package.
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 8
+    threads_per_core: int = 2
+    memory_controllers: int = 2
+    tdp_watts: float = 135.0
+
+    def __post_init__(self) -> None:
+        for name in ("sockets", "cores_per_socket", "threads_per_core",
+                     "memory_controllers"):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value < 1:
+                raise ValueError(f"{name} must be a positive integer, got {value!r}")
+        if self.tdp_watts <= 0:
+            raise ValueError(f"tdp_watts must be positive, got {self.tdp_watts!r}")
+        if self.memory_controllers > self.sockets:
+            raise ValueError(
+                "memory_controllers cannot exceed sockets "
+                f"({self.memory_controllers} > {self.sockets})"
+            )
+
+    @property
+    def total_cores(self) -> int:
+        """Total physical cores across all sockets."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def total_threads(self) -> int:
+        """Total hardware thread contexts across all sockets."""
+        return self.total_cores * self.threads_per_core
+
+    def sockets_for_cores(self, cores: int) -> int:
+        """Number of sockets that must be powered to host ``cores`` cores.
+
+        Cores are packed onto sockets in order, mirroring how a process
+        affinity mask that allocates the first k cores spans packages.
+        """
+        if cores < 0:
+            raise ValueError(f"cores must be non-negative, got {cores}")
+        if cores == 0:
+            return 0
+        if cores > self.total_cores:
+            raise ValueError(
+                f"cores {cores} exceeds total physical cores {self.total_cores}"
+            )
+        full, partial = divmod(cores, self.cores_per_socket)
+        return full + (1 if partial else 0)
+
+    def cores_on_socket(self, cores: int, socket: int) -> int:
+        """How many of the first ``cores`` allocated cores land on ``socket``."""
+        if socket < 0 or socket >= self.sockets:
+            raise ValueError(f"socket {socket} out of range [0, {self.sockets})")
+        start = socket * self.cores_per_socket
+        used = min(max(cores - start, 0), self.cores_per_socket)
+        return used
+
+
+#: The topology of the paper's evaluation platform (Section 6.1).
+PAPER_TOPOLOGY = Topology()

@@ -1,0 +1,17 @@
+"""Headless reporting: ASCII plots, CSV export, markdown experiment reports."""
+
+from repro.reporting.ascii_plot import heatmap, histogram, line_chart, sparkline
+from repro.reporting.csv_export import read_series, write_series, write_table
+from repro.reporting.experiment_report import load_results, render_markdown
+
+__all__ = [
+    "heatmap",
+    "histogram",
+    "line_chart",
+    "sparkline",
+    "read_series",
+    "write_series",
+    "write_table",
+    "load_results",
+    "render_markdown",
+]

@@ -1,0 +1,141 @@
+"""Terminal plotting: sparklines and multi-series line charts.
+
+The reproduction is headless (no matplotlib dependency), but the paper's
+figures are curves; these helpers render them legibly in a terminal so
+examples and benchmark printouts can *show* shape, not just numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+_SPARK_BLOCKS = " .:-=+*#%@"
+
+
+def sparkline(values: Sequence[float], width: int = 48) -> str:
+    """One-line density rendering of a curve, min-max normalized."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("cannot sparkline an empty sequence")
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    idx = np.linspace(0, v.size - 1, min(width, v.size)).astype(int)
+    sampled = v[idx]
+    span = float(np.ptp(sampled))
+    if span == 0:
+        return _SPARK_BLOCKS[0] * len(sampled)
+    scaled = (sampled - sampled.min()) / span
+    return "".join(
+        _SPARK_BLOCKS[int(s * (len(_SPARK_BLOCKS) - 1))] for s in scaled)
+
+
+def line_chart(series: Dict[str, Sequence[float]],
+               x: Optional[Sequence[float]] = None,
+               width: int = 64, height: int = 16,
+               title: str = "") -> str:
+    """Multi-series ASCII line chart.
+
+    Args:
+        series: Label -> y-values.  All series must share a length.
+        x: Optional shared x-values (used only for the axis labels).
+        width: Plot width in characters.
+        height: Plot height in rows.
+        title: Optional heading.
+
+    Each series is drawn with its own marker (the first letter of its
+    label); collisions show the later series' marker.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (length,) = lengths
+    if length < 2:
+        raise ValueError("series need at least two points")
+    if width < 8 or height < 4:
+        raise ValueError("width must be >= 8 and height >= 4")
+
+    all_values = np.concatenate([np.asarray(v, dtype=float)
+                                 for v in series.values()])
+    if not np.all(np.isfinite(all_values)):
+        raise ValueError("series must be finite")
+    lo, hi = float(all_values.min()), float(all_values.max())
+    if hi == lo:
+        hi = lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, values in series.items():
+        marker = label[0]
+        v = np.asarray(values, dtype=float)
+        cols = np.linspace(0, width - 1, v.size).astype(int)
+        rows = ((v - lo) / (hi - lo) * (height - 1)).round().astype(int)
+        for col, row in zip(cols, rows):
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{hi:10.3g} +" + "-" * width + "+")
+    for row in grid:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:10.3g} +" + "-" * width + "+")
+    if x is not None:
+        x = np.asarray(x, dtype=float)
+        lines.append(" " * 12 + f"{x.min():<10.3g}"
+                     + " " * max(width - 20, 1) + f"{x.max():>10.3g}")
+    legend = "  ".join(f"{label[0]}={label}" for label in series)
+    lines.append(" " * 12 + legend)
+    return "\n".join(lines)
+
+
+def heatmap(matrix, width: int = 48, height: int = 24,
+            title: str = "", symmetric: bool = False) -> str:
+    """Render a matrix as a character-density heatmap.
+
+    Args:
+        matrix: 2-D array.  Downsampled (by striding) to fit
+            ``height`` x ``width`` cells.
+        symmetric: Scale around zero (for correlation matrices):
+            ``-1 -> ' '``, ``0 -> mid``, ``+1 -> '@'``.  Otherwise
+            min-max scaled.
+    """
+    m = np.asarray(matrix, dtype=float)
+    if m.ndim != 2 or m.size == 0:
+        raise ValueError(f"matrix must be non-empty 2-D, got shape {m.shape}")
+    if not np.all(np.isfinite(m)):
+        raise ValueError("matrix must be finite")
+    rows = np.linspace(0, m.shape[0] - 1, min(height, m.shape[0])).astype(int)
+    cols = np.linspace(0, m.shape[1] - 1, min(width, m.shape[1])).astype(int)
+    sampled = m[np.ix_(rows, cols)]
+    if symmetric:
+        scale = max(float(np.abs(sampled).max()), 1e-12)
+        normalized = (sampled / scale + 1.0) / 2.0
+    else:
+        lo, hi = float(sampled.min()), float(sampled.max())
+        span = max(hi - lo, 1e-12)
+        normalized = (sampled - lo) / span
+    lines = [title] if title else []
+    for row in normalized:
+        lines.append("".join(
+            _SPARK_BLOCKS[int(v * (len(_SPARK_BLOCKS) - 1))] for v in row))
+    return "\n".join(lines)
+
+
+def histogram(values: Sequence[float], bins: int = 10,
+              width: int = 40, title: str = "") -> str:
+    """Horizontal ASCII histogram."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("cannot histogram an empty sequence")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    counts, edges = np.histogram(v, bins=bins)
+    peak = max(int(counts.max()), 1)
+    lines = [title] if title else []
+    for count, lo, hi in zip(counts, edges[:-1], edges[1:]):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{lo:9.3g}, {hi:9.3g}) {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""CSV export of curves and tables.
+
+Downstream users typically want the reproduced series in a form their
+own plotting stack can ingest; these helpers write plain CSV with
+validation, no pandas dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Dict, Sequence, Union
+
+import numpy as np
+
+PathLike = Union[str, pathlib.Path]
+
+
+def write_series(path: PathLike, x_label: str, x: Sequence[float],
+                 series: Dict[str, Sequence[float]]) -> pathlib.Path:
+    """Write aligned series as columns: ``x_label, label1, label2, ...``.
+
+    Raises if any series length disagrees with ``x``.
+    """
+    path = pathlib.Path(path)
+    x = np.asarray(x, dtype=float)
+    if x.size == 0:
+        raise ValueError("x must be non-empty")
+    columns = {}
+    for label, values in series.items():
+        v = np.asarray(values, dtype=float)
+        if v.shape != x.shape:
+            raise ValueError(
+                f"series {label!r} has shape {v.shape}, x has {x.shape}"
+            )
+        columns[label] = v
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([x_label] + list(columns))
+        for i in range(x.size):
+            writer.writerow([repr(float(x[i]))]
+                            + [repr(float(v[i])) for v in columns.values()])
+    return path
+
+
+def write_table(path: PathLike, headers: Sequence[str],
+                rows: Sequence[Sequence[object]]) -> pathlib.Path:
+    """Write a generic table; every row must match the header width."""
+    path = pathlib.Path(path)
+    headers = list(headers)
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    for i, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {i} has {len(row)} cells; expected {len(headers)}"
+            )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+    return path
+
+
+def read_series(path: PathLike) -> Dict[str, np.ndarray]:
+    """Read back a file written by :func:`write_series`.
+
+    Returns a mapping including the x column, keyed by header labels.
+    """
+    path = pathlib.Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        headers = next(reader)
+        data = {h: [] for h in headers}
+        for row in reader:
+            if len(row) != len(headers):
+                raise ValueError(f"malformed row in {path}: {row!r}")
+            for header, cell in zip(headers, row):
+                data[header].append(float(cell))
+    return {h: np.asarray(v) for h, v in data.items()}

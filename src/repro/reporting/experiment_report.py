@@ -1,0 +1,276 @@
+"""Render the benchmark suite's saved results into a markdown report.
+
+``pytest benchmarks/ --benchmark-only`` drops one JSON file per figure/
+table under ``benchmarks/results/``; :func:`render_markdown` turns that
+directory into the paper-vs-measured report that EXPERIMENTS.md is built
+from, so the document can be regenerated after every full run:
+
+    python -m repro.reporting.experiment_report benchmarks/results > EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+from typing import Dict, List, Union
+
+PathLike = Union[str, pathlib.Path]
+
+#: Render order and display titles for the known result files.
+_SECTIONS = [
+    ("fig01_motivation", "Figure 1 — motivational example (kmeans, cores-only space)"),
+    ("fig05_perf_accuracy", "Figure 5 — performance-estimation accuracy"),
+    ("fig06_power_accuracy", "Figure 6 — power-estimation accuracy"),
+    ("fig07_perf_examples", "Figure 7 — performance estimate curves"),
+    ("fig08_power_examples", "Figure 8 — power estimate curves"),
+    ("fig09_pareto", "Figure 9 — Pareto frontiers"),
+    ("fig10_energy_curves", "Figure 10 — energy vs utilization (representatives)"),
+    ("fig11_energy_summary", "Figure 11 — energy normalized to optimal"),
+    ("fig12_sensitivity", "Figure 12 — sensitivity to sample size"),
+    ("fig13_table1_phases", "Figure 13 / Table 1 — dynamic phases"),
+    ("sec67_overhead", "Section 6.7 — overhead"),
+    ("ablation_init", "Ablation — EM initialization"),
+    ("ablation_woodbury", "Ablation — Woodbury vs dense E-step"),
+    ("ablation_lp", "Ablation — hull walk vs simplex"),
+    ("ablation_sampling", "Ablation — sampling strategies"),
+    ("ablation_active", "Ablation — active vs random sampling"),
+    ("ablation_priors", "Ablation — prior-library size"),
+    ("ablation_governor", "Ablation — heuristics ladder (ondemand governor)"),
+    ("ablation_inputs", "Ablation — input drift"),
+    ("ablation_noise", "Ablation — measurement-noise robustness"),
+    ("ablation_thermal", "Ablation — thermal throttling adaptation"),
+    ("ablation_feedback", "Ablation — control strategy on the learned hull"),
+]
+
+
+def load_results(results_dir: PathLike) -> Dict[str, dict]:
+    """Load every ``*.json`` under ``results_dir``, keyed by stem."""
+    results_dir = pathlib.Path(results_dir)
+    if not results_dir.is_dir():
+        raise FileNotFoundError(f"no results directory at {results_dir}")
+    loaded = {}
+    for path in sorted(results_dir.glob("*.json")):
+        loaded[path.stem] = json.loads(path.read_text())
+    if not loaded:
+        raise FileNotFoundError(f"no result JSON files in {results_dir}")
+    return loaded
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _mapping_table(mapping: dict, key_header: str = "key",
+                   value_header: str = "value") -> List[str]:
+    lines = [f"| {key_header} | {value_header} |", "|---|---|"]
+    for key, value in mapping.items():
+        lines.append(f"| {key} | {_fmt(value)} |")
+    return lines
+
+
+def _render_section(name: str, title: str, payload: dict) -> List[str]:
+    lines = [f"## {title}", ""]
+    if name in ("fig05_perf_accuracy", "fig06_power_accuracy"):
+        mean = payload["mean"]
+        paper = payload["paper"]
+        lines += ["| approach | measured mean | paper |", "|---|---|---|"]
+        for approach in ("leo", "online", "offline"):
+            lines.append(f"| {approach} | {mean[approach]:.3f} | "
+                         f"{paper[approach]:.2f} |")
+    elif name == "fig11_energy_summary":
+        overall = payload["overall"]
+        paper = payload["paper"]
+        lines += ["| approach | measured (E/optimal) | paper |",
+                  "|---|---|---|"]
+        for approach in ("leo", "online", "offline", "race-to-idle"):
+            lines.append(f"| {approach} | {overall[approach]:.3f} | "
+                         f"{paper[approach]:.2f} |")
+    elif name == "fig12_sensitivity":
+        lines += ["| samples | leo perf | online perf |", "|---|---|---|"]
+        for i, size in enumerate(payload["sizes"]):
+            lines.append(f"| {size} | {payload['perf']['leo'][i]:.3f} | "
+                         f"{payload['perf']['online'][i]:.3f} |")
+        lines.append("")
+        lines.append(f"Offline reference accuracy: "
+                     f"{payload['offline_perf']:.3f} (perf), "
+                     f"{payload['offline_power']:.3f} (power).")
+    elif name == "fig13_table1_phases":
+        paper = payload["paper"]
+        lines += ["| algorithm | phase 1 | phase 2 | overall | paper |",
+                  "|---|---|---|---|---|"]
+        for approach in ("leo", "online", "offline"):
+            rel = payload["relative"][approach]
+            pap = paper[approach]
+            lines.append(
+                f"| {approach} | {rel[0]:.3f} | {rel[1]:.3f} | "
+                f"{rel[2]:.3f} | {pap[0]:.3f}/{pap[1]:.3f}/{pap[2]:.3f} |")
+    elif name == "fig01_motivation":
+        lines.append(f"True peak: {payload['true_peak']} cores.")
+        lines += _mapping_table(payload["estimated_peaks"],
+                                "approach", "estimated peak (cores)")
+    elif name == "fig07_perf_examples":
+        lines += ["| benchmark | LEO accuracy | true peak | LEO peak |",
+                  "|---|---|---|---|"]
+        for bench, data in payload.items():
+            lines.append(f"| {bench} | {data['accuracy']:.3f} | "
+                         f"{data['true_peak_config']} | "
+                         f"{data['leo_peak_config']} |")
+    elif name == "fig08_power_examples":
+        lines += ["| benchmark | LEO accuracy | MAPE |", "|---|---|---|"]
+        for bench, data in payload.items():
+            lines.append(f"| {bench} | {data['accuracy']:.3f} | "
+                         f"{data['mape']:.3f} |")
+    elif name == "fig09_pareto":
+        lines += ["| benchmark | hull vertices (true / leo) |", "|---|---|"]
+        for bench, hulls in payload.items():
+            true_count = len(hulls.get("true", []))
+            leo_count = len(hulls.get("leo", []))
+            lines.append(f"| {bench} | {true_count} / {leo_count} |")
+        lines.append("")
+        lines.append("Full hull coordinates are in "
+                     "`benchmarks/results/fig09_pareto.json`.")
+    elif name == "fig10_energy_curves":
+        lines += ["| benchmark | leo | online | offline | race-to-idle |",
+                  "|---|---|---|---|---|"]
+        for bench, data in payload.items():
+            scores = data["normalized_mean"]
+            lines.append(
+                f"| {bench} | {scores['leo']:.3f} | "
+                f"{scores['online']:.3f} | {scores['offline']:.3f} | "
+                f"{scores['race-to-idle']:.3f} |")
+        lines.append("")
+        lines.append("Mean energy over the utilization sweep, normalized "
+                     "to optimal; full curves in the JSON.")
+    elif name == "ablation_init":
+        lines += ["| benchmark | offline init | online init | random init |",
+                  "|---|---|---|---|"]
+        for bench, scores in payload.items():
+            lines.append(
+                f"| {bench} | {scores.get('offline', float('nan')):.3f} | "
+                f"{scores.get('online', float('nan')):.3f} | "
+                f"{scores.get('random', float('nan')):.3f} |")
+    elif name == "ablation_woodbury":
+        lines += _mapping_table(payload)
+    elif name == "ablation_lp":
+        lines += _mapping_table({
+            "hull-walk seconds": payload["hull_seconds"],
+            "simplex seconds": payload["simplex_seconds"],
+            "max relative energy gap": max(
+                abs(h - s) / s for h, s in zip(payload["hull_energies"],
+                                               payload["simplex_energies"])),
+        })
+    elif name == "ablation_sampling":
+        strategies = list(payload)
+        benches = list(next(iter(payload.values())))
+        lines += ["| strategy | " + " | ".join(benches) + " |",
+                  "|" + "---|" * (len(benches) + 1)]
+        for strategy in strategies:
+            row = [f"{payload[strategy][b]:.3f}" for b in benches]
+            lines.append(f"| {strategy} | " + " | ".join(row) + " |")
+    elif name == "ablation_active":
+        lines += ["| benchmark | budget | random | active |",
+                  "|---|---|---|---|"]
+        for bench, by_budget in payload.items():
+            for budget, scores in by_budget.items():
+                lines.append(f"| {bench} | {budget} | "
+                             f"{scores['random']:.3f} | "
+                             f"{scores['active']:.3f} |")
+    elif name == "ablation_feedback":
+        lines += ["| benchmark | LP re-solve | hull feedback |",
+                  "|---|---|---|"]
+        for bench, scores in payload.items():
+            lines.append(f"| {bench} | {scores['lp-resolve']:.3f} | "
+                         f"{scores['hull-feedback']:.3f} |")
+    elif name == "ablation_governor":
+        lines += ["| benchmark | leo | ondemand | race-to-idle |",
+                  "|---|---|---|---|"]
+        for bench, scores in payload.items():
+            lines.append(f"| {bench} | {scores['leo']:.3f} | "
+                         f"{scores['ondemand']:.3f} | "
+                         f"{scores['race-to-idle']:.3f} |")
+    elif name == "ablation_inputs":
+        lines += ["| benchmark | leo | online | offline |",
+                  "|---|---|---|---|"]
+        for bench, scores in payload["per_benchmark"].items():
+            lines.append(f"| {bench} | {scores['leo']:.3f} | "
+                         f"{scores['online']:.3f} | "
+                         f"{scores['offline']:.3f} |")
+    elif name == "ablation_priors":
+        lines += ["| prior apps | leo | knn |", "|---|---|---|"]
+        for i, size in enumerate(payload["library_sizes"]):
+            lines.append(f"| {size} | {payload['perf']['leo'][i]:.3f} | "
+                         f"{payload['perf']['knn'][i]:.3f} |")
+    elif name == "ablation_noise":
+        lines += ["| sample noise | leo | online | offline |",
+                  "|---|---|---|---|"]
+        for i, level in enumerate(payload["noise_levels"]):
+            lines.append(
+                f"| {level:.0%} | {payload['perf']['leo'][i]:.3f} | "
+                f"{payload['perf']['online'][i]:.3f} | "
+                f"{payload['perf']['offline'][i]:.3f} |")
+    elif name == "ablation_thermal":
+        lines += ["| runtime | met demand | re-estimations | work fraction |",
+                  "|---|---|---|---|"]
+        for runtime in ("adaptive", "static"):
+            data = payload[runtime]
+            lines.append(
+                f"| {runtime} | {_fmt(data['met'])} | "
+                f"{data['reestimations']} | {data['work_fraction']:.3f} |")
+    elif name == "sec67_overhead":
+        lines += _mapping_table(
+            {"mean fit seconds (both quantities)":
+                 sum(payload["fit_seconds"].values())
+                 / len(payload["fit_seconds"]),
+             "paper fit seconds per quantity":
+                 payload["paper_fit_seconds_per_quantity"],
+             "exhaustive sweep (simulator, s)":
+                 payload["exhaustive_sweep_seconds"]})
+    else:
+        lines.append("```json")
+        lines.append(json.dumps(payload, indent=2, default=float)[:2000])
+        lines.append("```")
+    lines.append("")
+    return lines
+
+
+def render_markdown(results_dir: PathLike) -> str:
+    """Render every known result file into one markdown document."""
+    results = load_results(results_dir)
+    lines = [
+        "# EXPERIMENTS — paper vs measured",
+        "",
+        "Generated from `benchmarks/results/` "
+        "(regenerate with `pytest benchmarks/ --benchmark-only -s` then "
+        "`python -m repro.reporting.experiment_report benchmarks/results`).",
+        "",
+    ]
+    for name, title in _SECTIONS:
+        if name in results:
+            lines += _render_section(name, title, results[name])
+    leftovers = set(results) - {name for name, _ in _SECTIONS}
+    for name in sorted(leftovers):
+        lines += _render_section(name, name, results[name])
+    return "\n".join(lines)
+
+
+def main(argv: List[str]) -> int:
+    """CLI entry point: render a results directory to stdout."""
+    if len(argv) != 1:
+        print("usage: python -m repro.reporting.experiment_report "
+              "<results-dir>", file=sys.stderr)
+        return 2
+    try:
+        sys.stdout.write(render_markdown(argv[0]))
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

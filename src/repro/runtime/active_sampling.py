@@ -1,0 +1,172 @@
+"""Uncertainty-guided calibration: an extension beyond the paper.
+
+The paper samples configurations uniformly at random (Section 6.3) or on
+a grid (Section 2).  But LEO's hierarchical model knows *where it is
+uncertain*: the posterior covariance of the target's latent curve
+(Eq. 3) has high diagonal entries exactly where no observation — of the
+target or of a correlated configuration — constrains the estimate.
+
+:class:`ActiveCalibrator` exploits that: it seeds with a few spread-out
+samples, fits the model through the exact same pipeline the passive
+runtime uses (:class:`~repro.estimators.leo.LEOEstimator` on a
+normalized :class:`~repro.estimators.base.EstimationProblem`), and then
+repeatedly measures the configuration whose posterior variance is
+highest, refitting after each batch.  This is classic Bayesian active
+learning (uncertainty sampling) applied to the paper's model;
+``benchmarks/test_ablation_active.py`` quantifies the benefit against
+random sampling at equal budgets.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from repro.core.em import EMConfig
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.leo import LEOEstimator
+from repro.platform.config_space import ConfigurationSpace
+from repro.platform.machine import Machine
+from repro.runtime.sampling import GridSampler
+from repro.workloads.profile import ApplicationProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class ActiveCalibration:
+    """Result of an active calibration pass.
+
+    Attributes:
+        indices: Configuration indices measured, in acquisition order.
+        rates: Estimated full heartbeat-rate curve.
+        powers: Estimated full power curve.
+        rate_uncertainty: Final posterior standard deviation of the rate
+            curve in the model's standardized space — a relative map of
+            where the model is still unsure.
+        sampling_time: Simulated seconds spent measuring.
+        sampling_energy: Joules spent measuring.
+    """
+
+    indices: np.ndarray
+    rates: np.ndarray
+    powers: np.ndarray
+    rate_uncertainty: np.ndarray
+    sampling_time: float
+    sampling_energy: float
+
+
+class ActiveCalibrator:
+    """Measure where the model is most uncertain, refit, repeat.
+
+    Args:
+        machine: Platform to drive.
+        space: Its configuration space.
+        prior_rates: ``(M-1, n)`` offline rate table.
+        prior_powers: ``(M-1, n)`` offline power table.
+        seed_count: Spread-out samples taken before the first fit.
+        batch_size: Measurements between refits.
+        sample_window: Seconds per measurement.
+        em_config: EM budget per refit (kept small; refits are frequent).
+    """
+
+    def __init__(self, machine: Machine, space: ConfigurationSpace,
+                 prior_rates: np.ndarray, prior_powers: np.ndarray,
+                 seed_count: int = 4, batch_size: int = 2,
+                 sample_window: float = 1.0,
+                 em_config: EMConfig = EMConfig(max_iterations=3,
+                                                tol=1e-4)) -> None:
+        if seed_count < 2:
+            raise ValueError(f"seed_count must be >= 2, got {seed_count}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if sample_window <= 0:
+            raise ValueError(
+                f"sample_window must be positive, got {sample_window}")
+        self.machine = machine
+        self.space = space
+        self.prior_rates = np.asarray(prior_rates, dtype=float)
+        self.prior_powers = np.asarray(prior_powers, dtype=float)
+        self.seed_count = seed_count
+        self.batch_size = batch_size
+        self.sample_window = sample_window
+        self.em_config = em_config
+
+    def calibrate(self, profile: ApplicationProfile,
+                  budget: int) -> ActiveCalibration:
+        """Spend ``budget`` measurements as informatively as possible.
+
+        The rate curve's posterior drives acquisition (performance shape
+        is what varies most across applications); power is refit on the
+        same samples.
+        """
+        n = len(self.space)
+        if not self.seed_count <= budget <= n:
+            raise ValueError(
+                f"budget must be in [{self.seed_count}, {n}], got {budget}"
+            )
+        self.machine.load(profile)
+        clock_before = self.machine.clock
+        energy_before = self.machine.total_energy
+        features = self.space.feature_matrix()
+
+        taken: List[int] = [int(i) for i in
+                            GridSampler().select(n, self.seed_count)]
+        rate_obs: List[float] = []
+        power_obs: List[float] = []
+        for index in taken:
+            rate, power = self._measure(index)
+            rate_obs.append(rate)
+            power_obs.append(power)
+
+        while True:
+            indices = np.array(taken)
+            estimator = LEOEstimator(em_config=self.em_config)
+            rate_problem = EstimationProblem(
+                features=features, prior=self.prior_rates,
+                observed_indices=indices,
+                observed_values=np.array(rate_obs))
+            normalized, scale = normalize_problem(rate_problem)
+            rates = estimator.estimate(normalized) * scale
+            target = estimator.last_fit.observations.target_row
+            stddev = np.sqrt(np.maximum(
+                estimator.last_fit.result.zvar[target], 0.0))
+            if len(taken) >= budget:
+                break
+            for index in self._acquire(stddev, taken, budget):
+                taken.append(index)
+                rate, power = self._measure(index)
+                rate_obs.append(rate)
+                power_obs.append(power)
+
+        power_problem = EstimationProblem(
+            features=features, prior=self.prior_powers,
+            observed_indices=np.array(taken),
+            observed_values=np.array(power_obs))
+        powers = LEOEstimator(em_config=self.em_config).estimate(
+            power_problem)
+
+        return ActiveCalibration(
+            indices=np.array(taken),
+            rates=np.maximum(rates, 1e-12),
+            powers=np.maximum(powers, 1e-12),
+            rate_uncertainty=stddev,
+            sampling_time=self.machine.clock - clock_before,
+            sampling_energy=self.machine.total_energy - energy_before,
+        )
+
+    # ------------------------------------------------------------------
+    def _measure(self, index: int):
+        self.machine.apply(self.space[index])
+        measurement = self.machine.run_for(self.sample_window)
+        return measurement.rate, measurement.system_power
+
+    def _acquire(self, stddev: np.ndarray, taken: List[int],
+                 budget: int) -> List[int]:
+        """Next batch: highest-variance unmeasured configurations."""
+        remaining = budget - len(taken)
+        count = min(self.batch_size, remaining)
+        ranked = stddev.copy()
+        ranked[np.array(taken)] = -np.inf
+        order = np.argsort(ranked)[::-1]
+        return [int(i) for i in order[:count]]

@@ -1,0 +1,428 @@
+"""The LEO runtime: sample, estimate, optimize, actuate (Section 5.4).
+
+:class:`RuntimeController` drives the simulated machine the way the
+paper's runtime drives its server:
+
+1. **Calibrate** — apply a handful of sampled configurations, measure
+   heartbeat rate and power in each (the "minuscule sampling overhead"
+   of Section 6.7), and hand the observations to an estimator to
+   complete both curves.
+2. **Run** — solve the Eq. (1) LP on the estimated tradeoffs, execute
+   the schedule in short quanta, and re-solve each quantum from the
+   *measured* progress, which is the gradient-ascent-style feedback that
+   lets every approach meet its performance goal (Section 6.6).
+3. **Adapt** — optionally watch for phase changes through a
+   :class:`~repro.runtime.phase_detector.PhaseDetector` and re-calibrate
+   when the model stops matching reality.
+
+Energy is accounted on the machine itself, so calibration and
+re-calibration costs are charged to whoever incurs them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from repro.estimators.base import (
+    EstimationProblem,
+    Estimator,
+    InsufficientSamplesError,
+    normalize_problem,
+)
+from repro.optimize.lp import EnergyMinimizer
+from repro.optimize.schedule import Slot
+from repro.platform.config_space import ConfigurationSpace
+from repro.platform.machine import Machine
+from repro.runtime.phase_detector import PhaseDetector
+from repro.runtime.sampling import RandomSampler, Sampler
+from repro.workloads.phases import PhasedWorkload
+from repro.workloads.profile import ApplicationProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class TradeoffEstimate:
+    """Estimated per-configuration rates and powers, with provenance.
+
+    Attributes:
+        rates: Estimated heartbeat rates, shape ``(n,)``, positive.
+        powers: Estimated system powers, shape ``(n,)``, positive.
+        estimator_name: Which approach produced the estimate.
+        sampling_time: Simulated seconds spent measuring samples.
+        sampling_energy: Joules spent measuring samples.
+        sampling_heartbeats: Heartbeats the application completed during
+            the sampling windows (it keeps running while being
+            measured; inline re-calibration credits these to the run).
+        fit_seconds: Wall-clock seconds the estimator itself took — the
+            paper's Section 6.7 overhead figure.
+    """
+
+    rates: np.ndarray
+    powers: np.ndarray
+    estimator_name: str
+    sampling_time: float = 0.0
+    sampling_energy: float = 0.0
+    sampling_heartbeats: float = 0.0
+    fit_seconds: float = 0.0
+
+    @classmethod
+    def from_truth(cls, rates: np.ndarray, powers: np.ndarray
+                   ) -> "TradeoffEstimate":
+        """An oracle estimate: the exhaustive-search ground truth."""
+        return cls(rates=np.asarray(rates, dtype=float),
+                   powers=np.asarray(powers, dtype=float),
+                   estimator_name="exhaustive")
+
+
+@dataclasses.dataclass
+class RunReport:
+    """Outcome of one controlled execution window.
+
+    Attributes:
+        energy: Joules consumed over the window (including any inline
+            re-calibration).
+        work_done: Heartbeats completed.
+        work_target: Heartbeats demanded.
+        deadline: Window length in simulated seconds.
+        met_target: Whether the demand was met (within 1 % tolerance,
+            absorbing measurement noise on the final quantum).
+        reestimations: Phase-change re-calibrations performed.
+        power_trace: Mean power of each executed quantum, for the
+            Figure 13-style time series.
+        rate_trace: Measured rate of each executed quantum.
+    """
+
+    energy: float
+    work_done: float
+    work_target: float
+    deadline: float
+    met_target: bool
+    reestimations: int
+    power_trace: List[float]
+    rate_trace: List[float]
+
+
+class RuntimeController:
+    """Sample/estimate/optimize/actuate loop over a simulated machine.
+
+    Args:
+        machine: The platform to drive.
+        space: Configuration space the machine exposes.
+        estimator: Approach used to complete the sampled curves.  The
+            same instance estimates performance (in normalized space)
+            and power (in absolute watts).
+        prior_rates: ``(M-1, n)`` offline rate table, or ``None``.
+        prior_powers: ``(M-1, n)`` offline power table, or ``None``.
+        sampler: Strategy choosing which configurations to measure.
+        sample_count: Configurations measured per calibration.
+        sample_window: Seconds per sample measurement.
+        quantum_fraction: Control quantum as a fraction of the deadline.
+    """
+
+    def __init__(self, machine: Machine, space: ConfigurationSpace,
+                 estimator: Estimator,
+                 prior_rates: Optional[np.ndarray] = None,
+                 prior_powers: Optional[np.ndarray] = None,
+                 sampler: Optional[Sampler] = None,
+                 sample_count: int = 20,
+                 sample_window: float = 1.0,
+                 quantum_fraction: float = 0.05,
+                 novel_config_tolerance: float = 0.35,
+                 safety_margin: float = 0.04) -> None:
+        if sample_count < 1:
+            raise ValueError(f"sample_count must be >= 1, got {sample_count}")
+        if sample_window <= 0:
+            raise ValueError(f"sample_window must be positive, got {sample_window}")
+        if not 0 < quantum_fraction <= 1:
+            raise ValueError(
+                f"quantum_fraction must be in (0, 1], got {quantum_fraction}"
+            )
+        if novel_config_tolerance <= 0:
+            raise ValueError(
+                f"novel_config_tolerance must be positive, got "
+                f"{novel_config_tolerance}"
+            )
+        if safety_margin < 0:
+            raise ValueError(
+                f"safety_margin must be >= 0, got {safety_margin}"
+            )
+        self.machine = machine
+        self.space = space
+        self.estimator = estimator
+        self.prior_rates = prior_rates
+        self.prior_powers = prior_powers
+        self.sampler = sampler if sampler is not None else RandomSampler()
+        self.sample_count = sample_count
+        self.sample_window = sample_window
+        self.quantum_fraction = quantum_fraction
+        self.novel_config_tolerance = novel_config_tolerance
+        self.safety_margin = safety_margin
+        #: The estimate in force at the end of the most recent run().
+        self.last_estimate: Optional[TradeoffEstimate] = None
+
+    # ------------------------------------------------------------------
+    # Calibration: sample + estimate
+    # ------------------------------------------------------------------
+    def calibrate(self, profile: ApplicationProfile,
+                  sample_count: Optional[int] = None,
+                  sample_window: Optional[float] = None) -> TradeoffEstimate:
+        """Measure sampled configurations and estimate both curves."""
+        count = sample_count if sample_count is not None else self.sample_count
+        window = sample_window if sample_window is not None else self.sample_window
+        self.machine.load(profile)
+        energy_before = self.machine.total_energy
+        clock_before = self.machine.clock
+
+        indices = self.sampler.select(len(self.space), count)
+        rates = np.empty(indices.size)
+        powers = np.empty(indices.size)
+        heartbeats = 0.0
+        for j, i in enumerate(indices):
+            self.machine.apply(self.space[int(i)])
+            measurement = self.machine.run_for(window)
+            rates[j] = measurement.rate
+            powers[j] = measurement.system_power
+            heartbeats += measurement.heartbeats
+
+        features = self.space.feature_matrix()
+        started = time.perf_counter()
+        rate_curve = self._estimate_rates(features, indices, rates)
+        power_curve = self._estimate_powers(features, indices, powers)
+        fit_seconds = time.perf_counter() - started
+
+        return TradeoffEstimate(
+            rates=rate_curve, powers=power_curve,
+            estimator_name=self.estimator.name,
+            sampling_time=self.machine.clock - clock_before,
+            sampling_energy=self.machine.total_energy - energy_before,
+            sampling_heartbeats=heartbeats,
+            fit_seconds=fit_seconds,
+        )
+
+    def _estimate_rates(self, features: np.ndarray, indices: np.ndarray,
+                        rates: np.ndarray) -> np.ndarray:
+        problem = EstimationProblem(
+            features=features, prior=self.prior_rates,
+            observed_indices=indices, observed_values=rates)
+        normalized, scale = normalize_problem(problem)
+        curve = self.estimator.estimate(normalized) * scale
+        return self._clip_positive(curve, rates)
+
+    def _estimate_powers(self, features: np.ndarray, indices: np.ndarray,
+                         powers: np.ndarray) -> np.ndarray:
+        problem = EstimationProblem(
+            features=features, prior=self.prior_powers,
+            observed_indices=indices, observed_values=powers)
+        curve = self.estimator.estimate(problem)
+        return self._clip_positive(curve, powers)
+
+    @staticmethod
+    def _clip_positive(curve: np.ndarray, observations: np.ndarray
+                       ) -> np.ndarray:
+        """Floor estimates at a sliver of the smallest observation.
+
+        Negative rates or powers are physically meaningless and would
+        break the frontier; real observations are strictly positive.
+        """
+        floor = 1e-3 * float(np.min(observations))
+        return np.maximum(curve, max(floor, 1e-12))
+
+    # ------------------------------------------------------------------
+    # Controlled execution
+    # ------------------------------------------------------------------
+    def run(self, profile: ApplicationProfile, work: float, deadline: float,
+            estimate: TradeoffEstimate, adapt: bool = False,
+            detector: Optional[PhaseDetector] = None) -> RunReport:
+        """Execute ``work`` heartbeats of ``profile`` within ``deadline``.
+
+        Re-solves the LP every quantum from measured progress.  With
+        ``adapt=True`` a phase detector may trigger an inline
+        re-calibration, whose time and energy are charged to this run.
+        """
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.machine.load(profile)
+        if adapt and detector is None:
+            detector = PhaseDetector()
+
+        # Local working copies: measured feedback corrects the executed
+        # configurations, which is the runtime's gradient-ascent behaviour
+        # ("all use gradient ascent to increase performance until the
+        # demand is met", Section 6.6).
+        rates = estimate.rates.copy()
+        powers = estimate.powers.copy()
+        minimizer = EnergyMinimizer(rates, powers, self.machine.idle_power())
+        energy_before = self.machine.total_energy
+        quantum = deadline * self.quantum_fraction
+        time_left = deadline
+        work_left = work
+        reestimations = 0
+        visited: set = set()
+        power_trace: List[float] = []
+        rate_trace: List[float] = []
+
+        while time_left > 1e-9 * deadline:
+            step = min(quantum, time_left)
+            if work_left <= 1e-9 * max(work, 1.0):
+                self.machine.idle_for(step)
+                power_trace.append(self.machine.idle_power())
+                rate_trace.append(0.0)
+                time_left -= step
+                continue
+
+            slot = self._next_slot(minimizer, work_left, time_left)
+            if slot is None or slot.config_index is None:
+                self.machine.idle_for(step)
+                power_trace.append(self.machine.idle_power())
+                rate_trace.append(0.0)
+                time_left -= step
+                continue
+            config_index = slot.config_index
+            # Respect the plan: the slow leg only gets its allotted
+            # share of the remaining window (running it longer starves
+            # the fast leg and misses the work target).
+            step = min(step, max(slot.duration, 1e-3 * quantum))
+
+            # Trim the step so the work is not overshot at high power:
+            # once the remaining work needs less than a quantum at this
+            # configuration's (believed) rate, run only that long.
+            believed_rate = float(rates[config_index])
+            if believed_rate > 0:
+                step = min(step, max(work_left / believed_rate, 1e-6))
+            self.machine.apply(self.space[config_index])
+            measurement = self.machine.run_for(step)
+            work_left -= measurement.heartbeats
+            time_left -= step
+            power_trace.append(measurement.system_power)
+            rate_trace.append(measurement.rate)
+
+            # The model's expectation before feedback, for phase detection.
+            expected = float(rates[config_index])
+            deviation = (abs(measurement.rate - expected) / expected
+                         if expected > 0 else 0.0)
+            # Deviation at a previously *measured* configuration is
+            # evidence of a behavioural change; at a first visit it may
+            # just be estimation error, so the bar is higher there.
+            limit = (detector.threshold
+                     if detector is not None and config_index in visited
+                     else self.novel_config_tolerance)
+            anomalous = adapt and detector is not None and deviation > limit
+
+            if anomalous:
+                # Let the detector accumulate evidence instead of
+                # silently absorbing the anomaly into one entry.
+                if detector.update(expected, measurement.rate,
+                                   threshold=limit):
+                    estimate = self._recalibrate(profile, estimate)
+                    rates = estimate.rates.copy()
+                    powers = estimate.powers.copy()
+                    minimizer = EnergyMinimizer(rates, powers,
+                                                self.machine.idle_power())
+                    visited.clear()
+                    reestimations += 1
+                    # Re-calibration consumed wall-clock time, but the
+                    # application kept making progress while sampled.
+                    time_left -= estimate.sampling_time
+                    work_left -= estimate.sampling_heartbeats
+            else:
+                if adapt and detector is not None:
+                    detector.update(expected, measurement.rate,
+                                    threshold=limit)
+                visited.add(config_index)
+                if (abs(measurement.rate - rates[config_index])
+                        > 0.02 * rates[config_index]
+                        or abs(measurement.system_power
+                               - powers[config_index])
+                        > 0.02 * powers[config_index]):
+                    # Routine feedback: fold the measurement into this
+                    # configuration's entry (gradient-ascent correction).
+                    rates[config_index] = measurement.rate
+                    powers[config_index] = measurement.system_power
+                    minimizer = EnergyMinimizer(rates, powers,
+                                                self.machine.idle_power())
+
+        work_done = work - max(work_left, 0.0)
+        #: Exposed so phased runs can carry re-calibrated estimates forward.
+        self.last_estimate = estimate
+        return RunReport(
+            energy=self.machine.total_energy - energy_before,
+            work_done=work_done, work_target=work, deadline=deadline,
+            met_target=work_done >= 0.99 * work,
+            reestimations=reestimations,
+            power_trace=power_trace, rate_trace=rate_trace,
+        )
+
+    def _next_slot(self, minimizer: EnergyMinimizer, work_left: float,
+                   time_left: float) -> Optional[Slot]:
+        """Pick the next residency (configuration + time share).
+
+        Solves the remaining-horizon LP and executes its *slower* slot
+        first (the faster slot retains flexibility for later quanta),
+        bounded by that slot's planned duration.  When the demand
+        exceeds the estimated capacity — the model was too optimistic or
+        time was lost — fall back to the estimated fastest
+        configuration, which is the "gradient ascent until the demand is
+        met" behaviour the paper describes.
+        """
+        required = work_left / time_left
+        if required > minimizer.max_rate:
+            return Slot(int(np.argmax(minimizer.rates)), time_left)
+        # Plan for slightly more work than strictly remains: estimated
+        # rates on the frontier's legs are optimistic on average (the
+        # winner's curse of choosing argmax-looking configurations), and
+        # the margin keeps mid-course shortfalls recoverable.
+        padded_work = min(work_left * (1.0 + self.safety_margin),
+                          minimizer.max_rate * time_left)
+        schedule = minimizer.solve(padded_work, time_left)
+        # Execute the work-bearing legs before the idle leg: under
+        # deadline-energy accounting the order does not change the
+        # energy, and finishing the work early is robust to noise and
+        # quantum granularity.  Among work legs, the slower (cheaper)
+        # one runs first.
+        for slot in schedule:
+            if slot.config_index is not None:
+                return slot
+        return None
+
+    def _recalibrate(self, profile: ApplicationProfile,
+                     previous: TradeoffEstimate) -> TradeoffEstimate:
+        """Inline re-calibration after a detected phase change.
+
+        Uses short sampling windows to bound the disruption.  If the
+        estimator cannot refit (e.g. online regression with too few
+        samples), the previous estimate is kept.
+        """
+        try:
+            return self.calibrate(profile, sample_window=0.25)
+        except InsufficientSamplesError:
+            return previous
+
+    # ------------------------------------------------------------------
+    # Phased workloads (Section 6.6)
+    # ------------------------------------------------------------------
+    def run_phased(self, workload: PhasedWorkload,
+                   estimate: Optional[TradeoffEstimate] = None,
+                   adapt: bool = True) -> List[RunReport]:
+        """Execute a phased workload, one report per phase.
+
+        The first phase's profile is used for initial calibration when
+        no estimate is supplied.  Later phases inherit the most recent
+        estimate; with ``adapt=True`` the detector will notice the model
+        mismatch and trigger re-calibration (the Section 6.6 scenario).
+        """
+        if estimate is None:
+            estimate = self.calibrate(workload.phases[0].profile)
+        detector = PhaseDetector() if adapt else None
+        reports: List[RunReport] = []
+        for phase in workload:
+            report = self.run(phase.profile, work=float(phase.frames),
+                              deadline=phase.duration, estimate=estimate,
+                              adapt=adapt, detector=detector)
+            estimate = self.last_estimate
+            reports.append(report)
+        return reports

@@ -1,0 +1,128 @@
+"""Persisting calibrated tradeoff estimates across runs.
+
+"After executing this algorithm, the models are sufficient for making
+predictions and LEO does not need to be executed again for the life of
+the application under control" (Section 6.7).  Deployments extend that
+lifetime across process restarts by persisting the fitted curves:
+:class:`EstimateStore` keeps one record per (application, space size,
+estimator) on disk, so a returning application skips calibration
+entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import re
+from typing import List, Optional, Union
+
+import numpy as np
+
+from repro.runtime.controller import TradeoffEstimate
+
+PathLike = Union[str, pathlib.Path]
+
+_KEY_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _slug(text: str) -> str:
+    slug = _KEY_SANITIZER.sub("-", text).strip("-")
+    if not slug:
+        raise ValueError(f"cannot derive a storage key from {text!r}")
+    return slug
+
+
+class EstimateStore:
+    """A directory of persisted :class:`TradeoffEstimate` records.
+
+    Records are ``.npz`` files named ``{app}--{n}--{estimator}.npz``
+    with a JSON metadata sidecar embedded in the archive.  Loading
+    validates that the stored curve matches the requested configuration
+    count, so a model fitted on one space cannot silently drive another.
+    """
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, app_name: str, num_configs: int,
+              estimator_name: str) -> pathlib.Path:
+        return self.directory / (
+            f"{_slug(app_name)}--{num_configs}--"
+            f"{_slug(estimator_name)}.npz"
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, app_name: str, estimate: TradeoffEstimate
+             ) -> pathlib.Path:
+        """Persist one estimate; returns the record path."""
+        if estimate.rates.ndim != 1 or estimate.rates.shape != \
+                estimate.powers.shape:
+            raise ValueError("estimate curves must be aligned 1-D arrays")
+        path = self._path(app_name, estimate.rates.size,
+                          estimate.estimator_name)
+        meta = json.dumps({
+            "app": app_name,
+            "estimator": estimate.estimator_name,
+            "sampling_time": estimate.sampling_time,
+            "sampling_energy": estimate.sampling_energy,
+            "fit_seconds": estimate.fit_seconds,
+        })
+        np.savez_compressed(path, rates=estimate.rates,
+                            powers=estimate.powers,
+                            meta=np.array(meta))
+        return path
+
+    def load(self, app_name: str, num_configs: int,
+             estimator_name: str) -> Optional[TradeoffEstimate]:
+        """Fetch a stored estimate, or ``None`` if absent."""
+        path = self._path(app_name, num_configs, estimator_name)
+        if not path.exists():
+            return None
+        with np.load(path, allow_pickle=False) as data:
+            rates = data["rates"]
+            powers = data["powers"]
+            meta = json.loads(str(data["meta"]))
+        if rates.size != num_configs:
+            raise ValueError(
+                f"stored estimate for {app_name!r} covers {rates.size} "
+                f"configurations, expected {num_configs}"
+            )
+        return TradeoffEstimate(
+            rates=rates, powers=powers,
+            estimator_name=meta["estimator"],
+            sampling_time=meta.get("sampling_time", 0.0),
+            sampling_energy=meta.get("sampling_energy", 0.0),
+            fit_seconds=meta.get("fit_seconds", 0.0),
+        )
+
+    def delete(self, app_name: str, num_configs: int,
+               estimator_name: str) -> bool:
+        """Remove a record; returns whether one existed."""
+        path = self._path(app_name, num_configs, estimator_name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def known_applications(self) -> List[str]:
+        """Application slugs with at least one stored record."""
+        names = {p.name.split("--")[0] for p in
+                 self.directory.glob("*--*--*.npz")}
+        return sorted(names)
+
+    def get_or_calibrate(self, app_name, controller, profile
+                         ) -> TradeoffEstimate:
+        """Load a stored estimate or calibrate-and-store a fresh one.
+
+        The amortization pattern of Section 6.7 across process
+        lifetimes: the first run pays the calibration cost, every later
+        run starts from the persisted model.
+        """
+        cached = self.load(app_name, len(controller.space),
+                           controller.estimator.name)
+        if cached is not None:
+            return cached
+        estimate = controller.calibrate(profile)
+        self.save(app_name, estimate)
+        return estimate

@@ -1,0 +1,111 @@
+"""The race-to-idle heuristic (Sections 2 and 6.2).
+
+"This approach allocates all resources to the application and once it is
+finished the system goes to idle.  This strategy incurs almost no runtime
+overhead, but may be suboptimal in terms of energy, since maximum
+resource allocation is not always the best solution."
+
+Unlike the estimating approaches, race-to-idle needs no model at all: it
+simply applies the all-resources configuration (every core, both
+hyperthreads, both memory controllers, TurboBoost) and runs until the
+work completes, then idles out the window.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.platform.config_space import Configuration, ConfigurationSpace
+from repro.platform.machine import Machine
+from repro.runtime.controller import RunReport
+from repro.workloads.profile import ApplicationProfile
+
+
+def all_resources_config(space: ConfigurationSpace) -> Configuration:
+    """The configuration allocating the most of every knob in ``space``.
+
+    Resolution order mirrors the heuristic's intent: most threads, most
+    cores, most memory controllers, highest speed setting.
+    """
+    return max(
+        space,
+        key=lambda c: (c.threads, c.cores, c.memory_controllers, c.speed.index),
+    )
+
+
+class RaceToIdleController:
+    """Run flat out, then idle (no estimation, no optimization)."""
+
+    def __init__(self, machine: Machine, space: ConfigurationSpace,
+                 quantum_fraction: float = 0.05) -> None:
+        if not 0 < quantum_fraction <= 1:
+            raise ValueError(
+                f"quantum_fraction must be in (0, 1], got {quantum_fraction}"
+            )
+        self.machine = machine
+        self.space = space
+        self.quantum_fraction = quantum_fraction
+
+    def run(self, profile: ApplicationProfile, work: float,
+            deadline: float) -> RunReport:
+        """Race through ``work`` heartbeats, then idle until ``deadline``."""
+        if work < 0:
+            raise ValueError(f"work must be >= 0, got {work}")
+        if deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {deadline}")
+        self.machine.load(profile)
+        config = all_resources_config(self.space)
+        self.machine.apply(config)
+
+        energy_before = self.machine.total_energy
+        quantum = deadline * self.quantum_fraction
+        time_left = deadline
+        work_left = work
+        power_trace: List[float] = []
+        rate_trace: List[float] = []
+
+        last_rate = 0.0
+        while time_left > 1e-9 * deadline and work_left > 1e-9 * max(work, 1.0):
+            step = min(quantum, time_left)
+            if last_rate > 0:
+                # Trim the final quantum to the time the remaining work
+                # actually needs (estimated from the measured rate).
+                step = min(step, max(work_left / last_rate, 1e-6))
+            measurement = self.machine.run_for(step)
+            last_rate = measurement.rate
+            work_left -= measurement.heartbeats
+            time_left -= step
+            power_trace.append(measurement.system_power)
+            rate_trace.append(measurement.rate)
+        if time_left > 0:
+            self.machine.idle_for(time_left)
+            power_trace.append(self.machine.idle_power())
+            rate_trace.append(0.0)
+
+        work_done = work - max(work_left, 0.0)
+        return RunReport(
+            energy=self.machine.total_energy - energy_before,
+            work_done=work_done, work_target=work, deadline=deadline,
+            met_target=work_done >= 0.99 * work, reestimations=0,
+            power_trace=power_trace, rate_trace=rate_trace,
+        )
+
+
+def race_to_idle_energy(rates: np.ndarray, powers: np.ndarray,
+                        race_index: int, idle_power: float, work: float,
+                        deadline: float) -> float:
+    """Closed-form race-to-idle energy under known true tradeoffs.
+
+    Used by analytic experiments: run configuration ``race_index`` for
+    ``work / rate`` seconds, idle for the rest of the window.
+    """
+    rate = float(rates[race_index])
+    if rate <= 0:
+        raise ValueError("race configuration must have a positive rate")
+    runtime = work / rate
+    if runtime > deadline * (1 + 1e-9):
+        raise ValueError("race configuration cannot meet the deadline")
+    runtime = min(runtime, deadline)
+    return float(powers[race_index]) * runtime + idle_power * (deadline - runtime)

@@ -1,0 +1,22 @@
+"""Measurement substrate: power meters, energy integration, heartbeats."""
+
+from repro.telemetry.energy import (
+    average_power,
+    energy_of_log,
+    energy_of_measurements,
+    integrate_power,
+)
+from repro.telemetry.heartbeats import HeartbeatMonitor, HeartbeatRecord
+from repro.telemetry.power_meter import PowerSample, RaplMeter, WattsUpMeter
+
+__all__ = [
+    "average_power",
+    "energy_of_log",
+    "energy_of_measurements",
+    "integrate_power",
+    "HeartbeatMonitor",
+    "HeartbeatRecord",
+    "PowerSample",
+    "RaplMeter",
+    "WattsUpMeter",
+]

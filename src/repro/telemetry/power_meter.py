@@ -1,0 +1,113 @@
+"""Simulated power meters: WattsUp (system) and RAPL (chip).
+
+The paper instruments its testbed with a WattsUp wall meter providing
+total-system power at 1 s intervals and Intel's RAPL counters providing
+chip power for both sockets at finer grain (Section 6.1).  These classes
+reproduce that measurement stack on top of the simulated machine: each
+meter samples the machine's ground-truth draw through its own noise and
+quantization, and keeps a timestamped log that
+:mod:`repro.telemetry.energy` can integrate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+import numpy as np
+
+from repro.platform.machine import Machine
+
+
+@dataclasses.dataclass(frozen=True)
+class PowerSample:
+    """One meter reading: simulated timestamp (s) and power (W)."""
+
+    time: float
+    watts: float
+
+
+class _MeterBase:
+    """Shared machinery for sampling meters."""
+
+    def __init__(self, machine: Machine, period: float, noise_std: float,
+                 quantum: float, seed: int = 0) -> None:
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if noise_std < 0:
+            raise ValueError(f"noise_std must be non-negative, got {noise_std}")
+        if quantum < 0:
+            raise ValueError(f"quantum must be non-negative, got {quantum}")
+        self.machine = machine
+        self.period = period
+        self.noise_std = noise_std
+        self.quantum = quantum
+        self._rng = np.random.default_rng(seed)
+        self.log: List[PowerSample] = []
+
+    def _true_watts(self) -> float:
+        raise NotImplementedError
+
+    def sample(self) -> PowerSample:
+        """Take one reading of the machine's current draw."""
+        watts = self._true_watts() + self._rng.normal(0.0, self.noise_std)
+        if self.quantum > 0:
+            watts = round(watts / self.quantum) * self.quantum
+        watts = max(watts, 0.0)
+        reading = PowerSample(time=self.machine.clock, watts=watts)
+        self.log.append(reading)
+        return reading
+
+    def record_window(self, duration: float) -> List[PowerSample]:
+        """Run the machine for ``duration`` while sampling every period.
+
+        Returns the samples taken during the window.  The machine is
+        advanced in whole meter periods plus a fractional remainder, so
+        the machine clock ends exactly ``duration`` later.
+        """
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        taken: List[PowerSample] = []
+        remaining = duration
+        while remaining > 1e-12:
+            step = min(self.period, remaining)
+            self.machine.run_for(step)
+            taken.append(self.sample())
+            remaining -= step
+        return taken
+
+    def reset(self) -> None:
+        """Clear the sample log."""
+        self.log.clear()
+
+
+class WattsUpMeter(_MeterBase):
+    """Wall meter: total system power at 1 s granularity, 0.1 W steps."""
+
+    def __init__(self, machine: Machine, period: float = 1.0,
+                 noise_std: float = 1.5, quantum: float = 0.1,
+                 seed: int = 0) -> None:
+        super().__init__(machine, period, noise_std, quantum, seed)
+
+    def _true_watts(self) -> float:
+        profile, config = self.machine.profile, self.machine.config
+        if profile is None or config is None:
+            return self.machine.idle_power()
+        return self.machine.true_power(profile, config)
+
+
+class RaplMeter(_MeterBase):
+    """On-chip energy counters: package power at fine (50 ms) granularity."""
+
+    def __init__(self, machine: Machine, period: float = 0.05,
+                 noise_std: float = 0.4, quantum: float = 0.0,
+                 seed: int = 0) -> None:
+        super().__init__(machine, period, noise_std, quantum, seed)
+
+    def _true_watts(self) -> float:
+        profile, config = self.machine.profile, self.machine.config
+        if profile is None or config is None:
+            # Idle packages: uncore trickle only.
+            return 0.25 * (self.machine.topology.sockets
+                           * self.machine.power_model.constants.uncore_per_socket)
+        return self.machine.power_model.chip_power(profile, config)

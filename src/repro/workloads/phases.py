@@ -1,0 +1,114 @@
+"""Phased workloads for the dynamic-adaptation experiment (Section 6.6).
+
+The paper runs fluidanimate, "which renders frames, with an input that has
+two distinct phases.  Both phases must be completed in the same time, but
+the second phase requires significantly less work.  In particular, the
+second phase requires 2/3 the resources of the first phase."
+
+A :class:`Phase` pairs an application profile (the behaviour during the
+phase) with a frame count and a per-frame deadline; a
+:class:`PhasedWorkload` strings phases together and exposes the points
+where the runtime must detect and react to the change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List, Sequence
+
+from repro.workloads.profile import ApplicationProfile
+
+
+@dataclasses.dataclass(frozen=True)
+class Phase:
+    """One phase of a phased workload.
+
+    Attributes:
+        profile: Application behaviour during the phase.  Lighter phases
+            are the same application with cheaper heartbeats, i.e. a
+            higher base rate (see :meth:`ApplicationProfile.scaled`).
+        frames: Number of heartbeats (frames) the phase comprises.
+        frame_deadline: Wall-clock seconds available per frame; the
+            performance constraint is ``1 / frame_deadline`` frames/s.
+    """
+
+    profile: ApplicationProfile
+    frames: int
+    frame_deadline: float
+
+    def __post_init__(self) -> None:
+        if self.frames < 1:
+            raise ValueError(f"frames must be >= 1, got {self.frames}")
+        if self.frame_deadline <= 0:
+            raise ValueError(
+                f"frame_deadline must be positive, got {self.frame_deadline}"
+            )
+
+    @property
+    def target_rate(self) -> float:
+        """Required heartbeat rate to meet the per-frame deadline."""
+        return 1.0 / self.frame_deadline
+
+    @property
+    def duration(self) -> float:
+        """Wall-clock length of the phase when deadlines are met exactly."""
+        return self.frames * self.frame_deadline
+
+
+class PhasedWorkload:
+    """A sequence of phases executed back to back."""
+
+    def __init__(self, phases: Sequence[Phase], name: str = "phased") -> None:
+        if not phases:
+            raise ValueError("a phased workload needs at least one phase")
+        self.phases: List[Phase] = list(phases)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.phases)
+
+    def __iter__(self) -> Iterator[Phase]:
+        return iter(self.phases)
+
+    @property
+    def total_frames(self) -> int:
+        return sum(phase.frames for phase in self.phases)
+
+    @property
+    def total_duration(self) -> float:
+        return sum(phase.duration for phase in self.phases)
+
+    def phase_boundaries(self) -> List[int]:
+        """Frame indices at which a new phase begins (excluding frame 0)."""
+        boundaries = []
+        total = 0
+        for phase in self.phases[:-1]:
+            total += phase.frames
+            boundaries.append(total)
+        return boundaries
+
+
+def fluidanimate_two_phase(base_profile: ApplicationProfile,
+                           frames_per_phase: int = 100,
+                           frame_deadline: float = 0.25,
+                           work_ratio: float = 2.0 / 3.0) -> PhasedWorkload:
+    """The Section 6.6 workload: two phases, second needs 2/3 the resources.
+
+    Args:
+        base_profile: Behaviour of the heavy first phase (fluidanimate).
+        frames_per_phase: Frames rendered in each phase.
+        frame_deadline: Real-time deadline per frame, identical across
+            phases ("both phases must be completed in the same time").
+        work_ratio: Per-frame work of phase 2 relative to phase 1.
+    """
+    if not 0 < work_ratio <= 1:
+        raise ValueError(f"work_ratio must be in (0, 1], got {work_ratio}")
+    light_profile = base_profile.scaled(
+        work_ratio, name=f"{base_profile.name}-light")
+    return PhasedWorkload(
+        phases=[
+            Phase(base_profile, frames_per_phase, frame_deadline),
+            Phase(light_profile, frames_per_phase, frame_deadline),
+        ],
+        name=f"{base_profile.name}-two-phase",
+    )

@@ -1,0 +1,131 @@
+"""Behavioural profiles of applications running on the simulated platform.
+
+The paper's evaluation rests on the *diversity* of its 25 benchmarks: some
+scale to all 32 hardware contexts, some peak at 8 cores and then degrade
+sharply (kmeans), some are memory- or I/O-bound and gain little from
+frequency.  An :class:`ApplicationProfile` captures exactly those
+behavioural dimensions, and the platform's performance/power models
+(:mod:`repro.platform.performance_model`, :mod:`repro.platform.power_model`)
+map a profile plus a configuration to a heartbeat rate and a power draw.
+
+A profile is a *ground truth* description; estimators never see it.  They
+only see the (noisy) rates and powers the simulated machine reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+@dataclasses.dataclass(frozen=True)
+class ApplicationProfile:
+    """Ground-truth behavioural parameters of one application.
+
+    Attributes:
+        name: Benchmark name (e.g. ``"kmeans"``).
+        base_rate: Heartbeats per second on one core at nominal frequency
+            with one memory controller.  Sets the scale of the
+            application's performance curve.
+        serial_fraction: Amdahl's-law serial portion of the computation,
+            in [0, 1).  Limits achievable speedup.
+        scaling_peak: Thread count at which useful scaling ends.  Beyond
+            it, synchronization/contention overhead grows.
+        contention_slope: How sharply performance degrades past
+            ``scaling_peak`` (0 means it merely flattens, as for x264;
+            large values mean a sharp drop, as for kmeans).
+        memory_intensity: Fraction of per-heartbeat time spent waiting on
+            memory at the baseline configuration, in [0, 1].  Memory time
+            does not speed up with core frequency but does benefit from a
+            second memory controller and from memory-level parallelism.
+        io_intensity: Fraction of per-heartbeat time spent in I/O at the
+            baseline configuration, in [0, 1].  I/O time is insensitive
+            to every knob (filebound, swish).
+        ht_efficiency: How much useful work a hyperthread partner context
+            contributes relative to a physical core, in [-0.5, 1].
+            Negative values model applications that hyperthreading
+            actively hurts (cache-thrashing kernels).
+        memory_parallelism: Number of concurrent memory streams the
+            application can sustain; memory time stops shrinking once
+            thread-level parallelism exceeds it.
+        activity_factor: Average switching activity of an active core
+            relative to a power-virus workload, in (0, 1].  Compute-dense
+            codes draw more dynamic power than stall-heavy ones.
+        noise: Relative standard deviation of run-to-run measurement
+            noise applied by the simulated machine.
+    """
+
+    name: str
+    base_rate: float
+    serial_fraction: float
+    scaling_peak: int
+    contention_slope: float
+    memory_intensity: float
+    io_intensity: float
+    ht_efficiency: float
+    memory_parallelism: float
+    activity_factor: float
+    noise: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("profile name must be non-empty")
+        if self.base_rate <= 0:
+            raise ValueError(f"base_rate must be positive, got {self.base_rate}")
+        if not 0.0 <= self.serial_fraction < 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1), got {self.serial_fraction}"
+            )
+        if self.scaling_peak < 1:
+            raise ValueError(f"scaling_peak must be >= 1, got {self.scaling_peak}")
+        if self.contention_slope < 0:
+            raise ValueError(
+                f"contention_slope must be non-negative, got {self.contention_slope}"
+            )
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise ValueError(
+                f"memory_intensity must be in [0, 1], got {self.memory_intensity}"
+            )
+        if not 0.0 <= self.io_intensity <= 1.0:
+            raise ValueError(
+                f"io_intensity must be in [0, 1], got {self.io_intensity}"
+            )
+        if self.memory_intensity + self.io_intensity > 1.0:
+            raise ValueError(
+                "memory_intensity + io_intensity must not exceed 1 "
+                f"(got {self.memory_intensity} + {self.io_intensity})"
+            )
+        if not -0.5 <= self.ht_efficiency <= 1.0:
+            raise ValueError(
+                f"ht_efficiency must be in [-0.5, 1], got {self.ht_efficiency}"
+            )
+        if self.memory_parallelism < 1:
+            raise ValueError(
+                f"memory_parallelism must be >= 1, got {self.memory_parallelism}"
+            )
+        if not 0.0 < self.activity_factor <= 1.0:
+            raise ValueError(
+                f"activity_factor must be in (0, 1], got {self.activity_factor}"
+            )
+        if self.noise < 0:
+            raise ValueError(f"noise must be non-negative, got {self.noise}")
+
+    @property
+    def compute_intensity(self) -> float:
+        """Fraction of baseline time spent in frequency-sensitive compute."""
+        return 1.0 - self.memory_intensity - self.io_intensity
+
+    def scaled(self, work_scale: float, name: str = "") -> "ApplicationProfile":
+        """A copy whose computational demand is scaled by ``work_scale``.
+
+        Used to build phased workloads (Section 6.6): a phase that needs
+        2/3 of the resources of another is the same application with its
+        per-heartbeat work scaled by 2/3, i.e. its base rate scaled by
+        ``1 / work_scale``.
+        """
+        if work_scale <= 0:
+            raise ValueError(f"work_scale must be positive, got {work_scale}")
+        return dataclasses.replace(
+            self,
+            name=name or f"{self.name}@x{work_scale:g}",
+            base_rate=self.base_rate / work_scale,
+        )

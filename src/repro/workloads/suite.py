@@ -1,0 +1,107 @@
+"""The 25-benchmark suite of the paper's evaluation (Section 6.1).
+
+The paper evaluates on 25 applications drawn from PARSEC (blackscholes,
+bodytrack, fluidanimate, swaptions, x264), Minebench (ScalParC, apr,
+semphy, svmrfe, kmeans, HOP, PLSA, kmeansnf), Rodinia (cfd, nn, lud,
+particlefilter, vips, btree, streamcluster, backprop, bfs), plus a PDE
+solver (jacobi), a file-intensive benchmark (filebound), and the swish++
+search web server.
+
+Each profile below is a synthetic stand-in whose parameters are chosen to
+reproduce the behaviour the paper documents, most importantly:
+
+* **kmeans** scales well to 8 threads and then degrades sharply
+  (Section 2: "the application scales well to 8 cores, but its
+  performance degrades sharply with more");
+* **swish** peaks at 16 threads (Section 6.3) and, as a web server,
+  carries substantial I/O time;
+* **x264** is "(essentially) constant after 16 cores" (Section 6.3);
+* the remainder span compute-bound, memory-bandwidth-bound, and
+  I/O-bound behaviours with heartbeat rates over several orders of
+  magnitude (kmeans clusters thousands of samples per second; semphy is
+  the slowest application, x264 encodes ~10 frames per second).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.workloads.profile import ApplicationProfile
+
+#: Benchmark-suite membership, as listed in Section 6.1.
+SUITE_MEMBERSHIP: Dict[str, str] = {
+    "blackscholes": "parsec", "bodytrack": "parsec", "fluidanimate": "parsec",
+    "swaptions": "parsec", "x264": "parsec",
+    "scalparc": "minebench", "apr": "minebench", "semphy": "minebench",
+    "svmrfe": "minebench", "kmeans": "minebench", "hop": "minebench",
+    "plsa": "minebench", "kmeansnf": "minebench",
+    "cfd": "rodinia", "nn": "rodinia", "lud": "rodinia",
+    "particlefilter": "rodinia", "vips": "rodinia", "btree": "rodinia",
+    "streamcluster": "rodinia", "backprop": "rodinia", "bfs": "rodinia",
+    "jacobi": "other", "filebound": "other", "swish": "other",
+}
+
+
+def _p(name: str, base_rate: float, serial: float, peak: int, slope: float,
+       mem: float, io: float, ht: float, mlp: float, act: float,
+       noise: float = 0.01) -> ApplicationProfile:
+    return ApplicationProfile(
+        name=name, base_rate=base_rate, serial_fraction=serial,
+        scaling_peak=peak, contention_slope=slope, memory_intensity=mem,
+        io_intensity=io, ht_efficiency=ht, memory_parallelism=mlp,
+        activity_factor=act, noise=noise,
+    )
+
+
+_PROFILES: List[ApplicationProfile] = [
+    # PARSEC ----------------------------------------------------------------
+    _p("blackscholes", 120.0, 0.02, 32, 0.000, 0.05, 0.00, 0.70, 8, 0.95),
+    _p("bodytrack",     40.0, 0.08, 24, 0.010, 0.15, 0.00, 0.50, 8, 0.85),
+    _p("fluidanimate",  30.0, 0.05, 32, 0.005, 0.25, 0.00, 0.45, 12, 0.80),
+    _p("swaptions",     80.0, 0.01, 32, 0.000, 0.03, 0.00, 0.75, 4, 0.97),
+    _p("x264",          12.0, 0.06, 16, 0.002, 0.20, 0.02, 0.30, 8, 0.85),
+    # Minebench -------------------------------------------------------------
+    _p("scalparc",      25.0, 0.10, 16, 0.020, 0.30, 0.00, 0.30, 10, 0.75),
+    _p("apr",           18.0, 0.15, 12, 0.030, 0.25, 0.05, 0.20, 8, 0.70),
+    _p("semphy",         0.6, 0.12, 20, 0.015, 0.20, 0.00, 0.40, 8, 0.80),
+    _p("svmrfe",        15.0, 0.05, 24, 0.008, 0.35, 0.00, 0.35, 12, 0.75),
+    _p("kmeans",      5000.0, 0.03,  8, 0.120, 0.30, 0.00, -0.20, 8, 0.80),
+    _p("hop",         2000.0, 0.07, 12, 0.050, 0.25, 0.00, 0.00, 8, 0.75),
+    _p("plsa",          10.0, 0.09, 16, 0.020, 0.30, 0.00, 0.25, 10, 0.75),
+    _p("kmeansnf",    4000.0, 0.04, 10, 0.090, 0.28, 0.00, -0.10, 8, 0.80),
+    # Rodinia ---------------------------------------------------------------
+    _p("cfd",            8.0, 0.04, 28, 0.004, 0.45, 0.00, 0.30, 16, 0.70),
+    _p("nn",           600.0, 0.02, 32, 0.000, 0.55, 0.00, 0.50, 24, 0.60),
+    _p("lud",           35.0, 0.15, 14, 0.025, 0.20, 0.00, 0.20, 8, 0.85),
+    _p("particlefilter", 50.0, 0.06, 26, 0.006, 0.15, 0.00, 0.55, 8, 0.85),
+    _p("vips",          22.0, 0.05, 30, 0.003, 0.25, 0.05, 0.45, 12, 0.80),
+    _p("btree",        900.0, 0.10, 18, 0.020, 0.40, 0.05, 0.30, 16, 0.65),
+    _p("streamcluster", 15.0, 0.03, 32, 0.001, 0.60, 0.00, 0.60, 28, 0.60),
+    _p("backprop",      70.0, 0.08, 20, 0.012, 0.35, 0.00, 0.35, 12, 0.75),
+    _p("bfs",          250.0, 0.12, 10, 0.040, 0.50, 0.00, 0.10, 10, 0.60),
+    # Others ----------------------------------------------------------------
+    _p("jacobi",        45.0, 0.02, 32, 0.000, 0.65, 0.00, 0.55, 30, 0.55),
+    _p("filebound",    150.0, 0.22,  6, 0.015, 0.15, 0.35, 0.05, 6, 0.45),
+    _p("swish",        350.0, 0.05, 16, 0.060, 0.15, 0.30, 0.10, 8, 0.55),
+]
+
+
+def paper_suite() -> List[ApplicationProfile]:
+    """The 25 benchmark profiles, in the paper's listing order."""
+    return list(_PROFILES)
+
+
+def benchmark_names() -> List[str]:
+    """Names of the 25 benchmarks."""
+    return [p.name for p in _PROFILES]
+
+
+def get_benchmark(name: str) -> ApplicationProfile:
+    """Look up one benchmark profile by name (case-insensitive)."""
+    wanted = name.lower()
+    for profile in _PROFILES:
+        if profile.name == wanted:
+            return profile
+    raise KeyError(
+        f"unknown benchmark {name!r}; known: {', '.join(benchmark_names())}"
+    )

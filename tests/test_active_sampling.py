@@ -1,0 +1,129 @@
+"""Tests for repro.runtime.active_sampling (uncertainty-guided calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import accuracy
+from repro.platform.machine import Machine
+from repro.runtime.active_sampling import ActiveCalibrator
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture()
+def calibrator(cores_space, cores_dataset):
+    view = cores_dataset.leave_one_out("kmeans")
+    return ActiveCalibrator(
+        machine=Machine(seed=21), space=cores_space,
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+        seed_count=4, batch_size=2)
+
+
+class TestValidation:
+    def test_constructor_bounds(self, cores_space, cores_dataset):
+        view = cores_dataset.leave_one_out("kmeans")
+        kwargs = dict(machine=Machine(), space=cores_space,
+                      prior_rates=view.prior_rates,
+                      prior_powers=view.prior_powers)
+        with pytest.raises(ValueError):
+            ActiveCalibrator(seed_count=1, **kwargs)
+        with pytest.raises(ValueError):
+            ActiveCalibrator(batch_size=0, **kwargs)
+        with pytest.raises(ValueError):
+            ActiveCalibrator(sample_window=0.0, **kwargs)
+
+    def test_budget_bounds(self, calibrator, kmeans):
+        with pytest.raises(ValueError):
+            calibrator.calibrate(kmeans, budget=3)  # below seed_count
+        with pytest.raises(ValueError):
+            calibrator.calibrate(kmeans, budget=33)  # above space size
+
+
+class TestCalibration:
+    def test_exact_budget_spent(self, calibrator, kmeans):
+        result = calibrator.calibrate(kmeans, budget=10)
+        assert result.indices.size == 10
+        assert len(np.unique(result.indices)) == 10
+        assert result.sampling_time == pytest.approx(10.0)
+
+    def test_curves_positive_and_complete(self, calibrator, kmeans,
+                                          cores_space):
+        result = calibrator.calibrate(kmeans, budget=10)
+        assert result.rates.shape == (len(cores_space),)
+        assert (result.rates > 0).all()
+        assert (result.powers > 0).all()
+        assert (result.rate_uncertainty >= 0).all()
+
+    def test_accurate_with_modest_budget(self, calibrator, kmeans,
+                                         cores_space):
+        result = calibrator.calibrate(kmeans, budget=10)
+        machine = Machine()
+        truth = np.array([machine.true_rate(kmeans, c) for c in cores_space])
+        assert accuracy(result.rates, truth) > 0.85
+
+    def test_uncertainty_lower_at_measured_configs(self, calibrator,
+                                                   kmeans):
+        result = calibrator.calibrate(kmeans, budget=12)
+        measured = result.rate_uncertainty[result.indices]
+        unmeasured_mask = np.ones(32, dtype=bool)
+        unmeasured_mask[result.indices] = False
+        unmeasured = result.rate_uncertainty[unmeasured_mask]
+        assert measured.mean() < unmeasured.mean()
+
+    def test_acquisition_targets_uncertainty(self, cores_space,
+                                             cores_dataset):
+        """Acquired (non-seed) points favour high-variance regions."""
+        view = cores_dataset.leave_one_out("kmeans")
+        calibrator = ActiveCalibrator(
+            machine=Machine(seed=22), space=cores_space,
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            seed_count=4, batch_size=1)
+        result = calibrator.calibrate(get_benchmark("kmeans"), budget=8)
+        seeds = set(result.indices[:4])
+        acquired = [i for i in result.indices if i not in seeds]
+        assert len(acquired) == 4
+
+    def test_energy_charged(self, calibrator, kmeans):
+        result = calibrator.calibrate(kmeans, budget=6)
+        assert result.sampling_energy > 6 * 50.0  # > 50 W for 6 s
+
+
+class TestComparisonWithRandom:
+    def test_at_least_random_quality_at_equal_budget(self, cores_space,
+                                                     cores_dataset):
+        """Active sampling matches random sampling's accuracy (usually
+        beats it on adversarial shapes; never collapses)."""
+        from repro.estimators.base import (EstimationProblem,
+                                           normalize_problem)
+        from repro.estimators.leo import LEOEstimator
+        from repro.runtime.sampling import RandomSampler
+
+        budget = 8
+        kmeans = get_benchmark("kmeans")
+        view = cores_dataset.leave_one_out("kmeans")
+        machine = Machine()
+        truth = np.array([machine.true_rate(kmeans, c) for c in cores_space])
+
+        active = ActiveCalibrator(
+            machine=Machine(seed=23), space=cores_space,
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            seed_count=4, batch_size=2)
+        active_acc = accuracy(active.calibrate(kmeans, budget).rates, truth)
+
+        random_accs = []
+        for seed in range(3):
+            indices = RandomSampler(seed=seed).select(32, budget)
+            sampler = Machine(seed=24 + seed)
+            sampler.load(kmeans)
+            observed = []
+            for i in indices:
+                sampler.apply(cores_space[int(i)])
+                observed.append(sampler.run_for(1.0).rate)
+            problem = EstimationProblem(
+                features=cores_space.feature_matrix(),
+                prior=view.prior_rates, observed_indices=indices,
+                observed_values=np.array(observed))
+            normalized, scale = normalize_problem(problem)
+            estimate = LEOEstimator().estimate(normalized) * scale
+            random_accs.append(accuracy(estimate, truth))
+
+        assert active_acc > np.mean(random_accs) - 0.1

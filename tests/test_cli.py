@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListAndShow:
+    def test_list_benchmarks(self, capsys):
+        assert main(["list-benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "kmeans" in out and "swish" in out
+        assert out.count("\n") >= 26  # 25 rows + header
+
+    def test_show_benchmark(self, capsys):
+        assert main(["show-benchmark", "kmeans"]) == 0
+        out = capsys.readouterr().out
+        assert "scaling_peak" in out and "8" in out
+
+    def test_show_unknown_benchmark_fails(self, capsys):
+        assert main(["show-benchmark", "doom"]) == 1
+        assert "unknown" in capsys.readouterr().err
+
+
+class TestEstimate:
+    def test_estimate_on_cores_space(self, capsys):
+        code = main(["estimate", "--benchmark", "kmeans",
+                     "--space", "cores", "--samples", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "leo" in out and "perf accuracy" in out
+        assert "(truth)" in out
+
+    def test_estimate_unknown_benchmark(self, capsys):
+        assert main(["estimate", "--benchmark", "doom",
+                     "--space", "cores"]) == 1
+
+    def test_infeasible_online_reported(self, capsys):
+        # 6 samples on the cores space: online works (2 varying knobs);
+        # the infeasible path needs the paper space below 15 samples.
+        code = main(["estimate", "--benchmark", "x264",
+                     "--space", "paper", "--samples", "10"])
+        assert code == 0
+        assert "infeasible" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_optimize_reports_energy(self, capsys):
+        code = main(["optimize", "--benchmark", "swish",
+                     "--space", "cores", "--utilization", "0.4",
+                     "--deadline", "30", "--samples", "8"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "race-to-idle" in out and "optimal" in out
+        assert "vs optimal" in out
+
+    def test_rejects_bad_utilization(self, capsys):
+        assert main(["optimize", "--utilization", "1.5",
+                     "--space", "cores"]) == 1
+
+    def test_estimator_choice(self, capsys):
+        code = main(["optimize", "--benchmark", "x264",
+                     "--space", "cores", "--estimator", "offline",
+                     "--utilization", "0.3", "--deadline", "30",
+                     "--samples", "8"])
+        assert code == 0
+        assert "offline" in capsys.readouterr().out
+
+
+class TestReproduce:
+    def test_fig1(self, capsys):
+        assert main(["reproduce", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "true peak = 8" in out
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])

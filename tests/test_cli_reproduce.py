@@ -1,0 +1,107 @@
+"""Wiring tests for the CLI's `reproduce` targets.
+
+The full-size experiments run in benchmarks/; here each target's
+plumbing (argument handling, table rendering, exit codes) is verified
+against stubbed experiment functions so the tests stay fast.
+"""
+
+import numpy as np
+import pytest
+
+import repro.experiments.dynamic as dynamic_mod
+import repro.experiments.energy as energy_mod
+import repro.experiments.estimation as estimation_mod
+import repro.experiments.sensitivity as sensitivity_mod
+from repro.cli import main
+from repro.experiments.dynamic import DynamicResult
+from repro.experiments.energy import EnergyCurve
+from repro.experiments.estimation import AccuracyResult
+from repro.experiments.sensitivity import SensitivityResult
+from repro.workloads.phases import Phase, PhasedWorkload
+from repro.workloads.suite import get_benchmark
+
+
+class TestReproduceFig5AndFig6:
+    @pytest.fixture(autouse=True)
+    def stub_accuracy(self, monkeypatch):
+        def fake(ctx, trials=1, **kwargs):
+            table = {"kmeans": {"leo": 0.96, "online": 0.86,
+                                "offline": 0.70}}
+            return AccuracyResult(perf=table, power=table,
+                                  sample_count=20, trials=trials)
+        monkeypatch.setattr(estimation_mod, "accuracy_experiment", fake)
+
+    def test_fig5(self, capsys):
+        assert main(["reproduce", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "performance accuracy" in out and "0.960" in out
+
+    def test_fig6(self, capsys):
+        assert main(["reproduce", "fig6"]) == 0
+        assert "power accuracy" in capsys.readouterr().out
+
+
+class TestReproduceFig11:
+    @pytest.fixture(autouse=True)
+    def stub_energy(self, monkeypatch):
+        def fake(ctx, num_utilizations=8, **kwargs):
+            curve = EnergyCurve(
+                benchmark="kmeans",
+                utilizations=np.array([0.5, 1.0]),
+                energy={"leo": [100.0, 200.0], "online": [110.0, 220.0],
+                        "offline": [120.0, 230.0],
+                        "race-to-idle": [150.0, 260.0],
+                        "optimal": [95.0, 190.0]},
+                met={a: [True, True] for a in
+                     ("leo", "online", "offline", "race-to-idle")},
+                work_fraction={a: [1.0, 1.0] for a in
+                               ("leo", "online", "offline",
+                                "race-to-idle")},
+            )
+            return [curve]
+        monkeypatch.setattr(energy_mod, "energy_experiment", fake)
+
+    def test_fig11(self, capsys):
+        assert main(["reproduce", "fig11"]) == 0
+        out = capsys.readouterr().out
+        assert "normalized to optimal" in out and "kmeans" in out
+
+
+class TestReproduceFig12:
+    @pytest.fixture(autouse=True)
+    def stub_sensitivity(self, monkeypatch):
+        def fake(ctx, sizes=(0, 5), benchmarks=None, **kwargs):
+            return SensitivityResult(
+                sizes=tuple(sizes),
+                perf={"leo": [0.7] * len(sizes),
+                      "online": [0.0] * len(sizes)},
+                power={"leo": [0.9] * len(sizes),
+                       "online": [0.0] * len(sizes)},
+                offline_perf=0.7, offline_power=0.9)
+        monkeypatch.setattr(sensitivity_mod, "sensitivity_experiment",
+                            fake)
+
+    def test_fig12(self, capsys):
+        assert main(["reproduce", "fig12"]) == 0
+        assert "sample-size sweep" in capsys.readouterr().out
+
+
+class TestReproduceTable1:
+    @pytest.fixture(autouse=True)
+    def stub_dynamic(self, monkeypatch):
+        def fake(ctx, **kwargs):
+            fluid = get_benchmark("fluidanimate")
+            workload = PhasedWorkload(
+                [Phase(fluid, 10, 0.1), Phase(fluid, 10, 0.1)])
+            return DynamicResult(
+                workload=workload, reports={},
+                optimal_energy=[100.0, 80.0],
+                relative={"leo": [1.04, 1.01, 1.03],
+                          "online": [1.3, 1.2, 1.25],
+                          "offline": [1.2, 1.3, 1.25]})
+        monkeypatch.setattr(dynamic_mod, "dynamic_experiment", fake)
+
+    def test_table1(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "1.030" in out

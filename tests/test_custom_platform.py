@@ -1,0 +1,112 @@
+"""End-to-end generalization test on a non-paper platform.
+
+Everything above the platform layer is supposed to be
+topology-agnostic.  This exercises the whole stack — space construction,
+profiling, leave-one-out estimation, LP, closed-loop run — on a small
+single-socket embedded-class machine instead of the paper's dual-socket
+server.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import accuracy
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.leo import LEOEstimator
+from repro.optimize.lp import EnergyMinimizer
+from repro.platform.config_space import ConfigurationSpace
+from repro.platform.machine import Machine
+from repro.platform.topology import Topology
+from repro.runtime.controller import RuntimeController
+from repro.runtime.sampling import RandomSampler
+from repro.workloads.generator import ProfileGenerator
+from repro.workloads.traces import OfflineDataset
+
+EMBEDDED = Topology(sockets=1, cores_per_socket=4, threads_per_core=2,
+                    memory_controllers=1, tdp_watts=15.0)
+
+
+@pytest.fixture(scope="module")
+def embedded_space():
+    return ConfigurationSpace.paper_space(EMBEDDED)
+
+
+@pytest.fixture(scope="module")
+def embedded_setup(embedded_space):
+    profiles = ProfileGenerator(seed=11).sample_suite(12)
+    # Clamp generated scaling peaks into the small machine's range so the
+    # suite is meaningful there.
+    machine = Machine(EMBEDDED, seed=5)
+    dataset = OfflineDataset.collect(machine, profiles, embedded_space,
+                                     noisy=True)
+    return profiles, dataset
+
+
+class TestEmbeddedPlatform:
+    def test_space_dimensions(self, embedded_space):
+        # 4 cores x 2 ht x 1 mc x 16 speeds = 128 configurations.
+        assert len(embedded_space) == 128
+        assert max(c.threads for c in embedded_space) == 8
+        assert max(c.memory_controllers for c in embedded_space) == 1
+
+    def test_profiling_tables(self, embedded_setup, embedded_space):
+        _, dataset = embedded_setup
+        assert dataset.rates.shape == (12, 128)
+        assert (dataset.rates > 0).all()
+        assert (dataset.powers > 0).all()
+
+    def test_leave_one_out_estimation(self, embedded_setup,
+                                      embedded_space):
+        profiles, dataset = embedded_setup
+        target = profiles[0]
+        view = dataset.leave_one_out(target.name)
+        machine = Machine(EMBEDDED, seed=6)
+        truth = np.array([machine.true_rate(target, c)
+                          for c in embedded_space])
+        rng = np.random.default_rng(2)
+        indices = np.sort(rng.choice(128, 12, replace=False))
+        problem = EstimationProblem(
+            features=embedded_space.feature_matrix(),
+            prior=view.prior_rates, observed_indices=indices,
+            observed_values=truth[indices])
+        normalized, scale = normalize_problem(problem)
+        estimate = LEOEstimator().estimate(normalized) * scale
+        assert accuracy(estimate, truth) > 0.6
+
+    def test_closed_loop_run(self, embedded_setup, embedded_space):
+        profiles, dataset = embedded_setup
+        target = profiles[1]
+        view = dataset.leave_one_out(target.name)
+        machine = Machine(EMBEDDED, seed=7)
+        controller = RuntimeController(
+            machine=machine, space=embedded_space,
+            estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=3), sample_count=12)
+        estimate = controller.calibrate(target)
+        truth_max = max(machine.true_rate(target, c)
+                        for c in embedded_space)
+        work = 0.4 * truth_max * 30.0
+        report = controller.run(target, work, 30.0, estimate)
+        assert report.met_target
+
+        optimal = EnergyMinimizer(
+            np.array([machine.true_rate(target, c)
+                      for c in embedded_space]),
+            np.array([machine.true_power(target, c)
+                      for c in embedded_space]),
+            machine.idle_power())
+        assert report.energy <= 1.2 * optimal.min_energy(work, 30.0)
+
+    def test_power_envelope_scales_with_tdp(self, embedded_setup,
+                                            embedded_space):
+        """The small machine draws far less than the server."""
+        profiles, _ = embedded_setup
+        machine = Machine(EMBEDDED, seed=8)
+        peak = max(machine.true_power(profiles[0], c)
+                   for c in embedded_space)
+        server = Machine(seed=8)
+        server_space = ConfigurationSpace.paper_space()
+        server_peak = max(server.true_power(profiles[0], c)
+                          for c in server_space)
+        assert peak < server_peak

@@ -1,0 +1,88 @@
+"""Documentation-vs-code consistency guards.
+
+DESIGN.md's module map, README's example table, and the CLI's help are
+promises; these tests fail when a rename or deletion would silently
+break them.
+"""
+
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+
+class TestDesignModuleMap:
+    def test_every_mapped_module_exists(self):
+        """Each `name.py` mentioned in DESIGN.md's inventory exists."""
+        text = (ROOT / "DESIGN.md").read_text()
+        block = text.split("```")[1]  # the module-map code block
+        missing = []
+        current_pkg = None
+        for line in block.splitlines():
+            pkg = re.match(r"\s{2}(\w+)/", line)
+            if pkg:
+                current_pkg = pkg.group(1)
+            mod = re.match(r"\s{4}(\w+)\.py", line)
+            if mod and current_pkg:
+                path = ROOT / "src" / "repro" / current_pkg / (
+                    mod.group(1) + ".py")
+                if not path.exists():
+                    missing.append(str(path))
+        assert not missing, missing
+
+    def test_every_bench_mentioned_exists(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for name in re.findall(r"benchmarks/(test_\w+\.py)", text):
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+
+class TestReadme:
+    def test_example_table_matches_directory(self):
+        text = (ROOT / "README.md").read_text()
+        mentioned = set(re.findall(r"`examples/(\w+\.py)`", text))
+        present = {p.name for p in (ROOT / "examples").glob("*.py")}
+        assert mentioned == present
+
+    def test_reproduce_targets_match_cli(self):
+        from repro.cli import _build_parser
+        text = (ROOT / "README.md").read_text()
+        # README advertises: `python -m repro reproduce fig5` (also ...)
+        advertised = {"fig1", "fig5", "fig6", "fig11", "fig12", "table1"}
+        for target in advertised:
+            assert target in text
+        parser = _build_parser()
+        args = parser.parse_args(["reproduce", "fig5"])
+        assert args.target == "fig5"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["reproduce", "fig99"])
+
+
+class TestReproducingDoc:
+    def test_every_listed_bench_exists(self):
+        text = (ROOT / "docs" / "REPRODUCING.md").read_text()
+        for name in re.findall(r"`(test_\w+\.py)`", text):
+            assert (ROOT / "benchmarks" / name).exists(), name
+
+    def test_all_benches_are_listed(self):
+        text = (ROOT / "docs" / "REPRODUCING.md").read_text()
+        for path in (ROOT / "benchmarks").glob("test_*.py"):
+            assert path.name in text, f"{path.name} undocumented"
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "list-benchmarks"],
+            capture_output=True, text=True, timeout=120)
+        assert result.returncode == 0
+        assert "kmeans" in result.stdout
+
+    def test_bad_command_exits_nonzero(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro", "frobnicate"],
+            capture_output=True, text=True, timeout=60)
+        assert result.returncode != 0

@@ -1,0 +1,105 @@
+"""Tests for repro.platform.dvfs."""
+
+import numpy as np
+import pytest
+
+from repro.platform.dvfs import (
+    DVFS_FREQUENCIES_GHZ,
+    NOMINAL_GHZ,
+    TURBO_INDEX,
+    TURBO_PEAK_GHZ,
+    SpeedSetting,
+    dynamic_power_scale,
+    speed_ladder,
+    voltage_at,
+)
+
+
+class TestFrequencyLadder:
+    def test_fifteen_dvfs_steps(self):
+        assert len(DVFS_FREQUENCIES_GHZ) == 15
+
+    def test_range_matches_paper(self):
+        assert DVFS_FREQUENCIES_GHZ[0] == pytest.approx(1.2)
+        assert DVFS_FREQUENCIES_GHZ[-1] == pytest.approx(2.9)
+
+    def test_monotonically_increasing(self):
+        assert all(a < b for a, b in zip(DVFS_FREQUENCIES_GHZ,
+                                         DVFS_FREQUENCIES_GHZ[1:]))
+
+    def test_ladder_has_sixteen_settings(self):
+        ladder = speed_ladder()
+        assert len(ladder) == 16
+        assert ladder[-1].turbo
+        assert not any(s.turbo for s in ladder[:-1])
+
+    def test_ladder_indices_are_positions(self):
+        for i, setting in enumerate(speed_ladder()):
+            assert setting.index == i
+
+    def test_turbo_index_constant(self):
+        assert TURBO_INDEX == 15
+
+
+class TestEffectiveFrequency:
+    def test_non_turbo_delivers_base(self):
+        setting = speed_ladder()[3]
+        for active in (1, 8, 16):
+            assert setting.effective_ghz(active, 16) == setting.base_ghz
+
+    def test_turbo_single_core_peak(self):
+        turbo = speed_ladder()[-1]
+        assert turbo.effective_ghz(1, 16) == pytest.approx(TURBO_PEAK_GHZ)
+
+    def test_turbo_decreases_with_active_cores(self):
+        turbo = speed_ladder()[-1]
+        freqs = [turbo.effective_ghz(k, 16) for k in range(1, 17)]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_turbo_always_above_nominal(self):
+        turbo = speed_ladder()[-1]
+        for k in range(1, 17):
+            assert turbo.effective_ghz(k, 16) > NOMINAL_GHZ
+
+    def test_turbo_zero_active_is_base(self):
+        turbo = speed_ladder()[-1]
+        assert turbo.effective_ghz(0, 16) == turbo.base_ghz
+
+    def test_rejects_negative_active(self):
+        with pytest.raises(ValueError):
+            speed_ladder()[0].effective_ghz(-1, 16)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            speed_ladder()[0].effective_ghz(1, 0)
+
+    def test_single_core_machine_turbo(self):
+        turbo = SpeedSetting(index=0, base_ghz=NOMINAL_GHZ, turbo=True)
+        assert turbo.effective_ghz(1, 1) == pytest.approx(TURBO_PEAK_GHZ)
+
+
+class TestVoltageAndPower:
+    def test_voltage_endpoints(self):
+        assert voltage_at(1.2) == pytest.approx(0.85)
+        assert voltage_at(2.9) == pytest.approx(1.20)
+
+    def test_voltage_monotone(self):
+        freqs = np.linspace(1.2, 3.8, 20)
+        volts = [voltage_at(f) for f in freqs]
+        assert all(a < b for a, b in zip(volts, volts[1:]))
+
+    def test_voltage_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            voltage_at(0.0)
+
+    def test_dynamic_power_unity_at_nominal(self):
+        assert dynamic_power_scale(NOMINAL_GHZ) == pytest.approx(1.0)
+
+    def test_dynamic_power_superlinear(self):
+        # V^2 f scaling: halving frequency saves more than half the power.
+        assert dynamic_power_scale(1.45) < 0.5
+
+    def test_dynamic_power_monotone(self):
+        freqs = np.linspace(1.2, 3.8, 30)
+        scales = [dynamic_power_scale(f) for f in freqs]
+        assert all(a < b for a, b in zip(scales, scales[1:]))

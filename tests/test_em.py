@@ -1,0 +1,147 @@
+"""Tests for repro.core.em: the EM engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig, EMEngine
+from repro.core.observation import ObservationSet
+from repro.core.priors import NIWPrior
+
+
+def _synthetic_observations(m=8, n=10, missing_target=True, seed=0,
+                            noise=0.05):
+    """Draws from the generative model itself (Eq. 2)."""
+    rng = np.random.default_rng(seed)
+    mu = rng.standard_normal(n)
+    a = rng.standard_normal((n, n))
+    sigma = 0.5 * (a @ a.T) / n + 0.2 * np.eye(n)
+    z = rng.multivariate_normal(mu, sigma, size=m)
+    y = z + noise * rng.standard_normal((m, n))
+    mask = np.ones((m, n), dtype=bool)
+    if missing_target:
+        mask[-1] = False
+        mask[-1, rng.choice(n, size=3, replace=False)] = True
+    return ObservationSet(np.where(mask, y, 0.0), mask), z
+
+
+class TestConfigValidation:
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            EMConfig(max_iterations=0)
+        with pytest.raises(ValueError):
+            EMConfig(tol=0.0)
+        with pytest.raises(ValueError):
+            EMConfig(min_noise_var=0.0)
+
+
+class TestFitBasics:
+    def test_result_shapes(self):
+        obs, _ = _synthetic_observations()
+        result = EMEngine(prior=NIWPrior.paper_default()).fit(obs)
+        m, n = obs.values.shape
+        assert result.mu.shape == (n,)
+        assert result.sigma_mat.shape == (n, n)
+        assert result.zhat.shape == (m, n)
+        assert result.zvar.shape == (m, n)
+        assert result.noise_var > 0
+
+    def test_sigma_stays_spd(self):
+        obs, _ = _synthetic_observations(seed=3)
+        result = EMEngine(prior=NIWPrior.paper_default()).fit(obs)
+        np.linalg.cholesky(result.sigma_mat)
+
+    def test_zvar_nonnegative(self):
+        obs, _ = _synthetic_observations(seed=4)
+        result = EMEngine().fit(obs)
+        assert (result.zvar > -1e-9).all()
+
+    def test_convergence_flag(self):
+        obs, _ = _synthetic_observations(seed=5)
+        done = EMEngine(config=EMConfig(max_iterations=100, tol=1e-4)).fit(obs)
+        assert done.converged
+        capped = EMEngine(config=EMConfig(max_iterations=1)).fit(obs)
+        assert not capped.converged
+        assert capped.iterations == 1
+
+    def test_bad_initialization_shapes_rejected(self):
+        obs, _ = _synthetic_observations()
+        engine = EMEngine()
+        with pytest.raises(ValueError):
+            engine.fit(obs, init_mu=np.zeros(3))
+        with pytest.raises(ValueError):
+            engine.fit(obs, init_sigma=np.eye(3))
+        with pytest.raises(ValueError):
+            engine.fit(obs, init_noise_var=-1.0)
+
+
+class TestMonotonicity:
+    """Pure-ML EM must never decrease the observed-data likelihood."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_ml_loglik_nondecreasing(self, seed):
+        obs, _ = _synthetic_observations(seed=seed)
+        engine = EMEngine(prior=None,
+                          config=EMConfig(max_iterations=25, tol=1e-12))
+        result = engine.fit(obs)
+        history = result.loglik_history
+        assert len(history) >= 2
+        for before, after in zip(history, history[1:]):
+            assert after >= before - 1e-6 * (abs(before) + 1.0)
+
+
+class TestRecovery:
+    def test_recovers_target_curve(self):
+        """The fitted target estimate beats the prior-mean baseline."""
+        obs, z = _synthetic_observations(m=10, n=12, seed=7)
+        result = EMEngine(prior=NIWPrior.paper_default()).fit(obs)
+        target = obs.target_row
+        em_error = np.linalg.norm(result.zhat[target] - z[target])
+        baseline = obs.values[:-1].mean(axis=0)
+        baseline_error = np.linalg.norm(baseline - z[target])
+        assert em_error < baseline_error
+
+    def test_interpolates_observed_entries(self):
+        obs, _ = _synthetic_observations(seed=9, noise=0.01)
+        result = EMEngine(prior=NIWPrior.paper_default()).fit(obs)
+        target = obs.target_row
+        idx = obs.observed_indices(target)
+        observed = obs.values[target, idx]
+        np.testing.assert_allclose(result.zhat[target, idx], observed,
+                                   atol=0.25)
+
+    def test_noise_estimate_in_right_regime(self):
+        obs, _ = _synthetic_observations(m=12, n=10, seed=11, noise=0.2)
+        result = EMEngine(prior=None,
+                          config=EMConfig(max_iterations=40, tol=1e-10)).fit(obs)
+        assert 0.001 < result.noise_var < 0.5
+
+
+class TestWoodburyAblation:
+    def test_dense_and_woodbury_agree(self):
+        obs, _ = _synthetic_observations(m=5, n=8, seed=13)
+        fast = EMEngine(prior=NIWPrior.paper_default(),
+                        config=EMConfig(max_iterations=5, use_woodbury=True))
+        slow = EMEngine(prior=NIWPrior.paper_default(),
+                        config=EMConfig(max_iterations=5, use_woodbury=False))
+        fast_result = fast.fit(obs)
+        slow_result = slow.fit(obs)
+        np.testing.assert_allclose(fast_result.zhat, slow_result.zhat,
+                                   rtol=1e-5, atol=1e-7)
+        np.testing.assert_allclose(fast_result.mu, slow_result.mu,
+                                   rtol=1e-5, atol=1e-7)
+
+
+class TestPriorInfluence:
+    def test_prior_shrinks_mu_toward_mu0(self):
+        obs, _ = _synthetic_observations(m=4, n=6, seed=15)
+        ml = EMEngine(prior=None).fit(obs)
+        strong = EMEngine(prior=NIWPrior(mu0=0.0, pi=1000.0)).fit(obs)
+        assert np.linalg.norm(strong.mu) < np.linalg.norm(ml.mu)
+
+    def test_psi_regularizes_sigma(self):
+        obs, _ = _synthetic_observations(m=4, n=6, seed=16)
+        weak = EMEngine(prior=NIWPrior(psi=1e-6)).fit(obs)
+        strong = EMEngine(prior=NIWPrior(psi=50.0)).fit(obs)
+        # A huge Psi = 50 I pushes Sigma toward a large multiple of I.
+        diag_gap = np.abs(np.diag(strong.sigma_mat)).mean()
+        assert diag_gap > np.abs(np.diag(weak.sigma_mat)).mean()

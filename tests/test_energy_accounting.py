@@ -1,0 +1,79 @@
+"""Tests for repro.telemetry.energy."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.energy import (
+    average_power,
+    energy_of_log,
+    energy_of_measurements,
+    integrate_power,
+)
+from repro.telemetry.power_meter import PowerSample, WattsUpMeter
+
+
+class TestIntegratePower:
+    def test_constant_power(self):
+        assert integrate_power([0, 10], [100, 100]) == pytest.approx(1000.0)
+
+    def test_linear_ramp(self):
+        assert integrate_power([0, 2], [0, 100]) == pytest.approx(100.0)
+
+    def test_empty_and_single(self):
+        assert integrate_power([], []) == 0.0
+        assert integrate_power([1.0], [50.0]) == 0.0
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            integrate_power([0, 1], [10])
+
+    def test_rejects_decreasing_time(self):
+        with pytest.raises(ValueError):
+            integrate_power([1, 0], [10, 10])
+
+    def test_rejects_negative_power(self):
+        with pytest.raises(ValueError):
+            integrate_power([0, 1], [10, -1])
+
+    def test_matches_numpy_trapezoid(self, rng):
+        times = np.sort(rng.uniform(0, 100, 50))
+        watts = rng.uniform(50, 300, 50)
+        assert integrate_power(times, watts) == pytest.approx(
+            float(np.trapezoid(watts, times)))
+
+
+class TestLogIntegration:
+    def test_energy_of_log(self):
+        log = [PowerSample(0.0, 100.0), PowerSample(1.0, 100.0),
+               PowerSample(2.0, 200.0)]
+        assert energy_of_log(log) == pytest.approx(100.0 + 150.0)
+
+    def test_meter_log_energy_close_to_machine(self, machine, kmeans,
+                                               cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[7])
+        meter = WattsUpMeter(machine, noise_std=0.0, quantum=0.0)
+        meter.sample()  # anchor at t=0
+        meter.record_window(10.0)
+        logged = energy_of_log(meter.log)
+        assert logged == pytest.approx(machine.total_energy, rel=0.05)
+
+    def test_average_power(self):
+        log = [PowerSample(0.0, 100.0), PowerSample(2.0, 200.0)]
+        assert average_power(log) == pytest.approx(150.0)
+
+    def test_average_power_single_sample(self):
+        assert average_power([PowerSample(0.0, 42.0)]) == 42.0
+
+    def test_average_power_empty_raises(self):
+        with pytest.raises(ValueError):
+            average_power([])
+
+
+class TestMeasurementEnergy:
+    def test_sums_window_energies(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[3])
+        measurements = [machine.run_for(1.0) for _ in range(4)]
+        assert energy_of_measurements(measurements) == pytest.approx(
+            machine.total_energy)

@@ -1,0 +1,71 @@
+"""Unit tests for experiment result dataclasses and their arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.energy import (
+    EnergyCurve,
+    overall_normalized,
+    summarize_normalized,
+)
+from repro.experiments.frontier import FrontierComparison
+
+
+def _curve(benchmark="app", energy_scale=1.0, fractions=(1.0, 1.0)):
+    approaches = ("leo", "online", "offline", "race-to-idle")
+    return EnergyCurve(
+        benchmark=benchmark,
+        utilizations=np.array([0.5, 1.0]),
+        energy={**{a: [100.0 * energy_scale, 200.0 * energy_scale]
+                   for a in approaches},
+                "optimal": [100.0, 200.0]},
+        met={a: [True, True] for a in approaches},
+        work_fraction={a: list(fractions) for a in approaches},
+    )
+
+
+class TestEnergyCurve:
+    def test_normalized_mean_exact(self):
+        curve = _curve(energy_scale=1.1)
+        assert curve.normalized_mean("leo") == pytest.approx(1.1)
+
+    def test_work_shortfall_penalized(self):
+        """Half the work done doubles the effective energy ratio."""
+        curve = _curve(energy_scale=1.0, fractions=(0.5, 0.5))
+        assert curve.normalized_mean("leo") == pytest.approx(2.0)
+
+    def test_overwork_not_rewarded(self):
+        """work_fraction is clipped at 1: overshooting earns no credit."""
+        curve = _curve(energy_scale=1.0, fractions=(1.5, 1.5))
+        assert curve.normalized_mean("leo") == pytest.approx(1.0)
+
+    def test_summaries(self):
+        curves = [_curve("a", 1.2), _curve("b", 1.4)]
+        table = summarize_normalized(curves)
+        assert table["a"]["leo"] == pytest.approx(1.2)
+        overall = overall_normalized(curves)
+        assert overall["leo"] == pytest.approx(1.3)
+
+
+class TestFrontierComparison:
+    def test_hull_gap_zero_for_identical(self):
+        hull = np.array([[0.0, 80.0], [1.0, 100.0], [2.0, 150.0]])
+        comparison = FrontierComparison(
+            benchmark="x", hulls={"true": hull, "leo": hull.copy()})
+        assert comparison.hull_area_error("leo") == pytest.approx(0.0)
+
+    def test_constant_offset_measured_exactly(self):
+        hull = np.array([[0.0, 80.0], [1.0, 100.0], [2.0, 150.0]])
+        shifted = hull.copy()
+        shifted[:, 1] += 5.0
+        comparison = FrontierComparison(
+            benchmark="x", hulls={"true": hull, "leo": shifted})
+        assert comparison.hull_area_error("leo") == pytest.approx(5.0)
+
+    def test_non_overlapping_hulls_raise(self):
+        low = np.array([[0.0, 80.0], [1.0, 100.0]])
+        high = np.array([[2.0, 80.0], [3.0, 100.0]])
+        comparison = FrontierComparison(
+            benchmark="x", hulls={"true": low, "leo": high})
+        with pytest.raises(ValueError, match="overlap"):
+            comparison.hull_area_error("leo")

@@ -1,0 +1,172 @@
+"""Tests for the per-figure experiment modules (small-scale runs).
+
+These verify the *structure* each paper figure depends on; the full-size
+reproductions live under benchmarks/.  All tests here run on the 32-config
+cores-only context or a small benchmark subset to stay fast.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.dynamic import dynamic_experiment, table1_rows
+from repro.experiments.energy import (
+    energy_experiment,
+    overall_normalized,
+    summarize_normalized,
+)
+from repro.experiments.estimation import accuracy_experiment, example_curves
+from repro.experiments.frontier import frontier_experiment, frontier_summary
+from repro.experiments.harness import default_context
+from repro.experiments.motivation import motivation_experiment
+from repro.experiments.overhead import overhead_experiment
+from repro.experiments.sensitivity import sensitivity_experiment
+
+
+@pytest.fixture(scope="module")
+def cores_ctx():
+    return default_context(space_kind="cores", seed=0)
+
+
+class TestMotivation:
+    def test_figure1_structure(self, cores_ctx):
+        result = motivation_experiment(cores_ctx, num_utilizations=5)
+        assert result.true_peak() == 8
+        # LEO lands near the true peak; offline follows the global trend
+        # toward high allocations.
+        assert abs(result.estimated_peak("leo") - 8) <= 3
+        assert result.estimated_peak("offline") > 12
+        assert set(result.energy) >= {"leo", "online", "offline",
+                                      "optimal", "race-to-idle"}
+
+    def test_leo_energy_beats_race(self, cores_ctx):
+        result = motivation_experiment(cores_ctx, num_utilizations=5)
+        assert (np.mean(result.energy["leo"])
+                < np.mean(result.energy["race-to-idle"]))
+
+
+class TestEstimation:
+    def test_accuracy_tables(self, cores_ctx):
+        result = accuracy_experiment(cores_ctx, sample_count=8, trials=1,
+                                     benchmarks=["kmeans", "swish", "x264"])
+        assert set(result.perf) == {"kmeans", "swish", "x264"}
+        for scores in result.perf.values():
+            for value in scores.values():
+                assert 0.0 <= value <= 1.0
+        means = result.mean_perf()
+        assert means["leo"] > means["offline"]
+
+    def test_example_curves(self, cores_ctx):
+        results = example_curves(cores_ctx, benchmarks=("kmeans",),
+                                 sample_count=8)
+        curves = results[0]
+        assert curves.true_rates.shape == (32,)
+        assert curves.estimates["leo"].feasible
+        assert abs(curves.peak_rate_config("leo")
+                   - int(np.argmax(curves.true_rates))) <= 3
+
+
+class TestEnergy:
+    def test_energy_curves(self, cores_ctx):
+        curves = energy_experiment(cores_ctx, benchmarks=["kmeans"],
+                                   num_utilizations=4)
+        curve = curves[0]
+        assert len(curve.energy["optimal"]) == 4
+        # Optimal energy grows with utilization.
+        assert curve.energy["optimal"][-1] > curve.energy["optimal"][0]
+        # Every approach uses at least the optimal energy (after the
+        # work-completion adjustment).
+        for approach in ("leo", "online", "offline", "race-to-idle"):
+            assert curve.normalized_mean(approach) > 0.9
+
+    def test_summaries(self, cores_ctx):
+        curves = energy_experiment(cores_ctx,
+                                   benchmarks=["kmeans", "swish"],
+                                   num_utilizations=3)
+        table = summarize_normalized(curves)
+        assert set(table) == {"kmeans", "swish"}
+        overall = overall_normalized(curves)
+        assert overall["leo"] < overall["race-to-idle"]
+
+    def test_validation(self, cores_ctx):
+        with pytest.raises(ValueError):
+            energy_experiment(cores_ctx, benchmarks=["kmeans"],
+                              num_utilizations=1)
+
+
+class TestFrontier:
+    def test_figure9_structure(self, cores_ctx):
+        comparisons = frontier_experiment(cores_ctx,
+                                          benchmarks=("kmeans", "swish"),
+                                          sample_count=8)
+        assert len(comparisons) == 2
+        hulls = comparisons[0].hulls
+        assert "true" in hulls and "leo" in hulls
+        # Hull arrays are (k, 2) with increasing speedup.
+        for hull in hulls.values():
+            assert hull.ndim == 2 and hull.shape[1] == 2
+            assert (np.diff(hull[:, 0]) > 0).all()
+
+    def test_leo_hull_closest_to_truth(self, cores_ctx):
+        comparisons = frontier_experiment(cores_ctx, benchmarks=("kmeans",),
+                                          sample_count=8)
+        gaps = frontier_summary(comparisons)["kmeans"]
+        assert gaps["leo"] <= gaps["offline"]
+
+
+class TestSensitivity:
+    def test_figure12_structure(self, cores_ctx):
+        result = sensitivity_experiment(
+            cores_ctx, sizes=(0, 4, 8), benchmarks=["kmeans", "swish"])
+        assert result.sizes == (0, 4, 8)
+        # Zero samples: LEO == offline, online == 0.
+        assert result.perf["leo"][0] == pytest.approx(result.offline_perf)
+        assert result.perf["online"][0] == 0.0
+        # LEO improves (or holds) as samples grow.
+        assert result.perf["leo"][-1] >= result.perf["leo"][0] - 0.05
+
+    def test_online_cliff_on_paper_space(self):
+        ctx = default_context(space_kind="paper", seed=0)
+        result = sensitivity_experiment(ctx, sizes=(10, 20),
+                                        benchmarks=["x264"])
+        # Below 15 samples the online design matrix is rank deficient.
+        assert result.perf["online"][0] == 0.0
+        assert result.perf["online"][1] > 0.0
+
+    def test_rejects_negative_sizes(self, cores_ctx):
+        with pytest.raises(ValueError):
+            sensitivity_experiment(cores_ctx, sizes=(-1,),
+                                   benchmarks=["kmeans"])
+
+
+class TestDynamic:
+    def test_table1_structure(self, cores_ctx):
+        result = dynamic_experiment(cores_ctx, phase_seconds=20.0)
+        rows = table1_rows(result)
+        assert [row[0] for row in rows] == ["LEO", "Online", "Offline"]
+        # Relative energies are near-but-above 1 for LEO.
+        leo = result.relative["leo"]
+        assert 0.9 < leo[2] < 1.3
+        # Overall is between the two phases (it is a weighted mean).
+        for rel in result.relative.values():
+            assert min(rel[0], rel[1]) - 1e-9 <= rel[2] <= max(rel[0],
+                                                               rel[1]) + 1e-9
+
+    def test_leo_adapts(self, cores_ctx):
+        result = dynamic_experiment(cores_ctx, phase_seconds=20.0)
+        assert result.reestimations("leo") >= 1
+
+    def test_validation(self, cores_ctx):
+        with pytest.raises(ValueError):
+            dynamic_experiment(cores_ctx, utilization=0.0)
+        with pytest.raises(ValueError):
+            dynamic_experiment(cores_ctx, phase_seconds=-1.0)
+
+
+class TestOverhead:
+    def test_measures_costs(self, cores_ctx):
+        result = overhead_experiment(cores_ctx, benchmarks=["kmeans"],
+                                     sample_count=6)
+        assert result.mean_fit_seconds > 0
+        assert result.sampling_time["kmeans"] == pytest.approx(6.0)
+        assert result.mean_sampling_energy > 0
+        assert result.exhaustive_seconds > 0

@@ -1,0 +1,138 @@
+"""Tests for repro.experiments.harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.harness import (
+    CurveEstimate,
+    accuracy_scores,
+    bench_scale,
+    default_context,
+    estimate_curves,
+    format_table,
+    random_indices,
+    sample_target,
+    scaled,
+    summarize_means,
+)
+
+
+@pytest.fixture(scope="module")
+def cores_ctx():
+    return default_context(space_kind="cores", seed=0)
+
+
+class TestContext:
+    def test_cached(self):
+        assert default_context("cores", 0) is default_context("cores", 0)
+
+    def test_rejects_unknown_space(self):
+        with pytest.raises(ValueError):
+            default_context(space_kind="galaxy")
+
+    def test_shapes(self, cores_ctx):
+        assert len(cores_ctx.space) == 32
+        assert len(cores_ctx.suite) == 25
+        assert cores_ctx.dataset.rates.shape == (25, 32)
+        assert cores_ctx.truth.rates.shape == (25, 32)
+
+    def test_truth_is_noise_free(self, cores_ctx):
+        machine = cores_ctx.machine()
+        kmeans = cores_ctx.profile("kmeans")
+        truth, _ = cores_ctx.truth.row("kmeans")
+        expected = [machine.true_rate(kmeans, c) for c in cores_ctx.space]
+        np.testing.assert_allclose(truth, expected)
+
+    def test_profile_lookup(self, cores_ctx):
+        assert cores_ctx.profile("swish").name == "swish"
+        with pytest.raises(KeyError):
+            cores_ctx.profile("nope")
+
+    def test_machines_are_seed_derived(self, cores_ctx):
+        a = cores_ctx.machine(1)
+        b = cores_ctx.machine(1)
+        a.load(cores_ctx.profile("kmeans"))
+        b.load(cores_ctx.profile("kmeans"))
+        a.apply(cores_ctx.space[0])
+        b.apply(cores_ctx.space[0])
+        assert a.run_for(1.0).rate == b.run_for(1.0).rate
+
+
+class TestSamplingAndEstimation:
+    def test_sample_target_close_to_truth(self, cores_ctx):
+        indices = np.array([0, 7, 15, 31])
+        rates, powers = sample_target(cores_ctx, cores_ctx.profile("swish"),
+                                      indices)
+        truth = cores_ctx.truth.leave_one_out("swish")
+        np.testing.assert_allclose(rates, truth.true_rates[indices],
+                                   rtol=0.1)
+        np.testing.assert_allclose(powers, truth.true_powers[indices],
+                                   rtol=0.1)
+
+    def test_estimate_curves_all_approaches(self, cores_ctx):
+        view = cores_ctx.dataset.leave_one_out("kmeans")
+        indices = random_indices(32, 8, seed=1)
+        rates, powers = sample_target(cores_ctx, cores_ctx.profile("kmeans"),
+                                      indices)
+        for approach in ("leo", "offline", "online"):
+            estimate = estimate_curves(cores_ctx, view, indices, rates,
+                                       powers, approach)
+            assert estimate.feasible, approach
+            assert (estimate.rates > 0).all()
+
+    def test_insufficient_samples_marked_infeasible(self):
+        ctx = default_context(space_kind="paper", seed=0)
+        view = ctx.dataset.leave_one_out("kmeans")
+        indices = random_indices(1024, 5, seed=2)
+        rates, powers = sample_target(ctx, ctx.profile("kmeans"), indices)
+        estimate = estimate_curves(ctx, view, indices, rates, powers,
+                                   "online")
+        assert not estimate.feasible
+        truth = ctx.truth.leave_one_out("kmeans")
+        assert accuracy_scores(estimate, truth) == (0.0, 0.0)
+
+    def test_random_indices_deterministic(self):
+        np.testing.assert_array_equal(random_indices(100, 10, 5),
+                                      random_indices(100, 10, 5))
+
+
+class TestScaleKnob:
+    def test_default_scale_is_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        assert scaled(10) == 10
+
+    def test_scale_applies(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert scaled(10) == 5
+        assert scaled(1) == 1  # floored at minimum
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "fast")
+        with pytest.raises(ValueError):
+            bench_scale()
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "-1")
+        with pytest.raises(ValueError):
+            bench_scale()
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"],
+                            [["leo", 0.97], ["online", 0.87]],
+                            title="Accuracy")
+        lines = text.splitlines()
+        assert lines[0] == "Accuracy"
+        assert "leo" in lines[3] and "0.970" in lines[3]
+
+    def test_summarize_means(self):
+        table = {"a": {"leo": 1.0, "online": 0.5},
+                 "b": {"leo": 0.8, "online": 0.7}}
+        means = summarize_means(table, ["leo", "online"])
+        assert means["leo"] == pytest.approx(0.9)
+        assert means["online"] == pytest.approx(0.6)
+
+    def test_curve_estimate_feasibility(self):
+        assert not CurveEstimate("x", None, None).feasible
+        assert CurveEstimate("x", np.ones(2), np.ones(2)).feasible

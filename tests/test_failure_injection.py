@@ -1,0 +1,161 @@
+"""Failure-injection tests: degraded inputs must degrade gracefully.
+
+The runtime lives on noisy measurements and imperfect models; these
+tests verify that pathological-but-possible conditions (extreme noise,
+wildly wrong estimates, degenerate priors, minimal observations) produce
+bounded, honest behaviour rather than crashes or silent nonsense.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import accuracy
+from repro.core.em import EMConfig, EMEngine
+from repro.core.observation import ObservationSet
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.leo import LEOEstimator
+from repro.optimize.pareto import TradeoffFrontier
+from repro.platform.machine import Machine
+from repro.runtime.controller import RuntimeController, TradeoffEstimate
+from repro.workloads.suite import get_benchmark
+
+
+class TestExtremeNoise:
+    def test_leo_survives_very_noisy_target(self, cores_dataset,
+                                            cores_truth, cores_space):
+        """50% relative noise on the samples: accuracy drops but the
+        pipeline completes and output stays positive and finite."""
+        rng = np.random.default_rng(0)
+        view = cores_dataset.leave_one_out("kmeans")
+        truth = cores_truth.leave_one_out("kmeans").true_rates
+        indices = np.array([2, 8, 14, 20, 26, 31])
+        noisy = truth[indices] * rng.normal(1.0, 0.5, indices.size)
+        noisy = np.abs(noisy) + 1.0
+        problem = EstimationProblem(
+            features=cores_space.feature_matrix(), prior=view.prior_rates,
+            observed_indices=indices, observed_values=noisy)
+        normalized, scale = normalize_problem(problem)
+        estimate = LEOEstimator().estimate(normalized) * scale
+        assert np.all(np.isfinite(estimate))
+        assert 0.0 <= accuracy(estimate, truth) <= 1.0
+
+    def test_noisy_machine_measurements_stay_positive(self, cores_space):
+        noisy_app = dataclasses.replace(get_benchmark("kmeans"), noise=0.5)
+        machine = Machine(seed=13)
+        machine.load(noisy_app)
+        machine.apply(cores_space[5])
+        for _ in range(50):
+            measurement = machine.run_for(1.0)
+            assert measurement.rate >= 0.0
+            assert measurement.system_power >= 0.0
+
+
+class TestWrongEstimates:
+    def test_controller_honest_about_impossible_demand(self, cores_space,
+                                                       cores_dataset):
+        """Demand above true capacity: controller reports the miss."""
+        machine = Machine(seed=14)
+        kmeans = get_benchmark("kmeans")
+        view = cores_dataset.leave_one_out("kmeans")
+        truth_max = max(machine.true_rate(kmeans, c) for c in cores_space)
+        rates = np.full(len(cores_space), truth_max * 10)  # delusional
+        powers = np.full(len(cores_space), 150.0)
+        controller = RuntimeController(
+            machine=machine, space=cores_space, estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+        work = truth_max * 3.0 * 20.0  # 3x capacity
+        report = controller.run(
+            kmeans, work, 20.0,
+            TradeoffEstimate(rates=rates, powers=powers,
+                             estimator_name="delusional"))
+        assert not report.met_target
+        assert report.work_done < work
+        assert report.energy > 0
+
+    def test_underestimates_still_meet_demand(self, cores_space,
+                                              cores_dataset):
+        """Pessimistic rates: feedback discovers the machine is faster."""
+        machine = Machine(seed=15)
+        swish = get_benchmark("swish")
+        view = cores_dataset.leave_one_out("swish")
+        truth = np.array([machine.true_rate(swish, c) for c in cores_space])
+        powers = np.array([machine.true_power(swish, c)
+                           for c in cores_space])
+        pessimistic = TradeoffEstimate(rates=truth * 0.3, powers=powers,
+                                       estimator_name="pessimist")
+        controller = RuntimeController(
+            machine=machine, space=cores_space, estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+        work = 0.25 * truth.max() * 40.0  # feasible even at 0.3x belief
+        report = controller.run(swish, work, 40.0, pessimistic)
+        assert report.met_target
+
+
+class TestDegenerateInputs:
+    def test_constant_prior_rows(self, cores_space):
+        """Zero-variance prior table: standardization must not divide
+        by zero."""
+        prior = np.full((5, len(cores_space)), 100.0)
+        indices = np.array([0, 10, 20])
+        problem = EstimationProblem(
+            features=cores_space.feature_matrix(), prior=prior,
+            observed_indices=indices,
+            observed_values=np.array([90.0, 110.0, 95.0]))
+        estimate = LEOEstimator().estimate(problem)
+        assert np.all(np.isfinite(estimate))
+
+    def test_single_observation_target(self, cores_dataset, cores_space):
+        view = cores_dataset.leave_one_out("x264")
+        problem = EstimationProblem(
+            features=cores_space.feature_matrix(), prior=view.prior_rates,
+            observed_indices=np.array([16]),
+            observed_values=np.array([view.true_rates[16]]))
+        normalized, scale = normalize_problem(problem)
+        estimate = LEOEstimator().estimate(normalized) * scale
+        assert np.all(np.isfinite(estimate))
+        assert np.all(estimate > 0)
+
+    def test_em_single_application(self):
+        """M = 1 (target only, no priors): EM still runs."""
+        rng = np.random.default_rng(3)
+        values = np.abs(rng.normal(5, 1, (1, 10))) + 1
+        mask = np.zeros((1, 10), dtype=bool)
+        mask[0, [1, 4, 8]] = True
+        obs = ObservationSet(np.where(mask, values, 0.0), mask)
+        result = EMEngine(config=EMConfig(max_iterations=5)).fit(obs)
+        assert np.all(np.isfinite(result.zhat))
+
+    def test_frontier_single_config(self):
+        frontier = TradeoffFrontier([5.0], [120.0], idle_power=80.0)
+        assert frontier.max_rate == 5.0
+        assert frontier.power_at(2.5) == pytest.approx(100.0)
+
+    def test_accuracy_with_tiny_truth_variance(self):
+        y = np.array([100.0, 100.0 + 1e-12])
+        assert 0.0 <= accuracy(y * 1.001, y) <= 1.0
+
+
+class TestClockAndEnergyInvariants:
+    def test_machine_clock_never_regresses(self, cores_space):
+        machine = Machine(seed=16)
+        machine.load(get_benchmark("bfs"))
+        last = 0.0
+        for i in range(20):
+            machine.apply(cores_space[i % len(cores_space)])
+            machine.run_for(0.5)
+            assert machine.clock >= last
+            last = machine.clock
+
+    def test_energy_monotone_nondecreasing(self, cores_space):
+        machine = Machine(seed=17)
+        machine.load(get_benchmark("bfs"))
+        machine.apply(cores_space[3])
+        last = 0.0
+        for _ in range(10):
+            machine.run_for(1.0)
+            assert machine.total_energy >= last
+            last = machine.total_energy
+        machine.idle_for(5.0)
+        assert machine.total_energy >= last

@@ -1,0 +1,54 @@
+"""Tests for repro.workloads.generator."""
+
+import pytest
+
+from repro.workloads.generator import ProfileGenerator
+
+
+class TestDeterminism:
+    def test_same_seed_same_profiles(self):
+        a = ProfileGenerator(seed=42).sample_suite(10)
+        b = ProfileGenerator(seed=42).sample_suite(10)
+        assert [p.base_rate for p in a] == [p.base_rate for p in b]
+        assert [p.scaling_peak for p in a] == [p.scaling_peak for p in b]
+
+    def test_different_seeds_differ(self):
+        a = ProfileGenerator(seed=1).sample()
+        b = ProfileGenerator(seed=2).sample()
+        assert a.base_rate != b.base_rate
+
+
+class TestValidityAndDiversity:
+    def test_all_samples_validate(self):
+        # ApplicationProfile.__post_init__ would raise on any invalid draw.
+        generator = ProfileGenerator(seed=7)
+        profiles = generator.sample_suite(200)
+        assert len(profiles) == 200
+
+    def test_names_are_sequential(self):
+        profiles = ProfileGenerator(seed=0).sample_suite(3, prefix="load")
+        assert [p.name for p in profiles] == [
+            "load-001", "load-002", "load-003"]
+
+    def test_custom_name(self):
+        assert ProfileGenerator(seed=0).sample(name="mine").name == "mine"
+
+    def test_peaks_cover_range(self):
+        profiles = ProfileGenerator(seed=3).sample_suite(120)
+        peaks = {p.scaling_peak for p in profiles}
+        assert any(p <= 8 for p in peaks)
+        assert any(p >= 28 for p in peaks)
+
+    def test_some_io_bound_apps_appear(self):
+        profiles = ProfileGenerator(seed=11).sample_suite(120)
+        assert any(p.io_intensity > 0.1 for p in profiles)
+
+    def test_rate_range_spans_suite(self):
+        profiles = ProfileGenerator(seed=5).sample_suite(200)
+        rates = [p.base_rate for p in profiles]
+        assert min(rates) < 5.0
+        assert max(rates) > 500.0
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            ProfileGenerator(seed=0).sample_suite(0)

@@ -1,0 +1,120 @@
+"""Tests for repro.core.hbm: the model facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.em import EMConfig
+from repro.core.hbm import HierarchicalBayesianModel
+from repro.core.observation import ObservationSet
+from repro.core.priors import NIWPrior
+
+
+def _obs(seed=0, m=6, n=8):
+    rng = np.random.default_rng(seed)
+    prior = rng.normal(1.0, 0.3, (m - 1, n)).cumsum(axis=1)
+    prior = np.abs(prior) + 1.0
+    target_idx = [1, 5]
+    target_vals = prior.mean(axis=0)[target_idx] * 1.1
+    return ObservationSet.from_prior_and_target(prior, target_idx,
+                                                target_vals)
+
+
+class TestDefaults:
+    def test_uses_paper_prior_by_default(self):
+        model = HierarchicalBayesianModel()
+        assert model.prior == NIWPrior.paper_default()
+
+    def test_can_disable_prior(self):
+        model = HierarchicalBayesianModel(use_paper_prior=False)
+        assert model.prior is None
+
+    def test_explicit_prior_wins(self):
+        custom = NIWPrior(pi=5.0)
+        model = HierarchicalBayesianModel(prior=custom)
+        assert model.prior is custom
+
+
+class TestFittedModel:
+    def test_curve_shapes_and_copies(self):
+        obs = _obs()
+        fitted = HierarchicalBayesianModel().fit(obs)
+        curve = fitted.target_curve()
+        assert curve.shape == (obs.num_configs,)
+        curve[0] = 1e9
+        assert fitted.target_curve()[0] != 1e9
+
+    def test_curve_by_app_index(self):
+        obs = _obs()
+        fitted = HierarchicalBayesianModel().fit(obs)
+        np.testing.assert_array_equal(fitted.curve(obs.target_row),
+                                      fitted.target_curve())
+
+    def test_credible_band_brackets_mean(self):
+        obs = _obs(seed=2)
+        fitted = HierarchicalBayesianModel().fit(obs)
+        lower, upper = fitted.credible_band(obs.target_row)
+        mean = fitted.target_curve()
+        assert (lower <= mean + 1e-12).all()
+        assert (upper >= mean - 1e-12).all()
+
+    def test_wider_band_for_more_stddevs(self):
+        obs = _obs(seed=3)
+        fitted = HierarchicalBayesianModel().fit(obs)
+        narrow_lo, narrow_hi = fitted.credible_band(obs.target_row, 1.0)
+        wide_lo, wide_hi = fitted.credible_band(obs.target_row, 3.0)
+        assert ((wide_hi - wide_lo) >= (narrow_hi - narrow_lo) - 1e-12).all()
+
+    def test_credible_band_rejects_negative(self):
+        obs = _obs()
+        fitted = HierarchicalBayesianModel().fit(obs)
+        with pytest.raises(ValueError):
+            fitted.credible_band(0, -1.0)
+
+    def test_band_tight_at_observed_configs(self):
+        obs = _obs(seed=4)
+        fitted = HierarchicalBayesianModel().fit(obs)
+        target = obs.target_row
+        lower, upper = fitted.credible_band(target)
+        width = upper - lower
+        observed = obs.observed_indices(target)
+        unobserved = np.setdiff1d(np.arange(obs.num_configs), observed)
+        assert width[observed].mean() < width[unobserved].mean()
+
+    def test_configuration_correlations_well_formed(self):
+        """The Figure 4 structure: unit diagonal, symmetric, bounded."""
+        obs = _obs(seed=6)
+        fitted = HierarchicalBayesianModel().fit(obs)
+        corr = fitted.configuration_correlations()
+        assert corr.shape == (obs.num_configs, obs.num_configs)
+        np.testing.assert_allclose(np.diag(corr), 1.0)
+        np.testing.assert_allclose(corr, corr.T)
+        assert corr.min() >= -1.0 and corr.max() <= 1.0
+
+    def test_correlations_reflect_shared_structure(self, cores_dataset):
+        """Adjacent core counts correlate more than distant ones."""
+        from repro.core.observation import ObservationSet
+        view = cores_dataset.leave_one_out("kmeans")
+        prior = view.prior_rates / view.prior_rates.mean(axis=1,
+                                                         keepdims=True)
+        obs = ObservationSet.from_prior_and_target(
+            prior, [4, 20], [prior.mean(axis=0)[4], prior.mean(axis=0)[20]])
+        fitted = HierarchicalBayesianModel().fit(obs)
+        corr = fitted.configuration_correlations()
+        assert corr[10, 11] > corr[10, 31]
+
+    def test_metadata_passthrough(self):
+        obs = _obs()
+        fitted = HierarchicalBayesianModel(
+            em_config=EMConfig(max_iterations=3)).fit(obs)
+        assert fitted.iterations <= 3
+        assert isinstance(fitted.loglik, float)
+        assert isinstance(fitted.converged, bool)
+
+    def test_init_mu_is_honoured(self):
+        """A one-iteration fit from different inits differs."""
+        obs = _obs(seed=5)
+        model = HierarchicalBayesianModel(
+            em_config=EMConfig(max_iterations=1))
+        a = model.fit(obs, init_mu=np.zeros(obs.num_configs))
+        b = model.fit(obs, init_mu=np.full(obs.num_configs, 10.0))
+        assert not np.allclose(a.target_curve(), b.target_curve())

@@ -1,0 +1,86 @@
+"""Tests for repro.telemetry.heartbeats."""
+
+import pytest
+
+from repro.telemetry.heartbeats import HeartbeatMonitor
+
+
+class TestRegistration:
+    def test_total_beats_accumulate(self):
+        monitor = HeartbeatMonitor()
+        monitor.heartbeat(0.0, beats=3)
+        monitor.heartbeat(1.0, beats=2)
+        assert monitor.total_beats == 5
+
+    def test_rejects_time_travel(self):
+        monitor = HeartbeatMonitor()
+        monitor.heartbeat(5.0)
+        with pytest.raises(ValueError):
+            monitor.heartbeat(4.0)
+
+    def test_rejects_negative_beats(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor().heartbeat(0.0, beats=-1)
+
+
+class TestWindowRate:
+    def test_zero_before_two_records(self):
+        monitor = HeartbeatMonitor()
+        assert monitor.window_rate() == 0.0
+        monitor.heartbeat(0.0)
+        assert monitor.window_rate() == 0.0
+
+    def test_steady_rate(self):
+        monitor = HeartbeatMonitor(window=10)
+        for t in range(5):
+            monitor.heartbeat(float(t), beats=2)
+        # 4 intervals of 1 s carrying 2 beats each (first record excluded).
+        assert monitor.window_rate() == pytest.approx(2.0)
+
+    def test_sliding_window_forgets_old_rates(self):
+        monitor = HeartbeatMonitor(window=3)
+        monitor.heartbeat(0.0, beats=100)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            monitor.heartbeat(t, beats=1)
+        assert monitor.window_rate() == pytest.approx(1.0)
+
+    def test_zero_span_is_zero_rate(self):
+        monitor = HeartbeatMonitor()
+        monitor.heartbeat(1.0)
+        monitor.heartbeat(1.0)
+        assert monitor.window_rate() == 0.0
+
+
+class TestTargets:
+    def test_meets_min_target(self):
+        monitor = HeartbeatMonitor(min_target=1.5)
+        for t in range(4):
+            monitor.heartbeat(float(t), beats=2)
+        assert monitor.meets_target()
+
+    def test_misses_min_target(self):
+        monitor = HeartbeatMonitor(min_target=3.0)
+        for t in range(4):
+            monitor.heartbeat(float(t), beats=2)
+        assert not monitor.meets_target()
+
+    def test_max_target(self):
+        monitor = HeartbeatMonitor(max_target=1.0)
+        for t in range(4):
+            monitor.heartbeat(float(t), beats=2)
+        assert not monitor.meets_target()
+
+    def test_rejects_inverted_targets(self):
+        with pytest.raises(ValueError):
+            HeartbeatMonitor(min_target=5.0, max_target=1.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        monitor = HeartbeatMonitor()
+        monitor.heartbeat(0.0)
+        monitor.heartbeat(1.0)
+        monitor.reset()
+        assert monitor.total_beats == 0.0
+        assert monitor.window_rate() == 0.0
+        monitor.heartbeat(0.5)  # earlier time OK after reset

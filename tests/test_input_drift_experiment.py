@@ -1,0 +1,34 @@
+"""Tests for repro.experiments.input_drift."""
+
+import pytest
+
+from repro.experiments.harness import default_context
+from repro.experiments.input_drift import input_drift_experiment
+
+
+@pytest.fixture(scope="module")
+def cores_ctx():
+    return default_context(space_kind="cores", seed=0)
+
+
+class TestInputDrift:
+    def test_structure(self, cores_ctx):
+        result = input_drift_experiment(
+            cores_ctx, benchmarks=("kmeans",), variants_per_app=2,
+            sample_count=8)
+        assert set(result.perf) == {"kmeans"}
+        scores = result.perf["kmeans"]
+        assert set(scores) == {"leo", "online", "offline"}
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    def test_leo_adapts_to_variants(self, cores_ctx):
+        result = input_drift_experiment(
+            cores_ctx, benchmarks=("kmeans", "swish"), variants_per_app=2,
+            sample_count=8)
+        means = result.mean_perf()
+        assert means["leo"] > 0.7
+        assert means["leo"] >= means["offline"]
+
+    def test_validation(self, cores_ctx):
+        with pytest.raises(ValueError):
+            input_drift_experiment(cores_ctx, variants_per_app=0)

@@ -1,0 +1,84 @@
+"""Tests for repro.workloads.inputs (input-dependent behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import accuracy
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.leo import LEOEstimator
+from repro.platform.machine import Machine
+from repro.workloads.inputs import REFERENCE_INPUT, InputSpec, input_sweep
+from repro.workloads.suite import get_benchmark
+
+
+class TestInputSpec:
+    def test_reference_is_identity_on_rate(self, kmeans):
+        applied = REFERENCE_INPUT.apply(kmeans)
+        assert applied.base_rate == kmeans.base_rate
+        assert applied.scaling_peak == kmeans.scaling_peak
+
+    def test_heavier_input_lowers_rate(self, kmeans):
+        heavy = InputSpec(name="big", work_scale=2.0).apply(kmeans)
+        assert heavy.base_rate == pytest.approx(kmeans.base_rate / 2.0)
+
+    def test_memory_shift_clipped_valid(self, kmeans):
+        shifted = InputSpec(name="m", memory_shift=0.9).apply(kmeans)
+        assert (shifted.memory_intensity + shifted.io_intensity) < 1.0
+
+    def test_peak_shift_floored_at_one(self, kmeans):
+        early = InputSpec(name="p", peak_shift=-100).apply(kmeans)
+        assert early.scaling_peak == 1
+
+    def test_name_annotated(self, kmeans):
+        assert InputSpec(name="v2").apply(kmeans).name == "kmeans@v2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InputSpec(name="")
+        with pytest.raises(ValueError):
+            InputSpec(name="x", work_scale=0.0)
+        with pytest.raises(ValueError):
+            InputSpec(name="x", noise_scale=0.0)
+
+
+class TestInputSweep:
+    def test_seeded_and_sized(self, kmeans):
+        a = input_sweep(kmeans, 10, seed=5)
+        b = input_sweep(kmeans, 10, seed=5)
+        assert len(a) == 10
+        assert [p.base_rate for p in a] == [p.base_rate for p in b]
+
+    def test_variants_differ_from_reference(self, kmeans):
+        variants = input_sweep(kmeans, 8, seed=1)
+        assert any(p.base_rate != kmeans.base_rate for p in variants)
+
+    def test_all_variants_valid_profiles(self, kmeans, swish):
+        # Profile validation runs in the constructor; no raise = valid.
+        assert len(input_sweep(kmeans, 50, seed=2)) == 50
+        assert len(input_sweep(swish, 50, seed=3)) == 50
+
+    def test_validation(self, kmeans):
+        with pytest.raises(ValueError):
+            input_sweep(kmeans, 0)
+        with pytest.raises(ValueError):
+            input_sweep(kmeans, 5, max_work_scale=1.0)
+
+
+class TestEstimationAcrossInputs:
+    def test_leo_tracks_input_variants(self, cores_dataset, cores_space):
+        """Priors profiled on reference inputs still support accurate
+        estimation of a shifted input — the core input-dependence claim."""
+        kmeans = get_benchmark("kmeans")
+        variant = InputSpec(name="shifted", work_scale=1.7,
+                            memory_shift=0.1, peak_shift=2).apply(kmeans)
+        machine = Machine(seed=33)
+        truth = np.array([machine.true_rate(variant, c)
+                          for c in cores_space])
+        view = cores_dataset.leave_one_out("kmeans")
+        indices = np.array([2, 8, 14, 20, 26, 31])
+        problem = EstimationProblem(
+            features=cores_space.feature_matrix(), prior=view.prior_rates,
+            observed_indices=indices, observed_values=truth[indices])
+        normalized, scale = normalize_problem(problem)
+        estimate = LEOEstimator().estimate(normalized) * scale
+        assert accuracy(estimate, truth) > 0.8

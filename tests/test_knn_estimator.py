@@ -1,0 +1,92 @@
+"""Tests for repro.estimators.knn."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import accuracy
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.knn import KNNEstimator
+
+
+def _problem(prior, indices, values, n=None):
+    n = prior.shape[1] if n is None else n
+    return EstimationProblem(
+        features=np.ones((n, 1)), prior=prior,
+        observed_indices=np.asarray(indices),
+        observed_values=np.asarray(values, dtype=float))
+
+
+class TestBasics:
+    def test_k1_copies_nearest(self):
+        prior = np.array([[1.0, 2.0, 3.0],
+                          [10.0, 20.0, 30.0]])
+        problem = _problem(prior, [0, 2], [9.5, 29.0])
+        estimate = KNNEstimator(k=1).estimate(problem)
+        np.testing.assert_allclose(estimate, prior[1])
+
+    def test_blend_between_neighbours(self):
+        prior = np.array([[1.0, 1.0], [3.0, 3.0], [100.0, 100.0]])
+        problem = _problem(prior, [0], [2.0])
+        estimate = KNNEstimator(k=2).estimate(problem)
+        # Equidistant from rows 0 and 1: the blend sits between them.
+        assert 1.0 < estimate[0] < 3.0
+
+    def test_exact_match_dominates(self):
+        prior = np.array([[5.0, 6.0], [50.0, 60.0]])
+        problem = _problem(prior, [0, 1], [5.0, 6.0])
+        estimate = KNNEstimator(k=2).estimate(problem)
+        np.testing.assert_allclose(estimate, prior[0], rtol=1e-6)
+
+    def test_k_clamped_to_library_size(self):
+        prior = np.array([[1.0, 2.0]])
+        problem = _problem(prior, [0], [1.0])
+        estimate = KNNEstimator(k=10).estimate(problem)
+        np.testing.assert_allclose(estimate, prior[0])
+
+    def test_requires_prior(self):
+        problem = EstimationProblem(
+            features=np.ones((2, 1)), prior=None,
+            observed_indices=np.array([0]),
+            observed_values=np.array([1.0]))
+        with pytest.raises(ValueError):
+            KNNEstimator().estimate(problem)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KNNEstimator(k=0)
+        with pytest.raises(ValueError):
+            KNNEstimator(epsilon=0.0)
+
+
+class TestOnSuite:
+    def test_finds_kmeans_like_shape(self, cores_dataset, cores_truth,
+                                     cores_space):
+        """kmeansnf is in the library; knn should exploit it for kmeans."""
+        view = cores_dataset.leave_one_out("kmeans")
+        truth = cores_truth.leave_one_out("kmeans").true_rates
+        indices = np.array([4, 9, 14, 19, 24, 29])
+        problem = EstimationProblem(
+            features=cores_space.feature_matrix(), prior=view.prior_rates,
+            observed_indices=indices, observed_values=truth[indices])
+        normalized, scale = normalize_problem(problem)
+        estimate = KNNEstimator(k=1).estimate(normalized) * scale
+        # The nearest neighbour gives the right shape family: early peak.
+        assert np.argmax(estimate) < 12
+
+    def test_between_offline_and_leo(self, cores_dataset, cores_truth,
+                                     cores_space):
+        from repro.estimators.leo import LEOEstimator
+        from repro.estimators.offline import OfflineEstimator
+        view = cores_dataset.leave_one_out("kmeans")
+        truth = cores_truth.leave_one_out("kmeans").true_rates
+        indices = np.array([4, 9, 14, 19, 24, 29])
+        problem = EstimationProblem(
+            features=cores_space.feature_matrix(), prior=view.prior_rates,
+            observed_indices=indices, observed_values=truth[indices])
+        normalized, scale = normalize_problem(problem)
+        scores = {}
+        for est in (KNNEstimator(), LEOEstimator(), OfflineEstimator()):
+            scores[est.name] = accuracy(est.estimate(normalized) * scale,
+                                        truth)
+        assert scores["knn"] > scores["offline"]
+        assert scores["leo"] >= scores["knn"] - 0.05

@@ -1,0 +1,112 @@
+"""Tests for repro.platform.machine."""
+
+import numpy as np
+import pytest
+
+from repro.platform.machine import Machine
+from repro.platform.topology import PAPER_TOPOLOGY
+from repro.workloads.suite import get_benchmark
+
+
+class TestActuation:
+    def test_requires_load_before_run(self, machine, cores_space):
+        machine.apply(cores_space[0])
+        with pytest.raises(RuntimeError):
+            machine.run_for(1.0)
+
+    def test_requires_apply_before_run(self, machine, kmeans):
+        machine.load(kmeans)
+        with pytest.raises(RuntimeError):
+            machine.run_for(1.0)
+
+    def test_apply_rejects_oversized(self, machine, kmeans):
+        import dataclasses
+        from repro.platform.config_space import Configuration
+        from repro.platform.dvfs import speed_ladder
+        big = Configuration(cores=17, threads=17, memory_controllers=1,
+                            speed=speed_ladder()[0])
+        with pytest.raises(ValueError):
+            machine.apply(big)
+
+
+class TestExecution:
+    def test_run_advances_clock_and_energy(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[7])
+        measurement = machine.run_for(2.0)
+        assert machine.clock == pytest.approx(2.0)
+        assert machine.total_energy == pytest.approx(measurement.energy)
+        assert measurement.heartbeats == pytest.approx(
+            measurement.rate * 2.0)
+
+    def test_measurement_near_truth(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        config = cores_space[7]
+        machine.apply(config)
+        m = machine.run_for(1.0)
+        assert m.rate == pytest.approx(machine.true_rate(kmeans, config),
+                                       rel=0.1)
+        assert m.system_power == pytest.approx(
+            machine.true_power(kmeans, config), rel=0.1)
+
+    def test_noise_is_seeded(self, kmeans, cores_space):
+        def measure(seed):
+            m = Machine(PAPER_TOPOLOGY, seed=seed)
+            m.load(kmeans)
+            m.apply(cores_space[3])
+            return m.run_for(1.0).rate
+        assert measure(5) == measure(5)
+        assert measure(5) != measure(6)
+
+    def test_longer_windows_less_noisy(self, kmeans, cores_space):
+        truth = Machine(PAPER_TOPOLOGY).true_rate(kmeans, cores_space[3])
+        def spread(window):
+            errs = []
+            for seed in range(30):
+                m = Machine(PAPER_TOPOLOGY, seed=seed)
+                m.load(kmeans)
+                m.apply(cores_space[3])
+                errs.append(abs(m.run_for(window).rate - truth) / truth)
+            return np.mean(errs)
+        assert spread(16.0) < spread(1.0)
+
+    def test_rejects_nonpositive_duration(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[0])
+        with pytest.raises(ValueError):
+            machine.run_for(0.0)
+
+    def test_idle_charges_idle_power(self, machine):
+        energy = machine.idle_for(10.0)
+        assert energy == pytest.approx(10.0 * machine.idle_power())
+        assert machine.clock == pytest.approx(10.0)
+
+    def test_idle_rejects_negative(self, machine):
+        with pytest.raises(ValueError):
+            machine.idle_for(-1.0)
+
+
+class TestSweep:
+    def test_sweep_shapes(self, machine, kmeans, cores_space):
+        rates, powers = machine.sweep(kmeans, cores_space, noisy=False)
+        assert rates.shape == powers.shape == (len(cores_space),)
+
+    def test_noise_free_sweep_equals_truth(self, machine, kmeans, cores_space):
+        rates, powers = machine.sweep(kmeans, cores_space, noisy=False)
+        for i, config in enumerate(cores_space):
+            assert rates[i] == machine.true_rate(kmeans, config)
+            assert powers[i] == machine.true_power(kmeans, config)
+
+    def test_noisy_sweep_close_to_truth(self, machine, kmeans, cores_space):
+        noisy, _ = machine.sweep(kmeans, cores_space, noisy=True)
+        clean, _ = machine.sweep(kmeans, cores_space, noisy=False)
+        rel = np.abs(noisy - clean) / clean
+        assert rel.max() < 0.1
+
+    def test_sweep_restores_running_state(self, machine, kmeans, swish,
+                                          cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[2])
+        machine.sweep(swish, cores_space, noisy=False)
+        assert machine.profile is kmeans
+        assert machine.config is cores_space[2]

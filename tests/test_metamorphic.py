@@ -1,0 +1,157 @@
+"""Metamorphic tests: transformations with known effects on outputs.
+
+Each test applies a transformation to an estimation problem whose effect
+on the correct answer is known exactly — permutation invariance, scale
+equivariance, idempotent duplication — and checks the estimators honour
+it.  These catch subtle bugs (index mix-ups, hidden state, asymmetric
+normalization) that pointwise accuracy tests miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import EstimationProblem, normalize_problem
+from repro.estimators.knn import KNNEstimator
+from repro.estimators.leo import LEOEstimator
+from repro.estimators.offline import OfflineEstimator
+from repro.estimators.online import OnlineEstimator
+
+
+@pytest.fixture()
+def problem(cores_dataset, cores_space):
+    view = cores_dataset.leave_one_out("kmeans")
+    indices = np.array([2, 8, 14, 20, 26, 31])
+    truth = cores_dataset.row("kmeans")[0]
+    return EstimationProblem(
+        features=cores_space.feature_matrix(), prior=view.prior_rates,
+        observed_indices=indices, observed_values=truth[indices])
+
+
+class TestPriorRowPermutation:
+    """Shuffling the order of prior applications must not matter."""
+
+    def _permuted(self, problem, seed=3):
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(problem.prior.shape[0])
+        return EstimationProblem(
+            features=problem.features, prior=problem.prior[order],
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values)
+
+    def test_offline_invariant(self, problem):
+        a = OfflineEstimator().estimate(problem)
+        b = OfflineEstimator().estimate(self._permuted(problem))
+        np.testing.assert_allclose(a, b)
+
+    def test_leo_invariant(self, problem):
+        a = LEOEstimator().estimate(problem)
+        b = LEOEstimator().estimate(self._permuted(problem))
+        np.testing.assert_allclose(a, b, rtol=1e-7, atol=1e-9)
+
+    def test_knn_invariant(self, problem):
+        a = KNNEstimator(k=3).estimate(problem)
+        b = KNNEstimator(k=3).estimate(self._permuted(problem))
+        np.testing.assert_allclose(a, b, rtol=1e-10)
+
+
+class TestScaleEquivariance:
+    """Scaling all data by c > 0 must scale the estimate by c."""
+
+    def _scaled(self, problem, c):
+        return EstimationProblem(
+            features=problem.features, prior=problem.prior * c,
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values * c)
+
+    @pytest.mark.parametrize("c", [0.01, 3.0, 1000.0])
+    def test_leo_equivariant(self, problem, c):
+        a = LEOEstimator().estimate(problem)
+        b = LEOEstimator().estimate(self._scaled(problem, c))
+        np.testing.assert_allclose(b, c * a, rtol=1e-6)
+
+    @pytest.mark.parametrize("c", [0.01, 1000.0])
+    def test_offline_equivariant(self, problem, c):
+        a = OfflineEstimator().estimate(problem)
+        b = OfflineEstimator().estimate(self._scaled(problem, c))
+        np.testing.assert_allclose(b, c * a, rtol=1e-12)
+
+    @pytest.mark.parametrize("c", [0.01, 1000.0])
+    def test_online_equivariant(self, problem, c):
+        # Online ignores the prior, so scale only the observations.
+        scaled = EstimationProblem(
+            features=problem.features, prior=None,
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values * c)
+        base = EstimationProblem(
+            features=problem.features, prior=None,
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values)
+        a = OnlineEstimator().estimate(base)
+        b = OnlineEstimator().estimate(scaled)
+        np.testing.assert_allclose(b, c * a, rtol=1e-8)
+
+    def test_normalization_makes_leo_scale_free(self, problem):
+        """Through normalize_problem, target-scale changes cancel."""
+        a_norm, a_scale = normalize_problem(problem)
+        scaled = EstimationProblem(
+            features=problem.features, prior=problem.prior,
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values * 7.0)
+        b_norm, b_scale = normalize_problem(scaled)
+        a = LEOEstimator().estimate(a_norm) * a_scale
+        b = LEOEstimator().estimate(b_norm) * b_scale
+        np.testing.assert_allclose(b, 7.0 * a, rtol=1e-6)
+
+
+class TestDuplication:
+    """Duplicating a prior application shifts weight, never breaks."""
+
+    def test_offline_mean_shifts_toward_duplicate(self, problem):
+        doubled = np.vstack([problem.prior, problem.prior[:1]])
+        duplicated = EstimationProblem(
+            features=problem.features, prior=doubled,
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values)
+        base = OfflineEstimator().estimate(problem)
+        shifted = OfflineEstimator().estimate(duplicated)
+        direction = problem.prior[0] - base
+        # Where the duplicated row differs from the mean, the new mean
+        # moves toward it.
+        mask = np.abs(direction) > 1e-9
+        assert np.all(np.sign(shifted - base)[mask]
+                      == np.sign(direction)[mask])
+
+    def test_leo_stable_under_duplicate(self, problem):
+        doubled = np.vstack([problem.prior, problem.prior[:1]])
+        duplicated = EstimationProblem(
+            features=problem.features, prior=doubled,
+            observed_indices=problem.observed_indices,
+            observed_values=problem.observed_values)
+        a = LEOEstimator().estimate(problem)
+        b = LEOEstimator().estimate(duplicated)
+        # Not identical (the library changed) but nowhere wild.
+        assert np.all(np.isfinite(b))
+        assert np.median(np.abs(b - a) / np.abs(a)) < 0.25
+
+
+class TestObservationConsistency:
+    """More observations of the truth never make LEO much worse."""
+
+    def test_superset_observations(self, cores_dataset, cores_truth,
+                                   cores_space):
+        from repro.core.accuracy import accuracy
+        view = cores_dataset.leave_one_out("swish")
+        truth = cores_truth.leave_one_out("swish").true_rates
+        small = np.array([4, 14, 24])
+        large = np.array([4, 9, 14, 19, 24, 29])
+
+        def run(indices):
+            problem = EstimationProblem(
+                features=cores_space.feature_matrix(),
+                prior=view.prior_rates, observed_indices=indices,
+                observed_values=truth[indices])
+            normalized, scale = normalize_problem(problem)
+            return accuracy(LEOEstimator().estimate(normalized) * scale,
+                            truth)
+
+        assert run(large) >= run(small) - 0.05

@@ -1,0 +1,36 @@
+"""Tests for repro.experiments.noise."""
+
+import pytest
+
+from repro.experiments.harness import default_context
+from repro.experiments.noise import noise_experiment
+
+
+@pytest.fixture(scope="module")
+def cores_ctx():
+    return default_context(space_kind="cores", seed=0)
+
+
+class TestNoiseExperiment:
+    def test_structure(self, cores_ctx):
+        result = noise_experiment(cores_ctx, noise_levels=(0.0, 0.1),
+                                  benchmarks=("kmeans",), trials=1,
+                                  sample_count=8)
+        assert result.noise_levels == (0.0, 0.1)
+        assert all(len(v) == 2 for v in result.perf.values())
+        for values in result.perf.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_noise_hurts_online_more_than_leo(self, cores_ctx):
+        result = noise_experiment(cores_ctx, noise_levels=(0.0, 0.2),
+                                  benchmarks=("kmeans", "swish"),
+                                  trials=2, sample_count=8)
+        leo_drop = result.perf["leo"][0] - result.perf["leo"][1]
+        online_drop = result.perf["online"][0] - result.perf["online"][1]
+        assert online_drop > leo_drop
+
+    def test_validation(self, cores_ctx):
+        with pytest.raises(ValueError):
+            noise_experiment(cores_ctx, noise_levels=(-0.1,))
+        with pytest.raises(ValueError):
+            noise_experiment(cores_ctx, trials=0)

@@ -1,0 +1,119 @@
+"""Tests for repro.core.observation."""
+
+import numpy as np
+import pytest
+
+from repro.core.observation import ObservationSet
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        values = np.arange(12, dtype=float).reshape(3, 4) + 1
+        mask = np.ones((3, 4), dtype=bool)
+        obs = ObservationSet(values, mask)
+        assert obs.num_applications == 3
+        assert obs.num_configs == 4
+        assert obs.total_observations == 12
+
+    def test_unobserved_entries_zeroed(self):
+        values = np.full((1, 3), 7.0)
+        mask = np.array([[True, False, True]])
+        obs = ObservationSet(values, mask)
+        np.testing.assert_allclose(obs.values[0], [7.0, 0.0, 7.0])
+
+    def test_nan_allowed_when_unobserved(self):
+        values = np.array([[1.0, np.nan]])
+        mask = np.array([[True, False]])
+        obs = ObservationSet(values, mask)
+        assert obs.values[0, 1] == 0.0
+
+    def test_nan_rejected_when_observed(self):
+        with pytest.raises(ValueError):
+            ObservationSet(np.array([[np.nan]]), np.array([[True]]))
+
+    def test_empty_row_rejected(self):
+        values = np.ones((2, 3))
+        mask = np.array([[True, True, True], [False, False, False]])
+        with pytest.raises(ValueError):
+            ObservationSet(values, mask)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSet(np.ones((2, 3)), np.ones((2, 4), dtype=bool))
+
+
+class TestAccessors:
+    def test_observed_indices_and_values(self):
+        values = np.array([[1.0, 2.0, 3.0, 4.0]])
+        mask = np.array([[True, False, False, True]])
+        obs = ObservationSet(values, mask)
+        np.testing.assert_array_equal(obs.observed_indices(0), [0, 3])
+        np.testing.assert_allclose(obs.observed_values(0), [1.0, 4.0])
+
+    def test_frobenius_count_matches_paper_definition(self):
+        """||L||_F^2 equals the total observation count (Eq. 4)."""
+        mask = np.array([[True, True], [True, False]])
+        obs = ObservationSet(np.ones((2, 2)), mask)
+        l_matrix = mask.astype(float)
+        assert obs.total_observations == pytest.approx(
+            np.linalg.norm(l_matrix, "fro") ** 2)
+
+
+class TestMaskGroups:
+    def test_paper_layout_has_two_groups(self):
+        prior = np.ones((4, 6))
+        obs = ObservationSet.from_prior_and_target(
+            prior, [1, 3], [5.0, 6.0])
+        groups = obs.mask_groups()
+        assert len(groups) == 2
+        sizes = sorted(len(apps) for _, apps in groups)
+        assert sizes == [1, 4]
+
+    def test_group_indices_match_masks(self):
+        prior = np.ones((2, 5))
+        obs = ObservationSet.from_prior_and_target(prior, [0, 4], [1.0, 2.0])
+        for obs_idx, apps in obs.mask_groups():
+            for app in apps:
+                np.testing.assert_array_equal(
+                    obs.observed_indices(app), obs_idx)
+
+    def test_identical_sparse_masks_grouped(self):
+        values = np.ones((3, 4))
+        mask = np.array([[True, False, True, False]] * 3)
+        obs = ObservationSet(values, mask)
+        assert len(obs.mask_groups()) == 1
+
+
+class TestFromPriorAndTarget:
+    def test_layout(self):
+        prior = np.arange(8, dtype=float).reshape(2, 4) + 1
+        obs = ObservationSet.from_prior_and_target(prior, [2], [9.0])
+        assert obs.num_applications == 3
+        assert obs.target_row == 2
+        np.testing.assert_allclose(obs.values[:2], prior)
+        assert obs.values[2, 2] == 9.0
+        assert obs.mask[2].sum() == 1
+
+    def test_empty_prior_needs_num_configs(self):
+        obs = ObservationSet.from_prior_and_target(
+            np.empty((0, 0)), [1], [2.0], num_configs=4)
+        assert obs.num_applications == 1
+        assert obs.num_configs == 4
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(ValueError):
+            ObservationSet.from_prior_and_target(
+                np.ones((1, 4)), [1, 1], [2.0, 3.0])
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ValueError):
+            ObservationSet.from_prior_and_target(np.ones((1, 4)), [4], [2.0])
+
+    def test_rejects_no_target_observations(self):
+        with pytest.raises(ValueError):
+            ObservationSet.from_prior_and_target(np.ones((1, 4)), [], [])
+
+    def test_rejects_misaligned_target(self):
+        with pytest.raises(ValueError):
+            ObservationSet.from_prior_and_target(
+                np.ones((1, 4)), [1, 2], [2.0])

@@ -1,0 +1,158 @@
+"""Tests for repro.platform.performance_model."""
+
+import numpy as np
+import pytest
+
+from repro.platform.config_space import Configuration, ConfigurationSpace
+from repro.platform.dvfs import speed_ladder
+from repro.platform.performance_model import (
+    PerformanceModel,
+    contention_penalty,
+    memory_speedup,
+    thread_speedup,
+)
+from repro.workloads.profile import ApplicationProfile
+from repro.workloads.suite import get_benchmark
+
+
+def _profile(**overrides):
+    base = dict(name="t", base_rate=100.0, serial_fraction=0.05,
+                scaling_peak=32, contention_slope=0.0,
+                memory_intensity=0.2, io_intensity=0.0, ht_efficiency=0.5,
+                memory_parallelism=8, activity_factor=0.8, noise=0.0)
+    base.update(overrides)
+    return ApplicationProfile(**base)
+
+
+def _config(cores=1, threads=None, mem=1, speed_idx=14):
+    return Configuration(cores=cores,
+                         threads=threads if threads is not None else cores,
+                         memory_controllers=mem,
+                         speed=speed_ladder()[speed_idx])
+
+
+class TestThreadSpeedup:
+    def test_single_core_is_unity(self):
+        assert thread_speedup(_profile(), _config(cores=1)) == pytest.approx(1.0)
+
+    def test_amdahl_limit(self):
+        profile = _profile(serial_fraction=0.5)
+        speedup = thread_speedup(profile, _config(cores=16, threads=32))
+        assert speedup < 2.0  # 1/s bound
+
+    def test_perfect_parallel_scales_linearly(self):
+        profile = _profile(serial_fraction=0.0)
+        assert thread_speedup(profile, _config(cores=8)) == pytest.approx(8.0)
+
+    def test_hyperthreads_discounted(self):
+        profile = _profile(serial_fraction=0.0, ht_efficiency=0.5)
+        full = thread_speedup(profile, _config(cores=8, threads=8))
+        with_ht = thread_speedup(profile, _config(cores=8, threads=16))
+        assert full < with_ht < 2 * full
+
+    def test_negative_ht_efficiency_hurts(self):
+        profile = _profile(serial_fraction=0.0, ht_efficiency=-0.2)
+        without = thread_speedup(profile, _config(cores=8, threads=8))
+        with_ht = thread_speedup(profile, _config(cores=8, threads=16))
+        assert with_ht < without
+
+
+class TestContentionPenalty:
+    def test_no_penalty_below_peak(self):
+        profile = _profile(scaling_peak=8, contention_slope=0.1)
+        assert contention_penalty(profile, _config(cores=8)) == 1.0
+
+    def test_penalty_grows_past_peak(self):
+        profile = _profile(scaling_peak=8, contention_slope=0.1)
+        p12 = contention_penalty(profile, _config(cores=12))
+        p16 = contention_penalty(profile, _config(cores=16))
+        assert p16 < p12 < 1.0
+
+    def test_zero_slope_never_penalizes(self):
+        profile = _profile(scaling_peak=4, contention_slope=0.0)
+        assert contention_penalty(profile, _config(cores=16)) == 1.0
+
+
+class TestMemorySpeedup:
+    def test_second_controller_helps(self):
+        profile = _profile(memory_intensity=0.5)
+        one = memory_speedup(profile, _config(cores=4, mem=1))
+        two = memory_speedup(profile, _config(cores=4, mem=2))
+        assert two > one
+
+    def test_saturates_at_memory_parallelism(self):
+        profile = _profile(memory_parallelism=4)
+        at4 = memory_speedup(profile, _config(cores=4))
+        at16 = memory_speedup(profile, _config(cores=16))
+        assert at4 == at16
+
+
+class TestHeartbeatRate:
+    def test_base_configuration_near_base_rate(self):
+        model = PerformanceModel()
+        profile = _profile(memory_intensity=0.0)
+        rate = model.heartbeat_rate(profile, _config(cores=1))
+        assert rate == pytest.approx(profile.base_rate, rel=1e-9)
+
+    def test_rates_always_positive(self, cores_space):
+        model = PerformanceModel()
+        profile = get_benchmark("kmeans")
+        rates = [model.heartbeat_rate(profile, c) for c in cores_space]
+        assert min(rates) > 0
+
+    def test_kmeans_peaks_at_eight_threads(self, cores_space):
+        """Section 2: kmeans scales to 8 cores then degrades sharply."""
+        model = PerformanceModel()
+        rates = [model.heartbeat_rate(get_benchmark("kmeans"), c)
+                 for c in cores_space]
+        assert int(np.argmax(rates)) + 1 == 8
+        assert rates[31] < 0.5 * rates[7]  # sharp degradation
+
+    def test_swish_peaks_at_sixteen(self, cores_space):
+        model = PerformanceModel()
+        rates = [model.heartbeat_rate(get_benchmark("swish"), c)
+                 for c in cores_space]
+        assert int(np.argmax(rates)) + 1 == 16
+
+    def test_x264_flat_after_sixteen(self, cores_space):
+        """Section 6.3: x264 essentially constant after 16 cores."""
+        model = PerformanceModel()
+        rates = [model.heartbeat_rate(get_benchmark("x264"), c)
+                 for c in cores_space]
+        assert abs(rates[31] - rates[15]) / rates[15] < 0.15
+
+    def test_io_bound_app_insensitive_to_frequency(self):
+        model = PerformanceModel()
+        profile = _profile(io_intensity=0.9, memory_intensity=0.05)
+        slow = model.heartbeat_rate(profile, _config(cores=4, speed_idx=0))
+        fast = model.heartbeat_rate(profile, _config(cores=4, speed_idx=14))
+        assert fast / slow < 1.2
+
+    def test_compute_bound_app_tracks_frequency(self):
+        model = PerformanceModel()
+        profile = _profile(memory_intensity=0.0, serial_fraction=0.0)
+        slow = model.heartbeat_rate(profile, _config(cores=4, speed_idx=0))
+        fast = model.heartbeat_rate(profile, _config(cores=4, speed_idx=14))
+        assert fast / slow == pytest.approx(2.9 / 1.2, rel=1e-6)
+
+    def test_rejects_oversized_allocation(self):
+        model = PerformanceModel()
+        with pytest.raises(ValueError):
+            model.heartbeat_rate(_profile(), _config(cores=17))
+
+    def test_speedup_is_rate_ratio(self, cores_space):
+        model = PerformanceModel()
+        profile = _profile()
+        base, other = cores_space[0], cores_space[7]
+        expected = (model.heartbeat_rate(profile, other)
+                    / model.heartbeat_rate(profile, base))
+        assert model.speedup(profile, other, base) == pytest.approx(expected)
+
+    def test_turbo_beats_nominal_for_compute(self, paper_space):
+        model = PerformanceModel()
+        profile = _profile(memory_intensity=0.0)
+        nominal = paper_space[28]   # 1 core, speed 14, 1 mem
+        turbo = paper_space[30]     # 1 core, turbo, 1 mem
+        assert nominal.speed.index == 14 and turbo.speed.turbo
+        assert (model.heartbeat_rate(profile, turbo)
+                > model.heartbeat_rate(profile, nominal))

@@ -1,0 +1,95 @@
+"""Tests for repro.runtime.persistence (the estimate store)."""
+
+import numpy as np
+import pytest
+
+from repro.estimators.leo import LEOEstimator
+from repro.platform.machine import Machine
+from repro.runtime.controller import RuntimeController, TradeoffEstimate
+from repro.runtime.persistence import EstimateStore
+from repro.runtime.sampling import RandomSampler
+from repro.workloads.suite import get_benchmark
+
+
+def _estimate(n=8, name="leo"):
+    return TradeoffEstimate(
+        rates=np.linspace(10.0, 100.0, n),
+        powers=np.linspace(100.0, 300.0, n),
+        estimator_name=name, sampling_time=5.0, sampling_energy=700.0,
+        fit_seconds=0.8)
+
+
+class TestRoundtrip:
+    def test_save_load(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        original = _estimate()
+        store.save("kmeans", original)
+        loaded = store.load("kmeans", 8, "leo")
+        np.testing.assert_allclose(loaded.rates, original.rates)
+        np.testing.assert_allclose(loaded.powers, original.powers)
+        assert loaded.estimator_name == "leo"
+        assert loaded.sampling_time == 5.0
+        assert loaded.fit_seconds == 0.8
+
+    def test_missing_returns_none(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        assert store.load("kmeans", 8, "leo") is None
+
+    def test_keyed_by_estimator_and_size(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        store.save("kmeans", _estimate(n=8, name="leo"))
+        store.save("kmeans", _estimate(n=8, name="online"))
+        store.save("kmeans", _estimate(n=16, name="leo"))
+        assert store.load("kmeans", 8, "leo") is not None
+        assert store.load("kmeans", 8, "online") is not None
+        assert store.load("kmeans", 16, "leo") is not None
+        assert store.load("kmeans", 32, "leo") is None
+
+    def test_delete(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        store.save("kmeans", _estimate())
+        assert store.delete("kmeans", 8, "leo")
+        assert not store.delete("kmeans", 8, "leo")
+        assert store.load("kmeans", 8, "leo") is None
+
+    def test_known_applications(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        store.save("kmeans", _estimate())
+        store.save("swish", _estimate())
+        assert store.known_applications() == ["kmeans", "swish"]
+
+    def test_awkward_names_sanitized(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        store.save("my app/v2", _estimate())
+        assert store.load("my app/v2", 8, "leo") is not None
+
+    def test_unsanitizable_name_rejected(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        with pytest.raises(ValueError):
+            store.save("///", _estimate())
+
+    def test_creates_directory(self, tmp_path):
+        store = EstimateStore(tmp_path / "deep" / "models")
+        store.save("kmeans", _estimate())
+        assert store.load("kmeans", 8, "leo") is not None
+
+
+class TestGetOrCalibrate:
+    def test_first_call_calibrates_second_loads(self, tmp_path,
+                                                cores_space,
+                                                cores_dataset):
+        view = cores_dataset.leave_one_out("kmeans")
+        controller = RuntimeController(
+            machine=Machine(seed=31), space=cores_space,
+            estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=0), sample_count=6)
+        store = EstimateStore(tmp_path)
+        kmeans = get_benchmark("kmeans")
+
+        first = store.get_or_calibrate("kmeans", controller, kmeans)
+        clock_after_first = controller.machine.clock
+        second = store.get_or_calibrate("kmeans", controller, kmeans)
+        # Second call did not touch the machine (no new sampling).
+        assert controller.machine.clock == clock_after_first
+        np.testing.assert_allclose(second.rates, first.rates)

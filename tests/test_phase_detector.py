@@ -1,0 +1,81 @@
+"""Tests for repro.runtime.phase_detector."""
+
+import pytest
+
+from repro.runtime.phase_detector import PhaseDetector
+
+
+class TestDetection:
+    def test_fires_after_patience_consecutive_anomalies(self):
+        detector = PhaseDetector(threshold=0.15, patience=3)
+        assert not detector.update(100.0, 50.0)
+        assert not detector.update(100.0, 50.0)
+        assert detector.update(100.0, 50.0)
+        assert detector.detections == 1
+
+    def test_streak_reset_by_normal_window(self):
+        detector = PhaseDetector(threshold=0.15, patience=3)
+        detector.update(100.0, 50.0)
+        detector.update(100.0, 50.0)
+        detector.update(100.0, 99.0)  # back to normal
+        assert not detector.update(100.0, 50.0)
+        assert not detector.update(100.0, 50.0)
+        assert detector.update(100.0, 50.0)
+
+    def test_resets_after_firing(self):
+        detector = PhaseDetector(threshold=0.1, patience=2)
+        detector.update(10.0, 1.0)
+        assert detector.update(10.0, 1.0)
+        # Streak restarted: needs two more anomalies to fire again.
+        assert not detector.update(10.0, 1.0)
+        assert detector.update(10.0, 1.0)
+        assert detector.detections == 2
+
+    def test_within_threshold_never_fires(self):
+        detector = PhaseDetector(threshold=0.2, patience=1)
+        for _ in range(10):
+            assert not detector.update(100.0, 85.0)
+
+    def test_detects_rate_increase_too(self):
+        """Phase 2 of fluidanimate is lighter: rates jump UP."""
+        detector = PhaseDetector(threshold=0.15, patience=1)
+        assert detector.update(100.0, 150.0)
+
+    def test_manual_reset(self):
+        detector = PhaseDetector(threshold=0.1, patience=2)
+        detector.update(10.0, 1.0)
+        detector.reset()
+        assert not detector.update(10.0, 1.0)
+
+
+class TestThresholdOverride:
+    def test_looser_override_suppresses_anomaly(self):
+        detector = PhaseDetector(threshold=0.15, patience=1)
+        # 30% deviation: anomalous by default, normal at a 0.5 override.
+        assert not detector.update(100.0, 70.0, threshold=0.5)
+        assert detector.update(100.0, 70.0)
+
+    def test_tighter_override_detects_small_shift(self):
+        detector = PhaseDetector(threshold=0.5, patience=1)
+        assert detector.update(100.0, 90.0, threshold=0.05)
+
+    def test_override_rejects_nonpositive(self):
+        detector = PhaseDetector()
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            detector.update(100.0, 90.0, threshold=0.0)
+
+
+class TestValidation:
+    def test_constructor(self):
+        with pytest.raises(ValueError):
+            PhaseDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            PhaseDetector(patience=0)
+
+    def test_update_inputs(self):
+        detector = PhaseDetector()
+        with pytest.raises(ValueError):
+            detector.update(0.0, 1.0)
+        with pytest.raises(ValueError):
+            detector.update(1.0, -1.0)

@@ -1,0 +1,75 @@
+"""Tests for repro.workloads.phases."""
+
+import pytest
+
+from repro.workloads.phases import Phase, PhasedWorkload, fluidanimate_two_phase
+from repro.workloads.suite import get_benchmark
+
+
+class TestPhase:
+    def test_target_rate_is_deadline_inverse(self, kmeans):
+        phase = Phase(kmeans, frames=10, frame_deadline=0.25)
+        assert phase.target_rate == pytest.approx(4.0)
+
+    def test_duration(self, kmeans):
+        phase = Phase(kmeans, frames=40, frame_deadline=0.5)
+        assert phase.duration == pytest.approx(20.0)
+
+    def test_rejects_zero_frames(self, kmeans):
+        with pytest.raises(ValueError):
+            Phase(kmeans, frames=0, frame_deadline=0.25)
+
+    def test_rejects_nonpositive_deadline(self, kmeans):
+        with pytest.raises(ValueError):
+            Phase(kmeans, frames=10, frame_deadline=0.0)
+
+
+class TestPhasedWorkload:
+    def test_totals(self, kmeans):
+        workload = PhasedWorkload([
+            Phase(kmeans, frames=10, frame_deadline=1.0),
+            Phase(kmeans, frames=20, frame_deadline=0.5),
+        ])
+        assert workload.total_frames == 30
+        assert workload.total_duration == pytest.approx(20.0)
+        assert len(workload) == 2
+
+    def test_phase_boundaries(self, kmeans):
+        workload = PhasedWorkload([
+            Phase(kmeans, frames=10, frame_deadline=1.0),
+            Phase(kmeans, frames=20, frame_deadline=1.0),
+            Phase(kmeans, frames=5, frame_deadline=1.0),
+        ])
+        assert workload.phase_boundaries() == [10, 30]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PhasedWorkload([])
+
+
+class TestFluidanimateTwoPhase:
+    def test_section_6_6_structure(self):
+        fluid = get_benchmark("fluidanimate")
+        workload = fluidanimate_two_phase(fluid, frames_per_phase=100,
+                                          frame_deadline=0.25)
+        assert len(workload) == 2
+        heavy, light = workload.phases
+        # Both phases share the deadline; phase 2 needs 2/3 the resources,
+        # i.e. its per-frame work is 2/3 and its rate capability 3/2.
+        assert heavy.frame_deadline == light.frame_deadline
+        assert light.profile.base_rate == pytest.approx(
+            heavy.profile.base_rate * 1.5)
+
+    def test_custom_work_ratio(self):
+        fluid = get_benchmark("fluidanimate")
+        workload = fluidanimate_two_phase(fluid, work_ratio=0.5)
+        heavy, light = workload.phases
+        assert light.profile.base_rate == pytest.approx(
+            2.0 * heavy.profile.base_rate)
+
+    def test_rejects_bad_ratio(self):
+        fluid = get_benchmark("fluidanimate")
+        with pytest.raises(ValueError):
+            fluidanimate_two_phase(fluid, work_ratio=0.0)
+        with pytest.raises(ValueError):
+            fluidanimate_two_phase(fluid, work_ratio=1.5)

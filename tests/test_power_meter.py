@@ -1,0 +1,95 @@
+"""Tests for repro.telemetry.power_meter."""
+
+import numpy as np
+import pytest
+
+from repro.telemetry.power_meter import RaplMeter, WattsUpMeter
+
+
+class TestWattsUpMeter:
+    def test_idle_reading_near_idle_power(self, machine):
+        meter = WattsUpMeter(machine, seed=1)
+        sample = meter.sample()
+        assert sample.watts == pytest.approx(machine.idle_power(), abs=10.0)
+
+    def test_reading_tracks_running_power(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[7])
+        meter = WattsUpMeter(machine, seed=1)
+        truth = machine.true_power(kmeans, cores_space[7])
+        sample = meter.sample()
+        assert sample.watts == pytest.approx(truth, abs=10.0)
+
+    def test_quantization(self, machine):
+        meter = WattsUpMeter(machine, quantum=0.1, seed=2)
+        for _ in range(5):
+            watts = meter.sample().watts
+            assert round(watts * 10) == pytest.approx(watts * 10)
+
+    def test_record_window_advances_clock(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[3])
+        meter = WattsUpMeter(machine, period=1.0, seed=3)
+        samples = meter.record_window(5.0)
+        assert len(samples) == 5
+        assert machine.clock == pytest.approx(5.0)
+
+    def test_record_window_fractional_tail(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[3])
+        meter = WattsUpMeter(machine, period=1.0, seed=3)
+        samples = meter.record_window(2.5)
+        assert len(samples) == 3
+        assert machine.clock == pytest.approx(2.5)
+
+    def test_log_accumulates_and_resets(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[3])
+        meter = WattsUpMeter(machine, seed=4)
+        meter.record_window(3.0)
+        assert len(meter.log) == 3
+        meter.reset()
+        assert meter.log == []
+
+    def test_timestamps_use_machine_clock(self, machine, kmeans, cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[3])
+        meter = WattsUpMeter(machine, seed=5)
+        samples = meter.record_window(3.0)
+        times = [s.time for s in samples]
+        np.testing.assert_allclose(times, [1.0, 2.0, 3.0])
+
+    def test_rejects_bad_parameters(self, machine):
+        with pytest.raises(ValueError):
+            WattsUpMeter(machine, period=0.0)
+        with pytest.raises(ValueError):
+            WattsUpMeter(machine, noise_std=-1.0)
+        with pytest.raises(ValueError):
+            WattsUpMeter(machine, quantum=-0.1)
+
+    def test_record_window_rejects_nonpositive(self, machine):
+        meter = WattsUpMeter(machine)
+        with pytest.raises(ValueError):
+            meter.record_window(0.0)
+
+
+class TestRaplMeter:
+    def test_finer_granularity_than_wattsup(self, machine, kmeans,
+                                            cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[3])
+        rapl = RaplMeter(machine, seed=6)
+        samples = rapl.record_window(1.0)
+        assert len(samples) == 20  # 50 ms period
+
+    def test_chip_power_below_system_power(self, machine, kmeans,
+                                           cores_space):
+        machine.load(kmeans)
+        machine.apply(cores_space[7])
+        rapl = RaplMeter(machine, noise_std=0.0, seed=7)
+        wattsup = WattsUpMeter(machine, noise_std=0.0, quantum=0.0, seed=7)
+        assert rapl.sample().watts < wattsup.sample().watts
+
+    def test_idle_chip_power_is_small(self, machine):
+        rapl = RaplMeter(machine, noise_std=0.0, seed=8)
+        assert rapl.sample().watts < 20.0

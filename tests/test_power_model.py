@@ -1,0 +1,125 @@
+"""Tests for repro.platform.power_model."""
+
+import pytest
+
+from repro.platform.config_space import Configuration
+from repro.platform.dvfs import speed_ladder
+from repro.platform.power_model import PowerConstants, PowerModel
+from repro.platform.topology import PAPER_TOPOLOGY
+from repro.workloads.profile import ApplicationProfile
+from repro.workloads.suite import get_benchmark, paper_suite
+
+
+def _profile(**overrides):
+    base = dict(name="t", base_rate=100.0, serial_fraction=0.05,
+                scaling_peak=32, contention_slope=0.0,
+                memory_intensity=0.2, io_intensity=0.0, ht_efficiency=0.5,
+                memory_parallelism=8, activity_factor=0.8, noise=0.0)
+    base.update(overrides)
+    return ApplicationProfile(**base)
+
+
+def _config(cores=1, threads=None, mem=1, speed_idx=14):
+    return Configuration(cores=cores,
+                         threads=threads if threads is not None else cores,
+                         memory_controllers=mem,
+                         speed=speed_ladder()[speed_idx])
+
+
+class TestChipPower:
+    def test_more_cores_more_power(self):
+        model = PowerModel()
+        profile = _profile()
+        powers = [model.chip_power(profile, _config(cores=k))
+                  for k in (1, 4, 8, 16)]
+        assert all(a < b for a, b in zip(powers, powers[1:]))
+
+    def test_higher_frequency_more_power(self):
+        model = PowerModel()
+        profile = _profile()
+        slow = model.chip_power(profile, _config(cores=8, speed_idx=0))
+        fast = model.chip_power(profile, _config(cores=8, speed_idx=14))
+        assert fast > slow
+
+    def test_chip_power_below_tdp(self):
+        """A power-virus workload at turbo must stay under 2x135 W."""
+        model = PowerModel()
+        virus = _profile(activity_factor=1.0, serial_fraction=0.0,
+                         memory_intensity=0.0)
+        config = _config(cores=16, threads=32, mem=2, speed_idx=15)
+        assert model.chip_power(virus, config) < 2 * PAPER_TOPOLOGY.tdp_watts
+
+    def test_hyperthreading_adds_power(self):
+        model = PowerModel()
+        profile = _profile()
+        without = model.chip_power(profile, _config(cores=8, threads=8))
+        with_ht = model.chip_power(profile, _config(cores=8, threads=16))
+        assert with_ht > without
+
+    def test_second_socket_uncore_cost(self):
+        model = PowerModel()
+        profile = _profile()
+        eight = model.chip_power(profile, _config(cores=8))
+        nine = model.chip_power(profile, _config(cores=9))
+        # Crossing the socket boundary adds a whole uncore.
+        assert nine - eight > model.constants.uncore_per_socket
+
+    def test_memory_bound_app_draws_less_core_power(self):
+        model = PowerModel()
+        compute = _profile(memory_intensity=0.0, activity_factor=0.9)
+        memory = _profile(memory_intensity=0.6, activity_factor=0.5,
+                          io_intensity=0.0)
+        config = _config(cores=8)
+        assert (model.chip_power(memory, config)
+                < model.chip_power(compute, config))
+
+    def test_rejects_oversized_allocation(self):
+        with pytest.raises(ValueError):
+            PowerModel().chip_power(_profile(), _config(cores=17))
+
+
+class TestDramPower:
+    def test_second_controller_adds_power(self):
+        model = PowerModel()
+        profile = _profile(memory_intensity=0.5)
+        one = model.dram_power(profile, _config(cores=8, mem=1))
+        two = model.dram_power(profile, _config(cores=8, mem=2))
+        assert two > one
+
+    def test_traffic_scales_with_memory_intensity(self):
+        model = PowerModel()
+        config = _config(cores=8, mem=2)
+        light = model.dram_power(_profile(memory_intensity=0.1), config)
+        heavy = model.dram_power(_profile(memory_intensity=0.6), config)
+        assert heavy > light
+
+
+class TestSystemPower:
+    def test_composition(self):
+        model = PowerModel()
+        profile = _profile()
+        config = _config(cores=8)
+        total = model.system_power(profile, config)
+        assert total == pytest.approx(
+            model.constants.system_floor
+            + model.chip_power(profile, config)
+            + model.dram_power(profile, config))
+
+    def test_idle_below_any_active_config(self, cores_space):
+        model = PowerModel()
+        idle = model.idle_power()
+        profile = get_benchmark("kmeans")
+        assert all(model.system_power(profile, c) > idle
+                   for c in cores_space)
+
+    def test_realistic_wall_power_range(self, paper_space):
+        """System power should land in a plausible server envelope."""
+        model = PowerModel()
+        for profile in paper_suite():
+            low = model.system_power(profile, paper_space[0])
+            high = model.system_power(profile, paper_space[-1])
+            assert 90.0 < low < high < 450.0
+
+    def test_constants_validation(self):
+        with pytest.raises(ValueError):
+            PowerConstants(system_floor=-1.0)

@@ -1,0 +1,69 @@
+"""Tests for repro.core.priors."""
+
+import numpy as np
+import pytest
+
+from repro.core.priors import NIWPrior
+
+
+class TestPaperDefault:
+    def test_matches_section_5_2(self):
+        prior = NIWPrior.paper_default()
+        assert prior.mu0 == 0.0
+        assert prior.pi == 1.0
+        assert prior.psi == 1.0
+        assert prior.nu == 1.0
+
+
+class TestMaterialization:
+    def test_scalar_mu0_broadcasts(self):
+        prior = NIWPrior(mu0=2.5)
+        np.testing.assert_allclose(prior.mu0_vector(4), [2.5] * 4)
+
+    def test_vector_mu0_validated(self):
+        prior = NIWPrior(mu0=np.array([1.0, 2.0]))
+        np.testing.assert_allclose(prior.mu0_vector(2), [1.0, 2.0])
+        with pytest.raises(ValueError):
+            prior.mu0_vector(3)
+
+    def test_scalar_psi_scales_identity(self):
+        prior = NIWPrior(psi=3.0)
+        np.testing.assert_allclose(prior.psi_matrix(2), 3.0 * np.eye(2))
+
+    def test_matrix_psi_validated(self):
+        psi = np.array([[2.0, 0.5], [0.5, 2.0]])
+        prior = NIWPrior(psi=psi)
+        np.testing.assert_allclose(prior.psi_matrix(2), psi)
+        with pytest.raises(ValueError):
+            prior.psi_matrix(3)
+
+    def test_materialized_copies_are_independent(self):
+        prior = NIWPrior(mu0=np.array([1.0, 2.0]))
+        vec = prior.mu0_vector(2)
+        vec[0] = 99.0
+        np.testing.assert_allclose(prior.mu0_vector(2), [1.0, 2.0])
+
+
+class TestValidation:
+    def test_rejects_negative_pi(self):
+        with pytest.raises(ValueError):
+            NIWPrior(pi=-0.1)
+
+    def test_rejects_negative_nu(self):
+        with pytest.raises(ValueError):
+            NIWPrior(nu=-1.0)
+
+    def test_rejects_negative_scalar_psi(self):
+        with pytest.raises(ValueError):
+            NIWPrior(psi=-1.0)
+
+    def test_rejects_nonsquare_psi(self):
+        with pytest.raises(ValueError):
+            NIWPrior(psi=np.ones((2, 3)))
+
+    def test_rejects_asymmetric_psi(self):
+        with pytest.raises(ValueError):
+            NIWPrior(psi=np.array([[1.0, 2.0], [0.0, 1.0]]))
+
+    def test_zero_pi_allowed(self):
+        assert NIWPrior(pi=0.0).pi == 0.0

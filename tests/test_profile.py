@@ -1,0 +1,78 @@
+"""Tests for repro.workloads.profile."""
+
+import dataclasses
+
+import pytest
+
+from repro.workloads.profile import ApplicationProfile
+
+
+def _make(**overrides):
+    base = dict(name="app", base_rate=10.0, serial_fraction=0.1,
+                scaling_peak=8, contention_slope=0.05,
+                memory_intensity=0.3, io_intensity=0.1, ht_efficiency=0.4,
+                memory_parallelism=8, activity_factor=0.7, noise=0.01)
+    base.update(overrides)
+    return ApplicationProfile(**base)
+
+
+class TestValidation:
+    def test_valid_profile_constructs(self):
+        profile = _make()
+        assert profile.name == "app"
+
+    @pytest.mark.parametrize("field,value", [
+        ("name", ""),
+        ("base_rate", 0.0),
+        ("base_rate", -1.0),
+        ("serial_fraction", -0.1),
+        ("serial_fraction", 1.0),
+        ("scaling_peak", 0),
+        ("contention_slope", -0.01),
+        ("memory_intensity", -0.1),
+        ("memory_intensity", 1.1),
+        ("io_intensity", -0.1),
+        ("ht_efficiency", -0.6),
+        ("ht_efficiency", 1.1),
+        ("memory_parallelism", 0.5),
+        ("activity_factor", 0.0),
+        ("activity_factor", 1.1),
+        ("noise", -0.01),
+    ])
+    def test_rejects_out_of_range(self, field, value):
+        with pytest.raises(ValueError):
+            _make(**{field: value})
+
+    def test_rejects_mem_plus_io_above_one(self):
+        with pytest.raises(ValueError):
+            _make(memory_intensity=0.6, io_intensity=0.5)
+
+    def test_compute_intensity_complements(self):
+        profile = _make(memory_intensity=0.3, io_intensity=0.1)
+        assert profile.compute_intensity == pytest.approx(0.6)
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _make().base_rate = 5.0
+
+
+class TestScaled:
+    def test_lighter_work_means_higher_rate(self):
+        heavy = _make(base_rate=30.0)
+        light = heavy.scaled(2.0 / 3.0)
+        assert light.base_rate == pytest.approx(45.0)
+
+    def test_scaled_keeps_other_fields(self):
+        heavy = _make()
+        light = heavy.scaled(0.5, name="light")
+        assert light.name == "light"
+        assert light.serial_fraction == heavy.serial_fraction
+        assert light.scaling_peak == heavy.scaling_peak
+
+    def test_default_name_mentions_scale(self):
+        light = _make(name="fluid").scaled(0.5)
+        assert "fluid" in light.name and light.name != "fluid"
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            _make().scaled(0.0)

@@ -1,0 +1,161 @@
+"""Property-based tests (hypothesis) on the core data structures.
+
+These pin down the invariants the system relies on:
+
+* the accuracy metric is bounded, clipped, and exact on perfect input;
+* the Pareto mask and the convex hull satisfy their definitions on any
+  input cloud;
+* the hull-walk LP solver always produces feasible schedules that match
+  the from-scratch simplex on the same instance;
+* the masked posterior's Woodbury form equals the literal Eq. (3).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.accuracy import accuracy
+from repro.core.linalg import MaskedPosterior, dense_posterior
+from repro.optimize.lp import EnergyMinimizer
+from repro.optimize.pareto import TradeoffFrontier, pareto_optimal_mask
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False,
+                   allow_infinity=False)
+positive = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False,
+                     allow_infinity=False)
+
+
+def _vec(length, elements):
+    return arrays(np.float64, length, elements=elements)
+
+
+class TestAccuracyProperties:
+    @given(st.integers(2, 40).flatmap(
+        lambda n: st.tuples(_vec(n, finite), _vec(n, finite))))
+    def test_bounded_in_unit_interval(self, pair):
+        y_hat, y = pair
+        score = accuracy(y_hat, y)
+        assert 0.0 <= score <= 1.0
+
+    @given(st.integers(1, 40).flatmap(lambda n: _vec(n, finite)))
+    def test_perfect_estimate_scores_one(self, y):
+        assert accuracy(y, y) == 1.0
+
+    @given(st.integers(2, 40).flatmap(
+        lambda n: st.tuples(_vec(n, positive), _vec(n, positive))),
+        st.floats(min_value=0.1, max_value=100.0))
+    def test_joint_scale_invariance(self, pair, scale):
+        y_hat, y = pair
+        assert accuracy(y_hat, y) == pytest.approx(
+            accuracy(scale * y_hat, scale * y), abs=1e-9)
+
+
+class TestParetoProperties:
+    @given(st.integers(1, 60).flatmap(
+        lambda n: st.tuples(_vec(n, positive), _vec(n, positive))))
+    def test_mask_matches_definition(self, cloud):
+        rates, powers = cloud
+        mask = pareto_optimal_mask(rates, powers)
+        assert mask.any()  # something is always undominated
+        n = rates.size
+        for i in range(n):
+            dominated = any(
+                rates[j] >= rates[i] and powers[j] <= powers[i]
+                and (rates[j] > rates[i] or powers[j] < powers[i])
+                for j in range(n))
+            assert mask[i] == (not dominated)
+
+    @given(st.integers(1, 60).flatmap(
+        lambda n: st.tuples(_vec(n, positive), _vec(n, positive))),
+        st.floats(min_value=0.0, max_value=100.0))
+    def test_hull_dominates_no_point(self, cloud, idle_power):
+        rates, powers = cloud
+        frontier = TradeoffFrontier(rates, powers, idle_power=idle_power)
+        for r, p in zip(rates, powers):
+            assert frontier.power_at(r) <= p + 1e-6 * max(p, 1.0)
+
+    @given(st.integers(2, 60).flatmap(
+        lambda n: st.tuples(_vec(n, positive), _vec(n, positive))))
+    def test_hull_power_monotone_in_rate(self, cloud):
+        """With an idle anchor below every point, hull power rises."""
+        rates, powers = cloud
+        frontier = TradeoffFrontier(rates, powers,
+                                    idle_power=float(powers.min()) * 0.5)
+        grid = np.linspace(0.0, frontier.max_rate, 17)
+        values = [frontier.power_at(g) for g in grid]
+        assert all(a <= b + 1e-9 for a, b in zip(values, values[1:]))
+
+
+class TestLPProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(st.integers(2, 25), st.integers(0, 10_000),
+           st.floats(min_value=0.05, max_value=1.0))
+    def test_hull_solution_feasible_and_matches_simplex(
+            self, n, seed, utilization):
+        rng = np.random.default_rng(seed)
+        rates = rng.uniform(1.0, 100.0, n)
+        powers = rng.uniform(60.0, 400.0, n)
+        idle = rng.uniform(10.0, 59.0)
+        minimizer = EnergyMinimizer(rates, powers, idle)
+        deadline = 10.0
+        work = utilization * minimizer.max_rate * deadline
+
+        schedule = minimizer.solve(work, deadline)
+        assert schedule.work(rates) == pytest.approx(work, rel=1e-6,
+                                                     abs=1e-6)
+        assert schedule.total_time <= deadline * (1 + 1e-9)
+        assert len(schedule) <= 2
+
+        hull_energy = minimizer.min_energy(work, deadline)
+        _, simplex = minimizer.solve_simplex(work, deadline)
+        assert hull_energy == pytest.approx(simplex.objective, rel=1e-6,
+                                            abs=1e-6)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(2, 20), st.integers(0, 10_000))
+    def test_race_to_idle_never_beats_optimal(self, n, seed):
+        rng = np.random.default_rng(seed)
+        rates = rng.uniform(1.0, 100.0, n)
+        powers = rng.uniform(60.0, 400.0, n)
+        minimizer = EnergyMinimizer(rates, powers, idle_power=50.0)
+        deadline = 10.0
+        race_index = int(np.argmax(rates))
+        work = 0.5 * rates[race_index] * deadline
+        race = minimizer.race_to_idle(work, deadline, race_index)
+        race_energy = (race.energy(powers, 50.0))
+        assert race_energy >= minimizer.min_energy(work, deadline) - 1e-6
+
+
+class TestPosteriorProperties:
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(2, 12), st.integers(0, 10_000),
+           st.floats(min_value=1e-3, max_value=10.0))
+    def test_woodbury_equals_dense(self, n, seed, noise_var):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        sigma = a @ a.T + n * np.eye(n)
+        mu = rng.standard_normal(n)
+        k = int(rng.integers(1, n + 1))
+        obs_idx = np.sort(rng.choice(n, size=k, replace=False))
+        y_obs = rng.standard_normal(k)
+
+        post = MaskedPosterior(sigma, noise_var, obs_idx)
+        z_dense, cov_dense = dense_posterior(sigma, noise_var, obs_idx,
+                                             mu, y_obs)
+        np.testing.assert_allclose(post.mean(mu, y_obs), z_dense,
+                                   rtol=1e-6, atol=1e-8)
+        np.testing.assert_allclose(post.covariance, cov_dense,
+                                   rtol=1e-5, atol=1e-7)
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(2, 12), st.integers(0, 10_000))
+    def test_posterior_variance_never_exceeds_prior(self, n, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.standard_normal((n, n))
+        sigma = a @ a.T + n * np.eye(n)
+        k = int(rng.integers(1, n + 1))
+        obs_idx = np.sort(rng.choice(n, size=k, replace=False))
+        post = MaskedPosterior(sigma, 0.5, obs_idx)
+        assert (np.diag(post.covariance) <= np.diag(sigma) + 1e-9).all()

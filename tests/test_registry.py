@@ -1,0 +1,59 @@
+"""Tests for repro.estimators.registry."""
+
+import pytest
+
+from repro.estimators.base import Estimator
+from repro.estimators.leo import LEOEstimator
+from repro.estimators.offline import OfflineEstimator
+from repro.estimators.online import OnlineEstimator
+from repro.estimators.registry import (
+    available_estimators,
+    create_estimator,
+    register_estimator,
+)
+
+
+class TestCreation:
+    def test_known_names(self):
+        assert isinstance(create_estimator("leo"), LEOEstimator)
+        assert isinstance(create_estimator("offline"), OfflineEstimator)
+        assert isinstance(create_estimator("online"), OnlineEstimator)
+
+    def test_case_insensitive(self):
+        assert isinstance(create_estimator("LEO"), LEOEstimator)
+
+    def test_kwargs_forwarded(self):
+        online = create_estimator("online", degree=3)
+        assert online.degree == 3
+
+    def test_fresh_instances(self):
+        assert create_estimator("leo") is not create_estimator("leo")
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError, match="leo"):
+            create_estimator("magic")
+
+    def test_available_names(self):
+        names = available_estimators()
+        assert {"leo", "offline", "online"} <= set(names)
+        assert names == sorted(names)
+
+
+class TestRegistration:
+    def test_register_custom(self):
+        class Custom(Estimator):
+            name = "custom"
+
+            def estimate(self, problem):
+                raise NotImplementedError
+
+        register_estimator("custom-test", Custom)
+        try:
+            assert isinstance(create_estimator("custom-test"), Custom)
+        finally:
+            from repro.estimators import registry
+            registry._FACTORIES.pop("custom-test", None)
+
+    def test_register_rejects_empty_name(self):
+        with pytest.raises(ValueError):
+            register_estimator("", OfflineEstimator)

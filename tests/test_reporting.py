@@ -1,0 +1,188 @@
+"""Tests for repro.reporting: ASCII plots, CSV export, markdown reports."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.reporting.ascii_plot import histogram, line_chart, sparkline
+from repro.reporting.csv_export import read_series, write_series, write_table
+from repro.reporting.experiment_report import (
+    load_results,
+    main,
+    render_markdown,
+)
+
+
+class TestSparkline:
+    def test_width_and_extremes(self):
+        line = sparkline([0, 1, 2, 3, 4, 5], width=6)
+        assert len(line) == 6
+        assert line[0] == " " and line[-1] == "@"
+
+    def test_constant_series(self):
+        assert set(sparkline([5, 5, 5], width=3)) == {" "}
+
+    def test_shorter_series_than_width(self):
+        assert len(sparkline([1, 2], width=48)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        chart = line_chart({"leo": [1, 2, 3, 4], "race": [4, 3, 2, 1]},
+                           title="demo")
+        assert "demo" in chart
+        assert "l=leo" in chart and "r=race" in chart
+        assert "l" in chart and "r" in chart
+
+    def test_axis_bounds_printed(self):
+        chart = line_chart({"a": [10.0, 20.0, 30.0]})
+        assert "30" in chart and "10" in chart
+
+    def test_x_labels(self):
+        chart = line_chart({"a": [1, 2]}, x=[0.0, 5.0])
+        assert "5" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2], "b": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, np.inf]})
+        with pytest.raises(ValueError):
+            line_chart({"a": [1, 2]}, width=4)
+
+
+class TestHeatmap:
+    def test_identity_matrix_has_hot_diagonal(self):
+        from repro.reporting.ascii_plot import heatmap
+        text = heatmap(np.eye(6), width=6, height=6, symmetric=True)
+        lines = text.splitlines()
+        assert all(line[i] == "@" for i, line in enumerate(lines))
+
+    def test_downsamples_large_matrices(self):
+        from repro.reporting.ascii_plot import heatmap
+        big = np.random.default_rng(0).random((200, 300))
+        text = heatmap(big, width=20, height=10)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        assert all(len(line) == 20 for line in lines)
+
+    def test_title_prepended(self):
+        from repro.reporting.ascii_plot import heatmap
+        assert heatmap(np.ones((2, 2)), title="T").startswith("T")
+
+    def test_symmetric_scaling_centers_zero(self):
+        from repro.reporting.ascii_plot import heatmap
+        matrix = np.array([[-1.0, 0.0, 1.0]])
+        text = heatmap(matrix, width=3, height=1, symmetric=True)
+        assert text[0] == " " and text[-1] == "@"
+
+    def test_validation(self):
+        from repro.reporting.ascii_plot import heatmap
+        with pytest.raises(ValueError):
+            heatmap(np.ones(3))
+        with pytest.raises(ValueError):
+            heatmap(np.array([[np.inf]]))
+
+
+class TestHistogram:
+    def test_counts_rendered(self):
+        text = histogram([1, 1, 1, 5], bins=2, title="h")
+        assert text.startswith("h")
+        assert " 3" in text and " 1" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram([])
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)
+
+
+class TestCsvExport:
+    def test_series_roundtrip(self, tmp_path):
+        x = np.linspace(0, 1, 7)
+        series = {"leo": x ** 2, "race": 1 - x}
+        path = write_series(tmp_path / "curves.csv", "u", x, series)
+        back = read_series(path)
+        np.testing.assert_allclose(back["u"], x)
+        np.testing.assert_allclose(back["leo"], x ** 2)
+        np.testing.assert_allclose(back["race"], 1 - x)
+
+    def test_series_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_series(tmp_path / "bad.csv", "x", [1.0], {"a": [1.0, 2.0]})
+        with pytest.raises(ValueError):
+            write_series(tmp_path / "bad.csv", "x", [], {})
+
+    def test_table_roundtrip(self, tmp_path):
+        path = write_table(tmp_path / "t.csv", ["a", "b"],
+                           [[1, 2], [3, 4]])
+        text = path.read_text()
+        assert "a,b" in text and "3,4" in text
+
+    def test_table_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_table(tmp_path / "t.csv", [], [])
+        with pytest.raises(ValueError):
+            write_table(tmp_path / "t.csv", ["a"], [[1, 2]])
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_table(tmp_path / "deep" / "dir" / "t.csv", ["a"],
+                           [[1]])
+        assert path.exists()
+
+
+class TestExperimentReport:
+    @pytest.fixture()
+    def results_dir(self, tmp_path):
+        (tmp_path / "fig05_perf_accuracy.json").write_text(json.dumps({
+            "per_benchmark": {"kmeans": {"leo": 0.96}},
+            "mean": {"leo": 0.95, "online": 0.85, "offline": 0.74},
+            "paper": {"leo": 0.97, "online": 0.87, "offline": 0.68},
+        }))
+        (tmp_path / "fig11_energy_summary.json").write_text(json.dumps({
+            "per_benchmark": {},
+            "overall": {"leo": 1.01, "online": 1.14, "offline": 1.08,
+                        "race-to-idle": 1.36},
+            "paper": {"leo": 1.06, "online": 1.24, "offline": 1.29,
+                      "race-to-idle": 1.90},
+        }))
+        (tmp_path / "mystery_extra.json").write_text(json.dumps({"x": 1}))
+        return tmp_path
+
+    def test_load_results(self, results_dir):
+        results = load_results(results_dir)
+        assert set(results) == {"fig05_perf_accuracy",
+                                "fig11_energy_summary", "mystery_extra"}
+
+    def test_render_known_sections(self, results_dir):
+        text = render_markdown(results_dir)
+        assert "# EXPERIMENTS" in text
+        assert "Figure 5" in text and "0.950" in text and "0.97" in text
+        assert "Figure 11" in text and "race-to-idle" in text
+
+    def test_unknown_files_rendered_as_json(self, results_dir):
+        text = render_markdown(results_dir)
+        assert "mystery_extra" in text
+
+    def test_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path / "nope")
+        with pytest.raises(FileNotFoundError):
+            load_results(tmp_path)  # exists but empty
+
+    def test_cli_entry(self, results_dir, capsys):
+        assert main([str(results_dir)]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+        assert main([]) == 2
+        assert main([str(results_dir / "missing")]) == 1

@@ -1,0 +1,73 @@
+"""Tests for repro.runtime.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.sampling import GridSampler, RandomSampler, StratifiedSampler
+
+ALL_SAMPLERS = [RandomSampler, GridSampler, StratifiedSampler]
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_indices_sorted_unique_in_range(self, sampler_cls):
+        sampler = sampler_cls()
+        picks = sampler.select(100, 20)
+        assert (np.diff(picks) > 0).all()
+        assert picks.min() >= 0 and picks.max() < 100
+
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_full_coverage(self, sampler_cls):
+        picks = sampler_cls().select(10, 10)
+        np.testing.assert_array_equal(picks, np.arange(10))
+
+    @pytest.mark.parametrize("sampler_cls", ALL_SAMPLERS)
+    def test_validation(self, sampler_cls):
+        sampler = sampler_cls()
+        with pytest.raises(ValueError):
+            sampler.select(0, 1)
+        with pytest.raises(ValueError):
+            sampler.select(10, 0)
+        with pytest.raises(ValueError):
+            sampler.select(10, 11)
+
+
+class TestRandomSampler:
+    def test_seeded_determinism(self):
+        a = RandomSampler(seed=3).select(1024, 20)
+        b = RandomSampler(seed=3).select(1024, 20)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RandomSampler(seed=1).select(1024, 20)
+        b = RandomSampler(seed=2).select(1024, 20)
+        assert not np.array_equal(a, b)
+
+    def test_exact_count(self):
+        assert RandomSampler(seed=0).select(1024, 20).size == 20
+
+
+class TestGridSampler:
+    def test_section_2_grid(self):
+        """32 configs, 6 samples: uniformly spread like 5, 10, ..., 30."""
+        picks = GridSampler().select(32, 6)
+        np.testing.assert_array_equal(picks + 1, [3, 9, 14, 19, 25, 30])
+        # Evenly spaced, spanning the interior.
+        gaps = np.diff(picks)
+        assert gaps.max() - gaps.min() <= 1
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(GridSampler().select(100, 7),
+                                      GridSampler().select(100, 7))
+
+
+class TestStratifiedSampler:
+    def test_one_pick_per_stratum(self):
+        picks = StratifiedSampler(seed=0).select(100, 10)
+        strata = picks // 10
+        assert len(set(strata)) == 10
+
+    def test_seeded(self):
+        a = StratifiedSampler(seed=5).select(64, 8)
+        b = StratifiedSampler(seed=5).select(64, 8)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,42 @@
+"""Tests for repro.experiments.scaling (prior-library sweep)."""
+
+import pytest
+
+from repro.experiments.harness import default_context
+from repro.experiments.scaling import prior_scaling_experiment
+
+
+@pytest.fixture(scope="module")
+def cores_ctx():
+    return default_context(space_kind="cores", seed=0)
+
+
+class TestPriorScaling:
+    def test_structure(self, cores_ctx):
+        result = prior_scaling_experiment(
+            cores_ctx, library_sizes=(1, 4, 24),
+            targets=("kmeans", "swish"), subsets_per_size=1)
+        assert result.library_sizes == (1, 4, 24)
+        assert set(result.perf) == {"leo", "knn"}
+        assert all(len(v) == 3 for v in result.perf.values())
+        for values in result.perf.values():
+            assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_more_priors_help(self, cores_ctx):
+        result = prior_scaling_experiment(
+            cores_ctx, library_sizes=(1, 24),
+            targets=("kmeans", "swish", "bfs"), subsets_per_size=2)
+        assert result.perf["leo"][-1] > result.perf["leo"][0]
+
+    def test_size_clamped_to_library(self, cores_ctx):
+        # 40 > 24 available priors: must not crash, just uses all 24.
+        result = prior_scaling_experiment(
+            cores_ctx, library_sizes=(40,), targets=("x264",),
+            subsets_per_size=1)
+        assert len(result.perf["leo"]) == 1
+
+    def test_validation(self, cores_ctx):
+        with pytest.raises(ValueError):
+            prior_scaling_experiment(cores_ctx, library_sizes=(0,))
+        with pytest.raises(ValueError):
+            prior_scaling_experiment(cores_ctx, subsets_per_size=0)

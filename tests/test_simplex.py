@@ -1,0 +1,102 @@
+"""Tests for the from-scratch simplex solver."""
+
+import numpy as np
+import pytest
+
+from repro.optimize.simplex import (
+    InfeasibleError,
+    UnboundedError,
+    solve_lp,
+)
+
+
+class TestBasicSolves:
+    def test_trivial_single_variable(self):
+        # min 2x s.t. x = 3.
+        solution = solve_lp([2.0], [[1.0]], [3.0])
+        assert solution.x[0] == pytest.approx(3.0)
+        assert solution.objective == pytest.approx(6.0)
+
+    def test_prefers_cheaper_variable(self):
+        # min x1 + 3 x2 s.t. x1 + x2 = 4.
+        solution = solve_lp([1.0, 3.0], [[1.0, 1.0]], [4.0])
+        np.testing.assert_allclose(solution.x, [4.0, 0.0], atol=1e-9)
+
+    def test_two_constraints(self):
+        # min x1 + 2 x2 s.t. x1 + x2 = 3, x1 - x2 = 1 -> x = (2, 1).
+        solution = solve_lp([1.0, 2.0], [[1.0, 1.0], [1.0, -1.0]],
+                            [3.0, 1.0])
+        np.testing.assert_allclose(solution.x, [2.0, 1.0], atol=1e-9)
+
+    def test_negative_rhs_normalized(self):
+        # min x s.t. -x = -5  ->  x = 5.
+        solution = solve_lp([1.0], [[-1.0]], [-5.0])
+        assert solution.x[0] == pytest.approx(5.0)
+
+    def test_degenerate_redundant_constraint(self):
+        # Same row twice: still solvable.
+        solution = solve_lp([1.0, 1.0], [[1.0, 1.0], [1.0, 1.0]],
+                            [2.0, 2.0])
+        assert solution.objective == pytest.approx(2.0)
+
+
+class TestFailureModes:
+    def test_infeasible(self):
+        # x = 1 and x = 2 simultaneously.
+        with pytest.raises(InfeasibleError):
+            solve_lp([1.0], [[1.0], [1.0]], [1.0, 2.0])
+
+    def test_infeasible_negative_requirement(self):
+        # x1 + x2 = -1 with x >= 0.
+        with pytest.raises(InfeasibleError):
+            solve_lp([1.0, 1.0], [[-1.0, -1.0]], [1.0])
+
+    def test_unbounded(self):
+        # min -x1 s.t. x1 - x2 = 0: both can grow forever.
+        with pytest.raises(UnboundedError):
+            solve_lp([-1.0, 0.0], [[1.0, -1.0]], [0.0])
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            solve_lp([1.0, 2.0], [[1.0]], [1.0])
+        with pytest.raises(ValueError):
+            solve_lp([1.0], [[1.0]], [1.0, 2.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ValueError):
+            solve_lp([np.inf], [[1.0]], [1.0])
+
+
+class TestAgainstScipy:
+    """Cross-check random instances against scipy.optimize.linprog."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_equality_lps(self, seed):
+        from scipy.optimize import linprog
+        rng = np.random.default_rng(seed)
+        n, m = 8, 3
+        a = rng.uniform(-1, 1, (m, n))
+        x_feas = rng.uniform(0, 1, n)
+        b = a @ x_feas  # guaranteed feasible
+        c = rng.uniform(0.1, 1, n)  # positive costs: bounded
+        ours = solve_lp(c, a, b)
+        ref = linprog(c, A_eq=a, b_eq=b, bounds=(0, None), method="highs")
+        assert ref.success
+        assert ours.objective == pytest.approx(ref.fun, rel=1e-6, abs=1e-8)
+        np.testing.assert_allclose(a @ ours.x, b, atol=1e-7)
+        assert (ours.x >= -1e-9).all()
+
+    def test_energy_shaped_instance(self):
+        """The Eq. (1) shape: two rows over many configurations."""
+        from scipy.optimize import linprog
+        rng = np.random.default_rng(42)
+        n = 100
+        rates = rng.uniform(1, 50, n)
+        powers = 80 + 3 * rates + rng.uniform(0, 40, n)
+        deadline, work = 10.0, 150.0
+        c = powers
+        a = np.vstack([rates, np.ones(n)])
+        b = np.array([work, deadline])
+        ours = solve_lp(c, a, b)
+        ref = linprog(c, A_eq=a, b_eq=b, bounds=(0, None), method="highs")
+        assert ours.objective == pytest.approx(ref.fun, rel=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for repro.workloads.suite: the 25 paper benchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.platform.machine import Machine
+from repro.workloads.suite import (
+    SUITE_MEMBERSHIP,
+    benchmark_names,
+    get_benchmark,
+    paper_suite,
+)
+
+
+class TestSuiteComposition:
+    def test_twenty_five_benchmarks(self):
+        assert len(paper_suite()) == 25
+
+    def test_unique_names(self):
+        names = benchmark_names()
+        assert len(set(names)) == 25
+
+    def test_membership_matches_section_6_1(self):
+        by_suite = {}
+        for name, suite in SUITE_MEMBERSHIP.items():
+            by_suite.setdefault(suite, set()).add(name)
+        assert by_suite["parsec"] == {
+            "blackscholes", "bodytrack", "fluidanimate", "swaptions", "x264"}
+        assert len(by_suite["minebench"]) == 8
+        assert len(by_suite["rodinia"]) == 9
+        assert by_suite["other"] == {"jacobi", "filebound", "swish"}
+
+    def test_every_profile_has_membership(self):
+        assert set(benchmark_names()) == set(SUITE_MEMBERSHIP)
+
+    def test_lookup_case_insensitive(self):
+        assert get_benchmark("KMeans").name == "kmeans"
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_benchmark("doom")
+
+
+class TestDocumentedBehaviours:
+    """The behaviours the paper states must hold in the ground truth."""
+
+    def test_kmeans_early_peak(self, cores_space):
+        machine = Machine()
+        rates = [machine.true_rate(get_benchmark("kmeans"), c)
+                 for c in cores_space]
+        assert int(np.argmax(rates)) + 1 == 8
+
+    def test_swish_peak_sixteen(self, cores_space):
+        machine = Machine()
+        rates = [machine.true_rate(get_benchmark("swish"), c)
+                 for c in cores_space]
+        assert int(np.argmax(rates)) + 1 == 16
+
+    def test_rate_scales_span_orders_of_magnitude(self, cores_space):
+        """kmeans clusters thousands of samples/s; semphy is the slowest."""
+        machine = Machine()
+        base = {p.name: machine.true_rate(p, cores_space[0])
+                for p in paper_suite()}
+        assert base["kmeans"] / base["semphy"] > 1000
+
+    def test_semphy_is_slowest(self, cores_space):
+        machine = Machine()
+        rates = {p.name: machine.true_rate(p, cores_space[0])
+                 for p in paper_suite()}
+        assert min(rates, key=rates.get) == "semphy"
+
+    def test_diverse_scaling_peaks(self):
+        peaks = {p.scaling_peak for p in paper_suite()}
+        assert len(peaks) >= 8  # genuinely diverse scaling behaviours
+
+    def test_includes_io_bound_workloads(self):
+        io_apps = [p for p in paper_suite() if p.io_intensity > 0.2]
+        assert {p.name for p in io_apps} >= {"filebound", "swish"}
+
+    def test_includes_memory_bound_workloads(self):
+        memory_apps = [p for p in paper_suite() if p.memory_intensity >= 0.5]
+        assert len(memory_apps) >= 3
+
+    def test_some_apps_hurt_by_hyperthreading(self):
+        assert any(p.ht_efficiency < 0 for p in paper_suite())

@@ -1,0 +1,122 @@
+"""Tests for repro.platform.thermal and its Machine integration."""
+
+import numpy as np
+import pytest
+
+from repro.platform.machine import Machine
+from repro.platform.thermal import ThermalModel
+from repro.platform.topology import PAPER_TOPOLOGY
+from repro.runtime.phase_detector import PhaseDetector
+from repro.workloads.suite import get_benchmark
+
+
+class TestThermalModel:
+    def test_heats_toward_steady_state(self):
+        model = ThermalModel()
+        for _ in range(50):
+            model.advance(chip_power=200.0, duration=5.0)
+        steady = model.ambient_celsius + 200.0 * model.resistance
+        # Throttling caps below raw steady state; without tripping the
+        # limit it approaches P*R above ambient.
+        assert model.temperature <= steady + 1e-6
+        assert model.temperature > model.ambient_celsius
+
+    def test_cools_to_ambient_when_idle(self):
+        model = ThermalModel()
+        model.advance(chip_power=200.0, duration=60.0)
+        for _ in range(30):
+            model.advance(chip_power=0.0, duration=30.0)
+        assert model.temperature == pytest.approx(model.ambient_celsius,
+                                                  abs=0.5)
+
+    def test_throttles_above_limit_with_hysteresis(self):
+        model = ThermalModel(throttle_celsius=60.0, resume_celsius=50.0,
+                             resistance=0.5)
+        factors = [model.advance(chip_power=150.0, duration=10.0)
+                   for _ in range(20)]
+        assert factors[0] == 1.0          # starts cool
+        assert min(factors) < 1.0          # eventually throttles
+        # Once throttled, stays throttled until cooled below resume.
+        model.advance(chip_power=0.0, duration=200.0)
+        assert model.advance(chip_power=10.0, duration=1.0) == 1.0
+
+    def test_reset(self):
+        model = ThermalModel()
+        model.advance(chip_power=300.0, duration=100.0)
+        model.reset()
+        assert model.temperature == model.ambient_celsius
+        assert not model.throttled
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThermalModel(resistance=0.0)
+        with pytest.raises(ValueError):
+            ThermalModel(time_constant=0.0)
+        with pytest.raises(ValueError):
+            ThermalModel(throttle_celsius=80.0, resume_celsius=90.0)
+        with pytest.raises(ValueError):
+            ThermalModel(throttle_factor=1.0)
+        model = ThermalModel()
+        with pytest.raises(ValueError):
+            model.advance(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            model.advance(1.0, 0.0)
+
+
+class TestMachineIntegration:
+    def _hot_machine(self, seed=0):
+        thermal = ThermalModel(throttle_celsius=70.0, resume_celsius=60.0,
+                               resistance=0.35, time_constant=10.0)
+        return Machine(PAPER_TOPOLOGY, seed=seed, thermal=thermal)
+
+    def test_disabled_by_default(self, cores_space):
+        machine = Machine(seed=1)
+        assert machine.thermal is None
+
+    def test_sustained_load_throttles_rate(self, paper_space):
+        machine = self._hot_machine()
+        swaptions = get_benchmark("swaptions")
+        machine.load(swaptions)
+        machine.apply(paper_space[-1])  # all resources, turbo
+        first = machine.run_for(5.0).rate
+        for _ in range(30):
+            last = machine.run_for(5.0).rate
+        assert last < 0.9 * first
+        assert machine.thermal.throttled
+
+    def test_throttling_also_cuts_power(self, paper_space):
+        machine = self._hot_machine(seed=2)
+        swaptions = get_benchmark("swaptions")
+        machine.load(swaptions)
+        machine.apply(paper_space[-1])
+        first = machine.run_for(5.0).system_power
+        for _ in range(30):
+            last = machine.run_for(5.0).system_power
+        assert last < first
+
+    def test_idle_cools_the_package(self, paper_space):
+        machine = self._hot_machine(seed=3)
+        machine.load(get_benchmark("swaptions"))
+        machine.apply(paper_space[-1])
+        for _ in range(30):
+            machine.run_for(5.0)
+        hot = machine.thermal.temperature
+        machine.idle_for(120.0)
+        assert machine.thermal.temperature < hot
+
+    def test_thermal_event_looks_like_phase_change(self, paper_space):
+        """The runtime's detector flags the throttle onset."""
+        machine = self._hot_machine(seed=4)
+        swaptions = get_benchmark("swaptions")
+        machine.load(swaptions)
+        config = paper_space[-1]
+        machine.apply(config)
+        expected = machine.true_rate(swaptions, config)
+        detector = PhaseDetector(threshold=0.15, patience=2)
+        fired = False
+        for _ in range(60):
+            measurement = machine.run_for(5.0)
+            if detector.update(expected, measurement.rate):
+                fired = True
+                break
+        assert fired

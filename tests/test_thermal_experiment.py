@@ -1,0 +1,28 @@
+"""Tests for repro.experiments.thermal_study."""
+
+import pytest
+
+from repro.experiments.harness import default_context
+from repro.experiments.thermal_study import thermal_experiment
+
+
+@pytest.fixture(scope="module")
+def cores_ctx():
+    return default_context(space_kind="cores", seed=0)
+
+
+class TestThermalStudy:
+    def test_throttling_and_adaptation(self, cores_ctx):
+        result = thermal_experiment(cores_ctx, benchmark="swaptions",
+                                    utilization=0.5, deadline=60.0,
+                                    throttle_factor=0.6)
+        assert result.throttled
+        assert result.adaptive.reestimations >= 1
+        assert result.static.reestimations == 0
+        assert result.unthrottled_max_rate > 0
+
+    def test_validation(self, cores_ctx):
+        with pytest.raises(ValueError):
+            thermal_experiment(cores_ctx, utilization=0.0)
+        with pytest.raises(ValueError):
+            thermal_experiment(cores_ctx, utilization=0.9)

@@ -1,0 +1,86 @@
+"""Tests for repro.platform.topology."""
+
+import pytest
+
+from repro.platform.topology import PAPER_TOPOLOGY, Topology
+
+
+class TestPaperTopology:
+    def test_matches_section_6_1(self):
+        assert PAPER_TOPOLOGY.sockets == 2
+        assert PAPER_TOPOLOGY.cores_per_socket == 8
+        assert PAPER_TOPOLOGY.threads_per_core == 2
+        assert PAPER_TOPOLOGY.memory_controllers == 2
+        assert PAPER_TOPOLOGY.tdp_watts == 135.0
+
+    def test_total_counts(self):
+        assert PAPER_TOPOLOGY.total_cores == 16
+        assert PAPER_TOPOLOGY.total_threads == 32
+
+
+class TestSocketsForCores:
+    def test_zero_cores_needs_no_sockets(self):
+        assert PAPER_TOPOLOGY.sockets_for_cores(0) == 0
+
+    def test_single_core_powers_one_socket(self):
+        assert PAPER_TOPOLOGY.sockets_for_cores(1) == 1
+
+    def test_exactly_one_socket(self):
+        assert PAPER_TOPOLOGY.sockets_for_cores(8) == 1
+
+    def test_spills_to_second_socket(self):
+        assert PAPER_TOPOLOGY.sockets_for_cores(9) == 2
+
+    def test_all_cores(self):
+        assert PAPER_TOPOLOGY.sockets_for_cores(16) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PAPER_TOPOLOGY.sockets_for_cores(-1)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            PAPER_TOPOLOGY.sockets_for_cores(17)
+
+
+class TestCoresOnSocket:
+    def test_packing_order(self):
+        assert PAPER_TOPOLOGY.cores_on_socket(10, 0) == 8
+        assert PAPER_TOPOLOGY.cores_on_socket(10, 1) == 2
+
+    def test_empty_second_socket(self):
+        assert PAPER_TOPOLOGY.cores_on_socket(5, 1) == 0
+
+    def test_sums_to_allocation(self):
+        for cores in range(17):
+            total = sum(PAPER_TOPOLOGY.cores_on_socket(cores, s)
+                        for s in range(PAPER_TOPOLOGY.sockets))
+            assert total == cores
+
+    def test_rejects_bad_socket(self):
+        with pytest.raises(ValueError):
+            PAPER_TOPOLOGY.cores_on_socket(4, 2)
+
+
+class TestValidation:
+    def test_rejects_zero_sockets(self):
+        with pytest.raises(ValueError):
+            Topology(sockets=0)
+
+    def test_rejects_negative_tdp(self):
+        with pytest.raises(ValueError):
+            Topology(tdp_watts=-1.0)
+
+    def test_rejects_more_controllers_than_sockets(self):
+        with pytest.raises(ValueError):
+            Topology(sockets=1, memory_controllers=2)
+
+    def test_rejects_non_integer_cores(self):
+        with pytest.raises(ValueError):
+            Topology(cores_per_socket=1.5)
+
+    def test_custom_topology(self):
+        small = Topology(sockets=1, cores_per_socket=4,
+                         memory_controllers=1)
+        assert small.total_cores == 4
+        assert small.total_threads == 8
