@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Observability: trace the full calibrate + run loop and inspect it.
+
+Installs a recording ``Observability`` bundle around an ``EnergyManager``
+run on the small cores-only space, then shows the three artifacts the
+layer produces:
+
+* the span tree (``controller.calibrate`` -> ``estimator.fit`` ->
+  ``em.iteration``; ``controller.run`` -> ``controller.quantum`` ->
+  ``lp.solve``), rendered with ``repro.reporting.render_span_tree``;
+* the metrics snapshot (EM iterations, LP re-solves, sampling joules,
+  fit-time histogram);
+* the JSONL trace file, the same thing ``python -m repro estimate
+  --trace`` writes and ``python -m repro obs summarize`` renders.
+
+Run:  python examples/observability_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import ConfigurationSpace, EnergyManager, get_benchmark
+from repro.obs import Observability, read_trace, write_trace
+from repro.reporting import render_span_tree, summarize_spans
+
+
+def main() -> None:
+    kmeans = get_benchmark("kmeans")
+    ob = Observability.recording()
+    manager = EnergyManager(estimator="leo", seed=0, sample_count=8,
+                            space=ConfigurationSpace.cores_only(),
+                            observability=ob)
+
+    print("Calibrating and running kmeans (32-config space, traced)...")
+    estimate = manager.estimate_tradeoffs(kmeans)
+    report = manager.optimize(kmeans, utilization=0.6, deadline=50.0,
+                              estimate=estimate)
+    print(f"  demand met: {report.met_target}, "
+          f"energy: {report.energy:,.0f} J\n")
+
+    print("Span tree (eliding long quantum runs):")
+    print(render_span_tree(ob.tracer.spans, max_children=6))
+
+    print("\nPer-span aggregates:")
+    for name, agg in summarize_spans(ob.tracer.spans).items():
+        print(f"  {name:22s} count={agg['count']:4.0f} "
+              f"total={agg['total_s'] * 1e3:8.2f}ms")
+
+    print("\nMetrics snapshot:")
+    snapshot = ob.metrics.snapshot()
+    for name, value in snapshot["counters"].items():
+        print(f"  {name:28s} {value:g}")
+    for name, value in snapshot["gauges"].items():
+        print(f"  {name:28s} {value:g}")
+    fit = snapshot["histograms"]["fit_seconds"]
+    print(f"  fit_seconds                  count={fit['count']:g} "
+          f"mean={fit['mean'] * 1e3:.1f}ms p99={fit['p99'] * 1e3:.1f}ms")
+
+    print("\nSpan-derived estimate bookkeeping (single source of truth):")
+    print(f"  sampling_time={estimate.sampling_time:.1f}s  "
+          f"sampling_energy={estimate.sampling_energy:,.0f}J  "
+          f"fit_seconds={estimate.fit_seconds:.3f}s")
+
+    trace_path = Path(tempfile.gettempdir()) / "leo_demo_trace.jsonl"
+    write_trace(trace_path, ob.tracer.spans)
+    loaded = read_trace(trace_path)
+    print(f"\nWrote {len(loaded)} spans to {trace_path}")
+    print(f"Inspect it with:  python -m repro obs summarize {trace_path}")
+
+
+if __name__ == "__main__":
+    main()

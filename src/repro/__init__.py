@@ -26,6 +26,14 @@ from repro.core import (
     ObservationSet,
     accuracy,
 )
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Span,
+    Tracer,
+    logging_setup,
+)
+from repro.obs import use as use_observability
 from repro.estimators import (
     EstimationProblem,
     Estimator,
@@ -84,6 +92,12 @@ __all__ = [
     "ConfigurationSpace",
     "Machine",
     "Topology",
+    "MetricsRegistry",
+    "Observability",
+    "Span",
+    "Tracer",
+    "logging_setup",
+    "use_observability",
     "ActiveCalibrator",
     "EnergyManager",
     "RaceToIdleController",

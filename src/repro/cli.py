@@ -9,15 +9,20 @@ Commands:
   energy against race-to-idle and the true optimum.
 * ``reproduce`` — regenerate a paper figure/table and print its rows
   (``fig1 fig5 fig6 fig11 fig12 table1``).
+* ``obs summarize PATH`` — render a JSONL trace (written with
+  ``--trace``) as a span tree with per-name aggregates.
 
 Every command accepts ``--seed`` for reproducibility and ``--space``
 (``paper`` = 1024 configurations, ``cores`` = the Section 2 32-config
-space).
+space).  ``estimate``, ``optimize`` and ``reproduce`` also accept
+``--trace PATH`` (record spans to a JSONL file) and ``--metrics PATH``
+(write the metrics snapshot as JSON).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -26,8 +31,16 @@ import numpy as np
 from repro.core.accuracy import accuracy
 from repro.experiments import harness
 from repro.experiments.harness import default_context, format_table
+from repro.obs import Observability, read_trace, use, write_trace
 from repro.optimize.lp import EnergyMinimizer
 from repro.workloads.suite import SUITE_MEMBERSHIP, get_benchmark, paper_suite
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record spans to a JSONL trace file")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write the metrics snapshot as JSON")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -51,6 +64,7 @@ def _build_parser() -> argparse.ArgumentParser:
     estimate.add_argument("--space", choices=("paper", "cores"),
                           default="paper")
     estimate.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(estimate)
 
     optimize = sub.add_parser(
         "optimize", help="minimize energy for a utilization demand")
@@ -62,6 +76,7 @@ def _build_parser() -> argparse.ArgumentParser:
     optimize.add_argument("--space", choices=("paper", "cores"),
                           default="paper")
     optimize.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(optimize)
 
     reproduce = sub.add_parser(
         "reproduce", help="regenerate a paper figure or table")
@@ -69,6 +84,12 @@ def _build_parser() -> argparse.ArgumentParser:
                            choices=("fig1", "fig5", "fig6", "fig11",
                                     "fig12", "table1"))
     reproduce.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(reproduce)
+
+    obs = sub.add_parser(
+        "obs", help="inspect recorded observability artifacts")
+    obs.add_argument("action", choices=("summarize",))
+    obs.add_argument("path", help="JSONL trace file written with --trace")
 
     return parser
 
@@ -260,6 +281,50 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_summarize(path: str) -> int:
+    from repro.reporting.span_tree import render_span_tree, summarize_spans
+    try:
+        spans = read_trace(path)
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    if not spans:
+        print(f"no spans in {path}", file=sys.stderr)
+        return 1
+    try:
+        print(render_span_tree(spans))
+        print()
+        rows = [[name, int(agg["count"]), agg["total_s"], agg["mean_s"]]
+                for name, agg in summarize_spans(spans).items()]
+        print(format_table(["span", "count", "total s", "mean s"], rows,
+                           title=f"{len(spans)} spans"))
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; not an error.  Redirect
+        # stdout to devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+def _run_with_observability(command, args: argparse.Namespace) -> int:
+    """Run a command, recording a trace/metrics snapshot when asked."""
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    if trace_path is None and metrics_path is None:
+        return command(args)
+    observability = Observability.recording()
+    with use(observability):
+        code = command(args)
+    if trace_path is not None:
+        write_trace(trace_path, observability.tracer.spans)
+        print(f"trace: {len(observability.tracer.spans)} spans "
+              f"-> {trace_path}", file=sys.stderr)
+    if metrics_path is not None:
+        observability.metrics.write_json(metrics_path)
+        print(f"metrics -> {metrics_path}", file=sys.stderr)
+    return code
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
@@ -268,11 +333,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "show-benchmark":
         return _cmd_show_benchmark(args.name)
     if args.command == "estimate":
-        return _cmd_estimate(args)
+        return _run_with_observability(_cmd_estimate, args)
     if args.command == "optimize":
-        return _cmd_optimize(args)
+        return _run_with_observability(_cmd_optimize, args)
     if args.command == "reproduce":
-        return _cmd_reproduce(args)
+        return _run_with_observability(_cmd_reproduce, args)
+    if args.command == "obs":
+        return _cmd_obs_summarize(args.path)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

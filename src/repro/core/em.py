@@ -17,6 +17,7 @@ which EM's classic monotonicity guarantee holds and is property-tested.
 from __future__ import annotations
 
 import dataclasses
+import logging
 from typing import List, Optional
 
 import numpy as np
@@ -24,6 +25,9 @@ import numpy as np
 from repro.core.linalg import MaskedPosterior, dense_posterior, nearest_psd_jitter
 from repro.core.observation import ObservationSet
 from repro.core.priors import NIWPrior
+from repro.obs import get_observability
+
+logger = logging.getLogger(__name__)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,49 +151,69 @@ class EMEngine:
         converged = False
         iterations = 0
 
-        for iterations in range(1, self.config.max_iterations + 1):
-            # ---------------- E-step (Eq. 3) ----------------
-            loglik = 0.0
-            sum_cov = np.zeros((n, n))
-            sse_obs = 0.0          # sum over observed entries of (zhat - y)^2
-            trace_obs = 0.0        # sum over observed entries of diag(C)
-            for obs_idx, apps in groups:
-                if self.config.use_woodbury:
-                    post = MaskedPosterior(sigma_mat, noise_var, obs_idx)
-                    cov = post.covariance
-                    y_rows = obs.values[np.asarray(apps)][:, obs_idx]
-                    zhat[apps] = post.means(mu, y_rows)
-                    loglik += float(post.logliks(mu, y_rows).sum())
-                else:
-                    post = None
-                    cov = None
-                    for i in apps:
-                        y_obs = obs.values[i, obs_idx]
-                        zhat[i], cov_i = dense_posterior(
-                            sigma_mat, noise_var, obs_idx, mu, y_obs)
-                        cov = cov_i  # identical across the group
-                        check = MaskedPosterior(sigma_mat, noise_var, obs_idx)
-                        loglik += check.observed_loglik(mu, y_obs)
-                for i in apps:
-                    zvar[i] = np.diag(cov)
-                sum_cov += len(apps) * cov
-                cov_trace_obs = float(np.diag(cov)[obs_idx].sum())
-                for i in apps:
-                    diff = zhat[i, obs_idx] - obs.values[i, obs_idx]
-                    sse_obs += float(diff @ diff)
-                    trace_obs += cov_trace_obs
+        ob = get_observability()
+        with ob.tracer.span("em.fit", num_applications=m, num_configs=n,
+                            use_woodbury=self.config.use_woodbury) as fit_span:
+            for iterations in range(1, self.config.max_iterations + 1):
+                with ob.tracer.span("em.iteration",
+                                    iteration=iterations) as it_span:
+                    # ---------------- E-step (Eq. 3) ----------------
+                    loglik = 0.0
+                    sum_cov = np.zeros((n, n))
+                    sse_obs = 0.0  # sum over observed entries of (zhat - y)^2
+                    trace_obs = 0.0  # sum over observed entries of diag(C)
+                    for obs_idx, apps in groups:
+                        if self.config.use_woodbury:
+                            post = MaskedPosterior(sigma_mat, noise_var,
+                                                   obs_idx)
+                            cov = post.covariance
+                            y_rows = obs.values[np.asarray(apps)][:, obs_idx]
+                            zhat[apps] = post.means(mu, y_rows)
+                            loglik += float(post.logliks(mu, y_rows).sum())
+                        else:
+                            post = None
+                            cov = None
+                            for i in apps:
+                                y_obs = obs.values[i, obs_idx]
+                                zhat[i], cov_i = dense_posterior(
+                                    sigma_mat, noise_var, obs_idx, mu, y_obs)
+                                cov = cov_i  # identical across the group
+                                check = MaskedPosterior(sigma_mat, noise_var,
+                                                        obs_idx)
+                                loglik += check.observed_loglik(mu, y_obs)
+                        for i in apps:
+                            zvar[i] = np.diag(cov)
+                        sum_cov += len(apps) * cov
+                        cov_trace_obs = float(np.diag(cov)[obs_idx].sum())
+                        for i in apps:
+                            diff = zhat[i, obs_idx] - obs.values[i, obs_idx]
+                            sse_obs += float(diff @ diff)
+                            trace_obs += cov_trace_obs
 
-            loglik_history.append(loglik)
-            if len(loglik_history) >= 2:
-                prev = loglik_history[-2]
-                if abs(loglik - prev) <= self.config.tol * (abs(prev) + 1.0):
-                    converged = True
+                    loglik_history.append(loglik)
+                    it_span.set_attribute("loglik", loglik)
+                    ob.metrics.inc("em_iterations_total")
+                    if len(loglik_history) >= 2:
+                        prev = loglik_history[-2]
+                        it_span.set_attribute("loglik_delta", loglik - prev)
+                        if (abs(loglik - prev)
+                                <= self.config.tol * (abs(prev) + 1.0)):
+                            converged = True
+
+                    if not converged:
+                        # ---------------- M-step (Eq. 4) ----------------
+                        mu, sigma_mat, noise_var = self._m_step(
+                            obs, zhat, sum_cov, sse_obs, trace_obs)
+                if converged:
                     break
+            fit_span.set_attribute("iterations", iterations)
+            fit_span.set_attribute("converged", converged)
 
-            # ---------------- M-step (Eq. 4) ----------------
-            mu, sigma_mat, noise_var = self._m_step(
-                obs, zhat, sum_cov, sse_obs, trace_obs)
-
+        if not converged:
+            logger.debug(
+                "EM stopped at the iteration cap without converging",
+                extra={"fields": {"iterations": iterations,
+                                  "tol": self.config.tol}})
         return EMResult(mu=mu, sigma_mat=sigma_mat, noise_var=noise_var,
                         zhat=zhat, zvar=zvar, loglik_history=loglik_history,
                         iterations=iterations, converged=converged)

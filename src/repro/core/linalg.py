@@ -27,6 +27,8 @@ from typing import Tuple
 import numpy as np
 from scipy import linalg as sla
 
+from repro.obs import start_timer, stop_timer
+
 
 def symmetrize(a: np.ndarray) -> np.ndarray:
     """The symmetric part ``(A + A') / 2``."""
@@ -91,6 +93,7 @@ class MaskedPosterior:
         self.obs_idx = obs_idx
         self.noise_var = float(noise_var)
 
+        started = start_timer()
         if obs_idx.size == n and np.array_equal(obs_idx, np.arange(n)):
             # Fully observed fast path (the M-1 offline applications):
             # with S = Sigma + noise I and K = S^{-1},
@@ -112,6 +115,7 @@ class MaskedPosterior:
             self._gain = sla.cho_solve(self._chol, s_no.T,
                                        check_finite=False).T
             self._cov = symmetrize(sigma_mat - self._gain @ s_no.T)
+        stop_timer("linalg_posterior_seconds", started)
 
     @staticmethod
     def _cholesky_inverse(chol_lower: np.ndarray) -> np.ndarray:
@@ -191,6 +195,7 @@ def dense_posterior(sigma_mat: np.ndarray, noise_var: float,
     call; retained for the correctness cross-check and the Woodbury
     ablation benchmark.
     """
+    started = start_timer()
     n = sigma_mat.shape[0]
     indicator = np.zeros(n)
     indicator[np.asarray(obs_idx, dtype=int)] = 1.0
@@ -201,4 +206,5 @@ def dense_posterior(sigma_mat: np.ndarray, noise_var: float,
     precision = np.diag(indicator / noise_var) + sigma_inv
     cov = np.linalg.inv(precision)
     zhat = cov @ (indicator * y_full / noise_var + sigma_inv @ mu)
+    stop_timer("linalg_dense_posterior_seconds", started)
     return zhat, symmetrize(cov)

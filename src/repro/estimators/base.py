@@ -20,9 +20,13 @@ from __future__ import annotations
 
 import abc
 import dataclasses
-from typing import Optional, Tuple
+import functools
+import time
+from typing import Callable, Optional, Tuple
 
 import numpy as np
+
+from repro.obs import get_observability
 
 
 class InsufficientSamplesError(ValueError):
@@ -87,11 +91,52 @@ class EstimationProblem:
         return 0 if self.prior is None else self.prior.shape[0]
 
 
+def _traced_estimate(fn: Callable) -> Callable:
+    """Wrap an ``estimate`` implementation in an ``estimator.fit`` span.
+
+    Applied automatically to every :class:`Estimator` subclass, so each
+    registry estimator is traced uniformly without touching its code.
+    When observability is disabled the wrapper is one context lookup and
+    a direct call — no spans, no timers.
+    """
+    @functools.wraps(fn)
+    def wrapper(self, problem: EstimationProblem) -> np.ndarray:
+        ob = get_observability()
+        if not ob.enabled:
+            return fn(self, problem)
+        with ob.tracer.span(
+                "estimator.fit", estimator=self.name,
+                num_configs=problem.num_configs,
+                num_observations=problem.num_observations,
+                num_prior_applications=problem.num_prior_applications,
+        ) as span:
+            started = time.perf_counter()
+            result = fn(self, problem)
+            ob.metrics.observe("fit_seconds",
+                               time.perf_counter() - started)
+            last_fit = getattr(self, "last_fit", None)
+            if last_fit is not None:
+                span.set_attribute("em_iterations", last_fit.iterations)
+                span.set_attribute("em_converged", last_fit.converged)
+                span.set_attribute("loglik", last_fit.loglik)
+        return result
+
+    wrapper._obs_traced = True  # type: ignore[attr-defined]
+    return wrapper
+
+
 class Estimator(abc.ABC):
     """An approach that completes a target application's curve."""
 
     #: Short identifier used in registries, experiments, and reports.
     name: str = "estimator"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        estimate = cls.__dict__.get("estimate")
+        if estimate is not None and not getattr(estimate, "_obs_traced",
+                                                False):
+            cls.estimate = _traced_estimate(estimate)
 
     @abc.abstractmethod
     def estimate(self, problem: EstimationProblem) -> np.ndarray:

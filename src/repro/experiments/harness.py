@@ -26,14 +26,17 @@ smaller is faster/coarser, larger is slower/tighter.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import functools
+import logging
 import os
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.accuracy import accuracy
+from repro.obs import Span, get_observability
 from repro.estimators.base import (
     EstimationProblem,
     InsufficientSamplesError,
@@ -53,6 +56,24 @@ APPROACHES: Tuple[str, ...] = ("leo", "online", "offline")
 #: Deadline used by the energy experiments (seconds).  The paper fixes
 #: the deadline and varies the workload (Section 6.4).
 DEADLINE_SECONDS = 100.0
+
+logger = logging.getLogger(__name__)
+
+
+@contextlib.contextmanager
+def experiment_span(name: str, **attributes: object) -> Iterator[Span]:
+    """An ``experiment.run`` span for one figure/table reproduction.
+
+    Wraps the ambient tracer so every benchmark module marks its work the
+    same way (``experiment.run`` with an ``experiment`` attribute naming
+    the figure); a no-op span when tracing is disabled.  Also logs the
+    start at debug level so long sweeps are followable.
+    """
+    logger.debug("experiment started",
+                 extra={"fields": {"experiment": name, **attributes}})
+    with get_observability().tracer.span("experiment.run", experiment=name,
+                                         **attributes) as span:
+        yield span
 
 
 def bench_scale() -> float:

@@ -64,23 +64,27 @@ def overhead_experiment(ctx: Optional[ExperimentContext] = None,
     fit_seconds: Dict[str, float] = {}
     sampling_time: Dict[str, float] = {}
     sampling_energy: Dict[str, float] = {}
-    for i, name in enumerate(names):
-        view = ctx.dataset.leave_one_out(name)
-        machine = ctx.machine(seed_offset=800 + i)
-        controller = RuntimeController(
-            machine=machine, space=ctx.space,
-            estimator=create_estimator("leo"),
-            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
-            sampler=RandomSampler(ctx.seed + i), sample_count=sample_count)
-        estimate = controller.calibrate(ctx.profile(name))
-        fit_seconds[name] = estimate.fit_seconds
-        sampling_time[name] = estimate.sampling_time
-        sampling_energy[name] = estimate.sampling_energy
+    with harness.experiment_span("sec67_overhead",
+                                 num_benchmarks=len(names),
+                                 sample_count=sample_count):
+        for i, name in enumerate(names):
+            view = ctx.dataset.leave_one_out(name)
+            machine = ctx.machine(seed_offset=800 + i)
+            controller = RuntimeController(
+                machine=machine, space=ctx.space,
+                estimator=create_estimator("leo"),
+                prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+                sampler=RandomSampler(ctx.seed + i),
+                sample_count=sample_count)
+            estimate = controller.calibrate(ctx.profile(name))
+            fit_seconds[name] = estimate.fit_seconds
+            sampling_time[name] = estimate.sampling_time
+            sampling_energy[name] = estimate.sampling_energy
 
-    started = time.perf_counter()
-    machine = ctx.machine(seed_offset=900)
-    machine.sweep(ctx.profile(names[0]), ctx.space, noisy=True)
-    exhaustive_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        machine = ctx.machine(seed_offset=900)
+        machine.sweep(ctx.profile(names[0]), ctx.space, noisy=True)
+        exhaustive_seconds = time.perf_counter() - started
 
     return OverheadResult(fit_seconds=fit_seconds,
                           sampling_time=sampling_time,

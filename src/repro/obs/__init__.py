@@ -1,0 +1,90 @@
+"""Observability: structured tracing, metrics, and profiling hooks.
+
+A dependency-free subsystem with three pillars (see
+docs/OBSERVABILITY.md for the span/metric reference):
+
+* **Tracing** — :class:`Tracer` records nested :class:`Span` objects
+  over the runtime loop (``controller.calibrate`` → ``estimator.fit`` →
+  ``em.iteration``; ``controller.quantum`` → ``lp.solve``), exportable
+  as JSONL via :func:`write_trace` and renderable as an ASCII tree via
+  :func:`repro.reporting.render_span_tree`.
+* **Metrics** — :class:`MetricsRegistry` owns counters, gauges and
+  histograms (``em_iterations_total``, ``lp_resolves_total``,
+  ``fit_seconds``, ``sampling_energy_joules``,
+  ``constraint_violation_ratio``) with a :meth:`~MetricsRegistry.snapshot`
+  export.
+* **Profiling** — :func:`start_timer` / :func:`stop_timer` /
+  :func:`timed` hooks on the EM, hull, and LP hot paths.
+
+Everything is **off by default**: the ambient context holds null
+implementations whose operations are single no-op calls, so the Section
+6.7 overhead numbers are unaffected by the instrumentation.  Enable per
+block with::
+
+    from repro.obs import Observability, use, write_trace
+
+    ob = Observability.recording()
+    with use(ob):
+        controller.run(...)
+    write_trace("run.jsonl", ob.tracer.spans)
+    ob.metrics.write_json("run-metrics.json")
+
+or from the CLI with ``--trace`` / ``--metrics`` and inspect with
+``python -m repro obs summarize run.jsonl``.
+"""
+
+from repro.obs.context import (
+    NULL_OBSERVABILITY,
+    Observability,
+    get_metrics,
+    get_observability,
+    get_tracer,
+    use,
+)
+from repro.obs.logging_setup import StructuredFormatter, logging_setup
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetrics,
+)
+from repro.obs.profiling import start_timer, stop_timer, timed, timer
+from repro.obs.tracing import (
+    NULL_SPAN,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    read_trace,
+    write_trace,
+)
+
+__all__ = [
+    "Observability",
+    "NULL_OBSERVABILITY",
+    "get_observability",
+    "get_tracer",
+    "get_metrics",
+    "use",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "read_trace",
+    "write_trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+    "start_timer",
+    "stop_timer",
+    "timer",
+    "timed",
+    "StructuredFormatter",
+    "logging_setup",
+]

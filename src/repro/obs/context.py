@@ -1,0 +1,109 @@
+"""The ambient observability context.
+
+Instrumentation deep in the stack (the EM engine, the LP solver, the
+estimator base class) cannot have a tracer threaded through every
+constructor without distorting the paper-facing APIs.  Instead, one
+:class:`Observability` bundle — a tracer plus a metrics registry — is
+installed into a :mod:`contextvars` variable, and instrumented code reads
+it through :func:`get_observability` / :func:`get_tracer` /
+:func:`get_metrics`::
+
+    from repro.obs import MetricsRegistry, Observability, Tracer, use
+
+    with use(Observability(tracer=Tracer(), metrics=MetricsRegistry())) as ob:
+        controller.run(...)
+    write_trace("run.jsonl", ob.tracer.spans)
+
+The default context is :data:`NULL_OBSERVABILITY` (null tracer, null
+metrics), so uninstrumented runs pay one contextvar lookup plus a no-op
+method call per instrumentation site — nothing is allocated and nothing
+is recorded.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Any, Iterator, Optional
+
+from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.tracing import NULL_TRACER, Tracer
+
+__all__ = [
+    "Observability",
+    "NULL_OBSERVABILITY",
+    "get_observability",
+    "get_tracer",
+    "get_metrics",
+    "use",
+]
+
+
+class Observability:
+    """A tracer and a metrics registry travelling together.
+
+    Either half may be omitted; it defaults to the corresponding null
+    implementation, so ``Observability(tracer=Tracer())`` traces without
+    collecting metrics and vice versa.
+    """
+
+    __slots__ = ("tracer", "metrics")
+
+    def __init__(self, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_METRICS
+
+    @property
+    def enabled(self) -> bool:
+        """True when either pillar is recording."""
+        return self.tracer.is_recording or self.metrics.is_recording
+
+    def span(self, name: str, **attributes: Any):
+        """Shorthand for ``self.tracer.span(...)``."""
+        return self.tracer.span(name, **attributes)
+
+    @classmethod
+    def recording(cls) -> "Observability":
+        """A fresh fully-recording bundle (new tracer + new registry)."""
+        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+
+
+#: The disabled bundle installed by default.
+NULL_OBSERVABILITY = Observability()
+
+_STATE: contextvars.ContextVar[Observability] = contextvars.ContextVar(
+    "repro_observability", default=NULL_OBSERVABILITY)
+
+
+def get_observability() -> Observability:
+    """The ambient observability bundle (never ``None``)."""
+    return _STATE.get()
+
+
+def get_tracer():
+    """The ambient tracer (the null tracer when disabled)."""
+    return _STATE.get().tracer
+
+
+def get_metrics():
+    """The ambient metrics registry (the null registry when disabled)."""
+    return _STATE.get().metrics
+
+
+@contextlib.contextmanager
+def use(observability: Optional[Observability]) -> Iterator[Observability]:
+    """Install ``observability`` as the ambient bundle for the block.
+
+    ``None`` leaves the current bundle in place (handy for optional
+    wiring: ``with use(self.observability): ...`` regardless of whether
+    the caller configured one).
+    """
+    if observability is None:
+        yield _STATE.get()
+        return
+    token = _STATE.set(observability)
+    try:
+        yield observability
+    finally:
+        _STATE.reset(token)

@@ -1,0 +1,70 @@
+"""Structured stdlib-logging configuration for the ``repro`` packages.
+
+Every module logs through ``logging.getLogger(__name__)``; this helper
+attaches one stream handler with a structured ``key=value`` formatter to
+the ``repro`` root logger, so embedding applications keep full control
+(call :func:`logging_setup` for the batteries-included default, or
+configure ``logging`` yourself and ignore this module entirely).
+
+Modules attach structured fields via the standard ``extra`` mechanism::
+
+    logger.info("recalibrated", extra={"fields": {"reestimations": 2}})
+
+which renders as::
+
+    2026-08-06 12:00:00 INFO repro.runtime.controller recalibrated reestimations=2
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Dict, Optional, TextIO
+
+__all__ = ["logging_setup", "StructuredFormatter"]
+
+_DEFAULT_FORMAT = "%(asctime)s %(levelname)s %(name)s %(message)s"
+
+
+class StructuredFormatter(logging.Formatter):
+    """Appends ``extra={"fields": {...}}`` dictionaries as ``key=value``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = super().format(record)
+        fields: Optional[Dict[str, Any]] = getattr(record, "fields", None)
+        if not fields:
+            return base
+        rendered = " ".join(f"{key}={_fmt(value)}"
+                            for key, value in sorted(fields.items()))
+        return f"{base} {rendered}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    return repr(text) if " " in text else text
+
+
+def logging_setup(level: int = logging.INFO,
+                  stream: Optional[TextIO] = None,
+                  logger_name: str = "repro") -> logging.Logger:
+    """Configure structured logging for the ``repro`` logger tree.
+
+    Idempotent: calling it again replaces the handler it previously
+    installed rather than stacking duplicates.  Returns the configured
+    logger so callers can adjust it further.
+    """
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_obs_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None
+                                    else sys.stderr)
+    handler.setFormatter(StructuredFormatter(_DEFAULT_FORMAT))
+    handler._repro_obs_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    # The repro tree owns its output; don't double-log through the root.
+    logger.propagate = False
+    return logger

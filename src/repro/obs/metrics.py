@@ -1,0 +1,261 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+The runtime increments a small fixed vocabulary of metrics (see
+docs/OBSERVABILITY.md): ``em_iterations_total``, ``lp_resolves_total``,
+``fit_seconds``, ``sampling_energy_joules``,
+``constraint_violation_ratio``, and the profiling-hook timers.  A
+:class:`MetricsRegistry` owns them by name; :meth:`MetricsRegistry.snapshot`
+freezes everything into plain dictionaries for JSON/CSV export (see
+:mod:`repro.reporting.csv_export`).
+
+Like tracing, metrics are off by default: the ambient registry is the
+no-op :data:`NULL_METRICS` singleton, so ``metrics.inc(...)`` on an
+uninstrumented run is a single cheap method call.  Stdlib-only.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+from typing import Any, Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetrics",
+    "NULL_METRICS",
+]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += float(amount)
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = float("nan")
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A distribution of observed values with exact percentiles.
+
+    Stores raw observations (the runtime records thousands, not
+    millions); percentiles use the nearest-rank method on a sorted copy.
+    """
+
+    __slots__ = ("name", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._values: List[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def sum(self) -> float:
+        return math.fsum(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self._values else float("nan")
+
+    @property
+    def min(self) -> float:
+        return min(self._values) if self._values else float("nan")
+
+    @property
+    def max(self) -> float:
+        return max(self._values) if self._values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile, ``q`` in [0, 100]."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._values:
+            return float("nan")
+        ordered = sorted(self._values)
+        if q == 0:
+            return ordered[0]
+        rank = math.ceil(q / 100.0 * len(ordered))
+        return ordered[rank - 1]
+
+    def summary(self) -> Dict[str, float]:
+        """The export form: count/sum/min/max/mean and p50/p90/p99."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms with a snapshot API."""
+
+    is_recording = True
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (get-or-create) --------------------------
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        self._check_kind(name, self._counters, "counter")
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        self._check_kind(name, self._gauges, "gauge")
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        self._check_kind(name, self._histograms, "histogram")
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def _check_kind(self, name: str, own: Dict[str, Any], kind: str) -> None:
+        for other_kind, table in (("counter", self._counters),
+                                  ("gauge", self._gauges),
+                                  ("histogram", self._histograms)):
+            if table is not own and name in table:
+                raise ValueError(
+                    f"metric {name!r} already registered as a {other_kind}, "
+                    f"cannot reuse it as a {kind}"
+                )
+
+    # -- one-line conveniences (what instrumented code calls) -----------
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment the counter ``name``."""
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into the histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    # -- export ---------------------------------------------------------
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Freeze the registry into plain dictionaries.
+
+        Shape: ``{"counters": {name: value}, "gauges": {name: value},
+        "histograms": {name: {count, sum, min, max, mean, p50, p90,
+        p99}}}`` — stable, JSON-ready, and what the reporting helpers
+        consume.
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.summary()
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def write_json(self, path: PathLike) -> pathlib.Path:
+        """Write :meth:`snapshot` as pretty-printed JSON."""
+        path = pathlib.Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.snapshot(), indent=2,
+                                   allow_nan=True, default=float) + "\n")
+        return path
+
+    def clear(self) -> None:
+        """Drop every registered metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetrics:
+    """The disabled registry: every operation is a no-op."""
+
+    is_recording = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        pass
+
+    def set_gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """An empty snapshot with the standard shape."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+#: The singleton disabled registry (the ambient default).
+NULL_METRICS = NullMetrics()

@@ -30,6 +30,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_observability
 from repro.optimize.pareto import TradeoffFrontier
 from repro.optimize.schedule import Schedule, Slot
 from repro.optimize.simplex import SimplexSolution, solve_lp
@@ -91,6 +92,22 @@ class EnergyMinimizer:
         Raises ``ValueError`` when the demand exceeds the estimated
         capacity (``work > max_rate * deadline``).
         """
+        ob = get_observability()
+        if not ob.enabled:
+            return self._solve(work, deadline)
+        with ob.tracer.span("lp.solve", work=float(work),
+                            deadline=float(deadline), mode=self.mode) as span:
+            schedule = self._solve(work, deadline)
+            span.set_attribute("hull_vertices", len(self.frontier.vertices))
+            span.set_attribute(
+                "chosen_configs",
+                [slot.config_index for slot in schedule
+                 if slot.config_index is not None])
+        ob.metrics.inc("lp_resolves_total")
+        return schedule
+
+    def _solve(self, work: float, deadline: float) -> Schedule:
+        """The uninstrumented hull walk behind :meth:`solve`."""
         if work < 0:
             raise ValueError(f"work must be >= 0, got {work}")
         if deadline <= 0:

@@ -23,6 +23,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs import get_metrics, start_timer, stop_timer
+
 
 def pareto_optimal_mask(rates: Sequence[float],
                         powers: Sequence[float]) -> np.ndarray:
@@ -94,7 +96,10 @@ class TradeoffFrontier:
                 raise ValueError(f"idle_power must be >= 0, got {idle_power}")
             points.append((0.0, float(idle_power), None))
         self.idle_power = idle_power
+        started = start_timer()
         self._vertices = self._lower_hull(points)
+        stop_timer("hull_build_seconds", started)
+        get_metrics().set_gauge("hull_vertices", len(self._vertices))
 
     @staticmethod
     def _lower_hull(points: List[Tuple[float, float, Optional[int]]]

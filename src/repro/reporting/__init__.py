@@ -1,17 +1,28 @@
 """Headless reporting: ASCII plots, CSV export, markdown experiment reports."""
 
 from repro.reporting.ascii_plot import heatmap, histogram, line_chart, sparkline
-from repro.reporting.csv_export import read_series, write_series, write_table
+from repro.reporting.csv_export import (
+    metrics_rows,
+    read_series,
+    write_metrics,
+    write_series,
+    write_table,
+)
 from repro.reporting.experiment_report import load_results, render_markdown
+from repro.reporting.span_tree import render_span_tree, summarize_spans
 
 __all__ = [
     "heatmap",
     "histogram",
     "line_chart",
     "sparkline",
+    "metrics_rows",
     "read_series",
+    "write_metrics",
     "write_series",
     "write_table",
     "load_results",
     "render_markdown",
+    "render_span_tree",
+    "summarize_spans",
 ]

@@ -9,11 +9,14 @@ from __future__ import annotations
 
 import csv
 import pathlib
-from typing import Dict, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
 PathLike = Union[str, pathlib.Path]
+
+#: Header of the flattened metrics-snapshot table.
+METRICS_HEADERS = ("kind", "name", "field", "value")
 
 
 def write_series(path: PathLike, x_label: str, x: Sequence[float],
@@ -62,6 +65,35 @@ def write_table(path: PathLike, headers: Sequence[str],
         writer.writerow(headers)
         writer.writerows(rows)
     return path
+
+
+def metrics_rows(snapshot: Dict[str, dict]
+                 ) -> List[Tuple[str, str, str, float]]:
+    """Flatten a :meth:`repro.obs.MetricsRegistry.snapshot` into rows.
+
+    Each row is ``(kind, name, field, value)``; counters and gauges use
+    the field ``"value"``, histograms one row per summary statistic.
+    Raises on snapshots missing the standard three sections.
+    """
+    missing = {"counters", "gauges", "histograms"} - set(snapshot)
+    if missing:
+        raise ValueError(
+            f"not a metrics snapshot: missing sections {sorted(missing)}"
+        )
+    rows: List[Tuple[str, str, str, float]] = []
+    for name, value in snapshot["counters"].items():
+        rows.append(("counter", name, "value", float(value)))
+    for name, value in snapshot["gauges"].items():
+        rows.append(("gauge", name, "value", float(value)))
+    for name, summary in snapshot["histograms"].items():
+        for field, value in summary.items():
+            rows.append(("histogram", name, field, float(value)))
+    return rows
+
+
+def write_metrics(path: PathLike, snapshot: Dict[str, dict]) -> pathlib.Path:
+    """Write a metrics snapshot as a long-form CSV table."""
+    return write_table(path, METRICS_HEADERS, metrics_rows(snapshot))
 
 
 def read_series(path: PathLike) -> Dict[str, np.ndarray]:

@@ -41,6 +41,7 @@ _SECTIONS = [
     ("ablation_noise", "Ablation — measurement-noise robustness"),
     ("ablation_thermal", "Ablation — thermal throttling adaptation"),
     ("ablation_feedback", "Ablation — control strategy on the learned hull"),
+    ("obs_metrics", "Observability — runtime metrics"),
 ]
 
 
@@ -221,6 +222,22 @@ def _render_section(name: str, title: str, payload: dict) -> List[str]:
             lines.append(
                 f"| {runtime} | {_fmt(data['met'])} | "
                 f"{data['reestimations']} | {data['work_fraction']:.3f} |")
+    elif name == "obs_metrics":
+        # A repro.obs metrics snapshot saved next to the figure results.
+        counters = payload.get("counters", {})
+        gauges = payload.get("gauges", {})
+        if counters or gauges:
+            lines += _mapping_table({**counters, **gauges},
+                                    "metric", "value")
+        histograms = payload.get("histograms", {})
+        if histograms:
+            lines += ["", "| histogram | count | mean | p50 | p90 | p99 |",
+                      "|---|---|---|---|---|---|"]
+            for metric, summary in histograms.items():
+                lines.append(
+                    f"| {metric} | {summary['count']:.0f} | "
+                    f"{summary['mean']:.4g} | {summary['p50']:.4g} | "
+                    f"{summary['p90']:.4g} | {summary['p99']:.4g} |")
     elif name == "sec67_overhead":
         lines += _mapping_table(
             {"mean fit seconds (both quantities)":

@@ -1,0 +1,92 @@
+"""ASCII rendering and summarization of recorded trace spans.
+
+Turns the flat span list a :class:`repro.obs.Tracer` records (or a JSONL
+trace file read back with :func:`repro.obs.read_trace`) into the two
+views humans want:
+
+* :func:`render_span_tree` — the nested call tree with durations, the
+  ``repro obs summarize`` output;
+* :func:`summarize_spans` — per-span-name aggregates (count, total and
+  mean duration), which is how the Section 6.7 overhead table is read
+  off a trace (sum the ``estimator.fit`` rows).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs import Span
+
+#: Attributes worth showing inline in the tree (kept short so the tree
+#: stays readable; everything else remains in the JSONL).
+_INLINE_ATTRS = ("estimator", "iteration", "config_index", "idle",
+                 "recalibrated", "experiment", "error")
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.3f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def _format_attrs(span: Span) -> str:
+    shown = [f"{key}={span.attributes[key]}" for key in _INLINE_ATTRS
+             if key in span.attributes]
+    return f" [{', '.join(shown)}]" if shown else ""
+
+
+def render_span_tree(spans: Sequence[Span], max_children: int = 40) -> str:
+    """Render spans as an indented tree with durations.
+
+    Children are ordered by start time under their parent; siblings
+    beyond ``max_children`` are elided with a count (a controller run
+    records one span per quantum, which would otherwise drown the tree).
+    """
+    spans = sorted(spans, key=lambda s: (s.start, s.span_id))
+    children: Dict[Optional[str], List[Span]] = {}
+    span_ids = {span.span_id for span in spans}
+    for span in spans:
+        # A parent outside the rendered set (e.g. a filtered trace)
+        # promotes the span to a root rather than dropping it.
+        parent = span.parent_id if span.parent_id in span_ids else None
+        children.setdefault(parent, []).append(span)
+
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        lines.append(f"{indent}{span.name}  "
+                     f"{_format_duration(span.duration)}"
+                     f"{_format_attrs(span)}")
+        kids = children.get(span.span_id, [])
+        for child in kids[:max_children]:
+            visit(child, depth + 1)
+        if len(kids) > max_children:
+            lines.append(f"{indent}  ... {len(kids) - max_children} more "
+                         f"{kids[max_children].name} siblings elided")
+
+    for root in children.get(None, []):
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def summarize_spans(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:
+    """Aggregate spans by name: ``{name: {count, total_s, mean_s}}``.
+
+    Names are sorted for stable output; durations are wall-clock
+    seconds.  Summing the ``estimator.fit`` row reproduces the paper's
+    Section 6.7 fit-time overhead for the traced run.
+    """
+    grouped: Dict[str, List[float]] = {}
+    for span in spans:
+        grouped.setdefault(span.name, []).append(span.duration)
+    return {
+        name: {
+            "count": float(len(durations)),
+            "total_s": sum(durations),
+            "mean_s": sum(durations) / len(durations),
+        }
+        for name, durations in sorted(grouped.items())
+    }

@@ -21,9 +21,10 @@ re-calibration costs are charged to whoever incurs them.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
-import time
-from typing import List, Optional
+import logging
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,6 +34,8 @@ from repro.estimators.base import (
     InsufficientSamplesError,
     normalize_problem,
 )
+from repro.obs import Observability, Span, Tracer, get_observability
+from repro.obs import use as use_observability
 from repro.optimize.lp import EnergyMinimizer
 from repro.optimize.schedule import Slot
 from repro.platform.config_space import ConfigurationSpace
@@ -42,31 +45,45 @@ from repro.runtime.sampling import RandomSampler, Sampler
 from repro.workloads.phases import PhasedWorkload
 from repro.workloads.profile import ApplicationProfile
 
+logger = logging.getLogger(__name__)
 
-@dataclasses.dataclass(frozen=True)
+
 class TradeoffEstimate:
     """Estimated per-configuration rates and powers, with provenance.
+
+    The sampling/fit bookkeeping is *derived from the calibration spans*
+    when present (``spans`` — the trace subtree recorded by
+    :meth:`RuntimeController.calibrate`); the spans are the single
+    source of truth, and the legacy keyword arguments remain as stored
+    fallbacks for estimates built without calibration (persisted
+    records, synthetic estimates, tests).
 
     Attributes:
         rates: Estimated heartbeat rates, shape ``(n,)``, positive.
         powers: Estimated system powers, shape ``(n,)``, positive.
         estimator_name: Which approach produced the estimate.
-        sampling_time: Simulated seconds spent measuring samples.
-        sampling_energy: Joules spent measuring samples.
-        sampling_heartbeats: Heartbeats the application completed during
-            the sampling windows (it keeps running while being
-            measured; inline re-calibration credits these to the run).
-        fit_seconds: Wall-clock seconds the estimator itself took — the
-            paper's Section 6.7 overhead figure.
+        spans: Calibration spans (``controller.calibrate`` and its
+            children), empty for span-less estimates.
     """
 
-    rates: np.ndarray
-    powers: np.ndarray
-    estimator_name: str
-    sampling_time: float = 0.0
-    sampling_energy: float = 0.0
-    sampling_heartbeats: float = 0.0
-    fit_seconds: float = 0.0
+    __slots__ = ("rates", "powers", "estimator_name", "spans",
+                 "_sampling_time", "_sampling_energy",
+                 "_sampling_heartbeats", "_fit_seconds")
+
+    def __init__(self, rates: np.ndarray, powers: np.ndarray,
+                 estimator_name: str, sampling_time: float = 0.0,
+                 sampling_energy: float = 0.0,
+                 sampling_heartbeats: float = 0.0,
+                 fit_seconds: float = 0.0,
+                 spans: Sequence[Span] = ()) -> None:
+        self.rates = np.asarray(rates, dtype=float)
+        self.powers = np.asarray(powers, dtype=float)
+        self.estimator_name = estimator_name
+        self.spans: Tuple[Span, ...] = tuple(spans)
+        self._sampling_time = float(sampling_time)
+        self._sampling_energy = float(sampling_energy)
+        self._sampling_heartbeats = float(sampling_heartbeats)
+        self._fit_seconds = float(fit_seconds)
 
     @classmethod
     def from_truth(cls, rates: np.ndarray, powers: np.ndarray
@@ -75,6 +92,52 @@ class TradeoffEstimate:
         return cls(rates=np.asarray(rates, dtype=float),
                    powers=np.asarray(powers, dtype=float),
                    estimator_name="exhaustive")
+
+    # -- span-derived bookkeeping ---------------------------------------
+    def _span_attr_sum(self, span_name: str, attr: str) -> Optional[float]:
+        """Sum ``attr`` over spans named ``span_name``; None if absent."""
+        total, found = 0.0, False
+        for span in self.spans:
+            if span.name == span_name and attr in span.attributes:
+                total += float(span.attributes[attr])
+                found = True
+        return total if found else None
+
+    @property
+    def sampling_time(self) -> float:
+        """Simulated seconds spent measuring samples."""
+        derived = self._span_attr_sum("controller.sample", "sampling_time")
+        return derived if derived is not None else self._sampling_time
+
+    @property
+    def sampling_energy(self) -> float:
+        """Joules spent measuring samples."""
+        derived = self._span_attr_sum("controller.sample", "sampling_energy")
+        return derived if derived is not None else self._sampling_energy
+
+    @property
+    def sampling_heartbeats(self) -> float:
+        """Heartbeats completed during the sampling windows (the
+        application keeps running while being measured; inline
+        re-calibration credits these to the run)."""
+        derived = self._span_attr_sum("controller.sample",
+                                      "sampling_heartbeats")
+        return derived if derived is not None else self._sampling_heartbeats
+
+    @property
+    def fit_seconds(self) -> float:
+        """Wall-clock seconds the estimator itself took (both fitted
+        quantities) — the paper's Section 6.7 overhead figure, read off
+        the ``estimator.fit`` spans."""
+        durations = [span.duration for span in self.spans
+                     if span.name == "estimator.fit"]
+        return sum(durations) if durations else self._fit_seconds
+
+    def __repr__(self) -> str:
+        return (f"TradeoffEstimate({self.estimator_name!r}, "
+                f"n={self.rates.size}, "
+                f"sampling_time={self.sampling_time:.3f}, "
+                f"fit_seconds={self.fit_seconds:.3f})")
 
 
 @dataclasses.dataclass
@@ -120,6 +183,10 @@ class RuntimeController:
         sample_count: Configurations measured per calibration.
         sample_window: Seconds per sample measurement.
         quantum_fraction: Control quantum as a fraction of the deadline.
+        observability: Optional tracer/metrics bundle installed as the
+            ambient context for every :meth:`calibrate` / :meth:`run`
+            call; ``None`` (the default) inherits whatever the caller
+            installed via :func:`repro.obs.use`.
     """
 
     def __init__(self, machine: Machine, space: ConfigurationSpace,
@@ -131,7 +198,8 @@ class RuntimeController:
                  sample_window: float = 1.0,
                  quantum_fraction: float = 0.05,
                  novel_config_tolerance: float = 0.35,
-                 safety_margin: float = 0.04) -> None:
+                 safety_margin: float = 0.04,
+                 observability: Optional[Observability] = None) -> None:
         if sample_count < 1:
             raise ValueError(f"sample_count must be >= 1, got {sample_count}")
         if sample_window <= 0:
@@ -160,8 +228,13 @@ class RuntimeController:
         self.quantum_fraction = quantum_fraction
         self.novel_config_tolerance = novel_config_tolerance
         self.safety_margin = safety_margin
+        self.observability = observability
         #: The estimate in force at the end of the most recent run().
         self.last_estimate: Optional[TradeoffEstimate] = None
+
+    def _obs_scope(self):
+        """Install the controller's bundle, if it has one."""
+        return use_observability(self.observability)
 
     # ------------------------------------------------------------------
     # Calibration: sample + estimate
@@ -169,37 +242,75 @@ class RuntimeController:
     def calibrate(self, profile: ApplicationProfile,
                   sample_count: Optional[int] = None,
                   sample_window: Optional[float] = None) -> TradeoffEstimate:
-        """Measure sampled configurations and estimate both curves."""
+        """Measure sampled configurations and estimate both curves.
+
+        The returned estimate carries the calibration's trace subtree
+        (``controller.calibrate`` → ``controller.sample`` +
+        ``estimator.fit`` → ...); its sampling/fit bookkeeping is read
+        off those spans.  When no tracer is installed, the spans are
+        recorded into a private bookkeeping tracer so the estimate is
+        self-describing either way.
+        """
         count = sample_count if sample_count is not None else self.sample_count
         window = sample_window if sample_window is not None else self.sample_window
-        self.machine.load(profile)
-        energy_before = self.machine.total_energy
-        clock_before = self.machine.clock
+        with self._obs_scope():
+            ambient = get_observability()
+            if ambient.tracer.is_recording:
+                scope = contextlib.nullcontext(ambient)
+            else:
+                # Spans are the estimate's single source of truth, so
+                # calibration always records into *some* tracer — a
+                # throwaway one when tracing is disabled (a handful of
+                # objects per calibration, invisible next to the fit).
+                scope = use_observability(
+                    Observability(tracer=Tracer(), metrics=ambient.metrics))
+            with scope as active:
+                tracer = active.tracer
+                mark = tracer.num_finished
+                with tracer.span("controller.calibrate",
+                                 estimator=self.estimator.name,
+                                 sample_count=count,
+                                 sample_window=window):
+                    self.machine.load(profile)
+                    energy_before = self.machine.total_energy
+                    clock_before = self.machine.clock
 
-        indices = self.sampler.select(len(self.space), count)
-        rates = np.empty(indices.size)
-        powers = np.empty(indices.size)
-        heartbeats = 0.0
-        for j, i in enumerate(indices):
-            self.machine.apply(self.space[int(i)])
-            measurement = self.machine.run_for(window)
-            rates[j] = measurement.rate
-            powers[j] = measurement.system_power
-            heartbeats += measurement.heartbeats
+                    with tracer.span("controller.sample") as sample_span:
+                        indices = self.sampler.select(len(self.space), count)
+                        rates = np.empty(indices.size)
+                        powers = np.empty(indices.size)
+                        heartbeats = 0.0
+                        for j, i in enumerate(indices):
+                            self.machine.apply(self.space[int(i)])
+                            measurement = self.machine.run_for(window)
+                            rates[j] = measurement.rate
+                            powers[j] = measurement.system_power
+                            heartbeats += measurement.heartbeats
+                        sampling_time = self.machine.clock - clock_before
+                        sampling_energy = (self.machine.total_energy
+                                           - energy_before)
+                        sample_span.set_attribute("num_samples",
+                                                  int(indices.size))
+                        sample_span.set_attribute("sampling_time",
+                                                  sampling_time)
+                        sample_span.set_attribute("sampling_energy",
+                                                  sampling_energy)
+                        sample_span.set_attribute("sampling_heartbeats",
+                                                  heartbeats)
+                    active.metrics.inc("sampling_energy_joules",
+                                       sampling_energy)
 
-        features = self.space.feature_matrix()
-        started = time.perf_counter()
-        rate_curve = self._estimate_rates(features, indices, rates)
-        power_curve = self._estimate_powers(features, indices, powers)
-        fit_seconds = time.perf_counter() - started
+                    features = self.space.feature_matrix()
+                    rate_curve = self._estimate_rates(features, indices,
+                                                      rates)
+                    power_curve = self._estimate_powers(features, indices,
+                                                        powers)
+                spans = tracer.finished_since(mark)
 
         return TradeoffEstimate(
             rates=rate_curve, powers=power_curve,
             estimator_name=self.estimator.name,
-            sampling_time=self.machine.clock - clock_before,
-            sampling_energy=self.machine.total_energy - energy_before,
-            sampling_heartbeats=heartbeats,
-            fit_seconds=fit_seconds,
+            spans=spans,
         )
 
     def _estimate_rates(self, features: np.ndarray, indices: np.ndarray,
@@ -246,6 +357,16 @@ class RuntimeController:
             raise ValueError(f"work must be >= 0, got {work}")
         if deadline <= 0:
             raise ValueError(f"deadline must be positive, got {deadline}")
+        with self._obs_scope():
+            return self._run_traced(profile, work, deadline, estimate,
+                                    adapt, detector)
+
+    def _run_traced(self, profile: ApplicationProfile, work: float,
+                    deadline: float, estimate: TradeoffEstimate,
+                    adapt: bool, detector: Optional[PhaseDetector]
+                    ) -> RunReport:
+        ob = get_observability()
+        tracer = ob.tracer
         self.machine.load(profile)
         if adapt and detector is None:
             detector = PhaseDetector()
@@ -262,97 +383,139 @@ class RuntimeController:
         time_left = deadline
         work_left = work
         reestimations = 0
+        quantum_index = 0
         visited: set = set()
         power_trace: List[float] = []
         rate_trace: List[float] = []
 
-        while time_left > 1e-9 * deadline:
-            step = min(quantum, time_left)
-            if work_left <= 1e-9 * max(work, 1.0):
-                self.machine.idle_for(step)
-                power_trace.append(self.machine.idle_power())
-                rate_trace.append(0.0)
-                time_left -= step
-                continue
+        with tracer.span("controller.run", work=work, deadline=deadline,
+                         estimator=estimate.estimator_name,
+                         adapt=adapt) as run_span:
+            while time_left > 1e-9 * deadline:
+                quantum_index += 1
+                ob.metrics.inc("quanta_total")
+                with tracer.span("controller.quantum",
+                                 index=quantum_index) as qspan:
+                    step = min(quantum, time_left)
+                    if work_left <= 1e-9 * max(work, 1.0):
+                        self.machine.idle_for(step)
+                        power_trace.append(self.machine.idle_power())
+                        rate_trace.append(0.0)
+                        time_left -= step
+                        qspan.set_attribute("idle", True)
+                        continue
 
-            slot = self._next_slot(minimizer, work_left, time_left)
-            if slot is None or slot.config_index is None:
-                self.machine.idle_for(step)
-                power_trace.append(self.machine.idle_power())
-                rate_trace.append(0.0)
-                time_left -= step
-                continue
-            config_index = slot.config_index
-            # Respect the plan: the slow leg only gets its allotted
-            # share of the remaining window (running it longer starves
-            # the fast leg and misses the work target).
-            step = min(step, max(slot.duration, 1e-3 * quantum))
+                    slot = self._next_slot(minimizer, work_left, time_left)
+                    if slot is None or slot.config_index is None:
+                        self.machine.idle_for(step)
+                        power_trace.append(self.machine.idle_power())
+                        rate_trace.append(0.0)
+                        time_left -= step
+                        qspan.set_attribute("idle", True)
+                        continue
+                    config_index = slot.config_index
+                    # Respect the plan: the slow leg only gets its allotted
+                    # share of the remaining window (running it longer
+                    # starves the fast leg and misses the work target).
+                    step = min(step, max(slot.duration, 1e-3 * quantum))
 
-            # Trim the step so the work is not overshot at high power:
-            # once the remaining work needs less than a quantum at this
-            # configuration's (believed) rate, run only that long.
-            believed_rate = float(rates[config_index])
-            if believed_rate > 0:
-                step = min(step, max(work_left / believed_rate, 1e-6))
-            self.machine.apply(self.space[config_index])
-            measurement = self.machine.run_for(step)
-            work_left -= measurement.heartbeats
-            time_left -= step
-            power_trace.append(measurement.system_power)
-            rate_trace.append(measurement.rate)
+                    # Trim the step so the work is not overshot at high
+                    # power: once the remaining work needs less than a
+                    # quantum at this configuration's (believed) rate, run
+                    # only that long.
+                    believed_rate = float(rates[config_index])
+                    if believed_rate > 0:
+                        step = min(step, max(work_left / believed_rate, 1e-6))
+                    self.machine.apply(self.space[config_index])
+                    measurement = self.machine.run_for(step)
+                    work_left -= measurement.heartbeats
+                    time_left -= step
+                    power_trace.append(measurement.system_power)
+                    rate_trace.append(measurement.rate)
+                    qspan.set_attribute("config_index", int(config_index))
+                    qspan.set_attribute("step", step)
+                    qspan.set_attribute("measured_rate", measurement.rate)
+                    qspan.set_attribute("measured_power",
+                                        measurement.system_power)
 
-            # The model's expectation before feedback, for phase detection.
-            expected = float(rates[config_index])
-            deviation = (abs(measurement.rate - expected) / expected
-                         if expected > 0 else 0.0)
-            # Deviation at a previously *measured* configuration is
-            # evidence of a behavioural change; at a first visit it may
-            # just be estimation error, so the bar is higher there.
-            limit = (detector.threshold
-                     if detector is not None and config_index in visited
-                     else self.novel_config_tolerance)
-            anomalous = adapt and detector is not None and deviation > limit
+                    # The model's expectation before feedback, for phase
+                    # detection.
+                    expected = float(rates[config_index])
+                    deviation = (abs(measurement.rate - expected) / expected
+                                 if expected > 0 else 0.0)
+                    # Deviation at a previously *measured* configuration is
+                    # evidence of a behavioural change; at a first visit it
+                    # may just be estimation error, so the bar is higher
+                    # there.
+                    limit = (detector.threshold
+                             if detector is not None
+                             and config_index in visited
+                             else self.novel_config_tolerance)
+                    anomalous = (adapt and detector is not None
+                                 and deviation > limit)
 
-            if anomalous:
-                # Let the detector accumulate evidence instead of
-                # silently absorbing the anomaly into one entry.
-                if detector.update(expected, measurement.rate,
-                                   threshold=limit):
-                    estimate = self._recalibrate(profile, estimate)
-                    rates = estimate.rates.copy()
-                    powers = estimate.powers.copy()
-                    minimizer = EnergyMinimizer(rates, powers,
-                                                self.machine.idle_power())
-                    visited.clear()
-                    reestimations += 1
-                    # Re-calibration consumed wall-clock time, but the
-                    # application kept making progress while sampled.
-                    time_left -= estimate.sampling_time
-                    work_left -= estimate.sampling_heartbeats
-            else:
-                if adapt and detector is not None:
-                    detector.update(expected, measurement.rate,
-                                    threshold=limit)
-                visited.add(config_index)
-                if (abs(measurement.rate - rates[config_index])
-                        > 0.02 * rates[config_index]
-                        or abs(measurement.system_power
-                               - powers[config_index])
-                        > 0.02 * powers[config_index]):
-                    # Routine feedback: fold the measurement into this
-                    # configuration's entry (gradient-ascent correction).
-                    rates[config_index] = measurement.rate
-                    powers[config_index] = measurement.system_power
-                    minimizer = EnergyMinimizer(rates, powers,
-                                                self.machine.idle_power())
+                    if anomalous:
+                        # Let the detector accumulate evidence instead of
+                        # silently absorbing the anomaly into one entry.
+                        if detector.update(expected, measurement.rate,
+                                           threshold=limit):
+                            estimate = self._recalibrate(profile, estimate)
+                            rates = estimate.rates.copy()
+                            powers = estimate.powers.copy()
+                            minimizer = EnergyMinimizer(
+                                rates, powers, self.machine.idle_power())
+                            visited.clear()
+                            reestimations += 1
+                            qspan.set_attribute("recalibrated", True)
+                            ob.metrics.inc("reestimations_total")
+                            logger.info(
+                                "phase change: re-calibrated inline",
+                                extra={"fields": {
+                                    "quantum": quantum_index,
+                                    "deviation": deviation,
+                                    "reestimations": reestimations}})
+                            # Re-calibration consumed wall-clock time, but
+                            # the application kept making progress while
+                            # sampled.
+                            time_left -= estimate.sampling_time
+                            work_left -= estimate.sampling_heartbeats
+                    else:
+                        if adapt and detector is not None:
+                            detector.update(expected, measurement.rate,
+                                            threshold=limit)
+                        visited.add(config_index)
+                        if (abs(measurement.rate - rates[config_index])
+                                > 0.02 * rates[config_index]
+                                or abs(measurement.system_power
+                                       - powers[config_index])
+                                > 0.02 * powers[config_index]):
+                            # Routine feedback: fold the measurement into
+                            # this configuration's entry (gradient-ascent
+                            # correction).
+                            rates[config_index] = measurement.rate
+                            powers[config_index] = measurement.system_power
+                            minimizer = EnergyMinimizer(
+                                rates, powers, self.machine.idle_power())
 
-        work_done = work - max(work_left, 0.0)
+            work_done = work - max(work_left, 0.0)
+            met_target = work_done >= 0.99 * work
+            run_span.set_attribute("work_done", work_done)
+            run_span.set_attribute("met_target", met_target)
+            run_span.set_attribute("reestimations", reestimations)
+            ob.metrics.set_gauge(
+                "constraint_violation_ratio",
+                max(0.0, 1.0 - work_done / work) if work > 0 else 0.0)
+
+        if not met_target:
+            logger.debug("performance demand missed",
+                         extra={"fields": {"work_done": work_done,
+                                           "work_target": work}})
         #: Exposed so phased runs can carry re-calibrated estimates forward.
         self.last_estimate = estimate
         return RunReport(
             energy=self.machine.total_energy - energy_before,
             work_done=work_done, work_target=work, deadline=deadline,
-            met_target=work_done >= 0.99 * work,
+            met_target=met_target,
             reestimations=reestimations,
             power_trace=power_trace, rate_trace=rate_trace,
         )

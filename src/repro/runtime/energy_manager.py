@@ -14,6 +14,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.estimators.registry import create_estimator
+from repro.obs import Observability
+from repro.obs import use as use_observability
 from repro.platform.config_space import ConfigurationSpace
 from repro.platform.machine import Machine
 from repro.runtime.controller import RunReport, RuntimeController, TradeoffEstimate
@@ -36,17 +38,22 @@ class EnergyManager:
             knowledge; the paper's 25-benchmark suite by default.
         seed: Seed for the machine's measurement noise and the sampler.
         sample_count: Configurations sampled per calibration.
+        observability: Optional tracer/metrics bundle
+            (:class:`repro.obs.Observability`) installed for every
+            facade call; ``None`` inherits the ambient context.
     """
 
     def __init__(self, estimator: str = "leo",
                  space: Optional[ConfigurationSpace] = None,
                  profiles: Optional[Sequence[ApplicationProfile]] = None,
                  seed: int = 0, sample_count: int = 20,
-                 sample_window: float = 1.0) -> None:
+                 sample_window: float = 1.0,
+                 observability: Optional[Observability] = None) -> None:
         self.space = space if space is not None else ConfigurationSpace.paper_space()
         self.profiles = list(profiles) if profiles is not None else paper_suite()
         self.machine = Machine(self.space.topology, seed=seed)
         self.estimator_name = estimator
+        self.observability = observability
         self._seed = seed
         self._sample_count = sample_count
         self._sample_window = sample_window
@@ -77,6 +84,7 @@ class EnergyManager:
             sampler=RandomSampler(self._seed),
             sample_count=self._sample_count,
             sample_window=self._sample_window,
+            observability=self.observability,
         )
 
     # ------------------------------------------------------------------
@@ -117,7 +125,8 @@ class EnergyManager:
         )
         work = utilization * true_max * deadline
         racer = RaceToIdleController(self.machine, self.space)
-        return racer.run(profile, work, deadline)
+        with use_observability(self.observability):
+            return racer.run(profile, work, deadline)
 
     def true_tradeoffs(self, profile: ApplicationProfile
                        ) -> TradeoffEstimate:

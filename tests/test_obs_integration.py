@@ -1,0 +1,198 @@
+"""End-to-end observability: the traced LEO runtime loop.
+
+Asserts the span tree the acceptance criteria promise — a traced
+controller run emits nested ``controller.calibrate`` → ``estimator.fit``
+→ ``em.iteration`` spans and ``lp.solve`` spans under quanta — plus the
+span-derived TradeoffEstimate bookkeeping, the CLI surface, and the
+structured-logging helper.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.estimators.leo import LEOEstimator
+from repro.obs import Observability, logging_setup, read_trace, use
+from repro.reporting import render_span_tree, summarize_spans
+from repro.runtime.controller import RuntimeController, TradeoffEstimate
+from repro.runtime.sampling import RandomSampler
+
+
+@pytest.fixture()
+def traced_controller(machine, cores_space, cores_dataset):
+    view = cores_dataset.leave_one_out("kmeans")
+    observability = Observability.recording()
+    controller = RuntimeController(
+        machine=machine, space=cores_space, estimator=LEOEstimator(),
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+        sampler=RandomSampler(seed=0), sample_count=6,
+        observability=observability)
+    return controller, observability
+
+
+def _by_id(spans):
+    return {span.span_id: span for span in spans}
+
+
+class TestControllerSpanTree:
+    def test_calibrate_emits_nested_fit_spans(self, traced_controller,
+                                              kmeans):
+        controller, ob = traced_controller
+        controller.calibrate(kmeans)
+        spans = ob.tracer.spans
+        by_id = _by_id(spans)
+        names = [s.name for s in spans]
+        assert names.count("controller.calibrate") == 1
+        assert names.count("controller.sample") == 1
+        assert names.count("estimator.fit") == 2  # rates + powers
+        assert names.count("em.iteration") >= 2
+
+        calibrate = next(s for s in spans if s.name == "controller.calibrate")
+        for fit in (s for s in spans if s.name == "estimator.fit"):
+            assert by_id[fit.parent_id].name == "controller.calibrate"
+        sample = next(s for s in spans if s.name == "controller.sample")
+        assert sample.parent_id == calibrate.span_id
+        for it in (s for s in spans if s.name == "em.iteration"):
+            em_fit = by_id[it.parent_id]
+            assert em_fit.name == "em.fit"
+            assert by_id[em_fit.parent_id].name == "estimator.fit"
+
+    def test_run_emits_quantum_and_lp_spans(self, traced_controller,
+                                            kmeans):
+        controller, ob = traced_controller
+        estimate = controller.calibrate(kmeans)
+        work = 0.8 * float(estimate.rates.max()) * 10.0
+        report = controller.run(kmeans, work, 10.0, estimate)
+        assert report.met_target
+        spans = ob.tracer.spans
+        by_id = _by_id(spans)
+        run = next(s for s in spans if s.name == "controller.run")
+        quanta = [s for s in spans if s.name == "controller.quantum"]
+        assert quanta and all(q.parent_id == run.span_id for q in quanta)
+        lp = [s for s in spans if s.name == "lp.solve"]
+        assert lp and all(
+            by_id[s.parent_id].name == "controller.quantum" for s in lp)
+        assert run.attributes["met_target"] is True
+
+    def test_run_metrics(self, traced_controller, kmeans):
+        controller, ob = traced_controller
+        estimate = controller.calibrate(kmeans)
+        work = 0.5 * float(estimate.rates.max()) * 10.0
+        controller.run(kmeans, work, 10.0, estimate)
+        snap = ob.metrics.snapshot()
+        assert snap["counters"]["quanta_total"] >= 1
+        assert snap["counters"]["lp_resolves_total"] >= 1
+        assert snap["counters"]["em_iterations_total"] >= 2
+        assert snap["counters"]["sampling_energy_joules"] > 0
+        assert snap["gauges"]["constraint_violation_ratio"] == pytest.approx(
+            0.0, abs=0.02)
+        assert snap["histograms"]["fit_seconds"]["count"] == 2
+
+
+class TestSpanDerivedEstimate:
+    def test_bookkeeping_matches_spans_when_traced(self, traced_controller,
+                                                   kmeans):
+        controller, ob = traced_controller
+        estimate = controller.calibrate(kmeans)
+        assert estimate.spans
+        assert estimate.sampling_time == pytest.approx(6.0)  # 6 x 1s windows
+        assert estimate.sampling_energy > 0
+        assert estimate.fit_seconds > 0
+        fit_spans = [s for s in estimate.spans if s.name == "estimator.fit"]
+        assert estimate.fit_seconds == pytest.approx(
+            sum(s.duration for s in fit_spans))
+
+    def test_bookkeeping_present_without_tracing(self, machine, cores_space,
+                                                 cores_dataset, kmeans):
+        view = cores_dataset.leave_one_out("kmeans")
+        controller = RuntimeController(
+            machine=machine, space=cores_space, estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=0), sample_count=6)
+        estimate = controller.calibrate(kmeans)
+        # No ambient tracer, yet the estimate is still self-describing.
+        assert estimate.sampling_time == pytest.approx(6.0)
+        assert estimate.fit_seconds > 0
+        assert estimate.sampling_energy > 0
+
+    def test_stored_fallbacks_for_spanless_estimates(self):
+        estimate = TradeoffEstimate(
+            rates=np.array([1.0]), powers=np.array([2.0]),
+            estimator_name="synthetic", sampling_time=3.0,
+            sampling_energy=4.0, sampling_heartbeats=5.0, fit_seconds=6.0)
+        assert estimate.sampling_time == 3.0
+        assert estimate.sampling_energy == 4.0
+        assert estimate.sampling_heartbeats == 5.0
+        assert estimate.fit_seconds == 6.0
+
+
+class TestRenderAndSummarize:
+    def test_render_span_tree_nests_by_indent(self, traced_controller,
+                                              kmeans):
+        controller, ob = traced_controller
+        controller.calibrate(kmeans)
+        rendered = render_span_tree(ob.tracer.spans)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("controller.calibrate")
+        assert any(line.startswith("  controller.sample") for line in lines)
+        assert any(line.startswith("  estimator.fit") for line in lines)
+        assert any(line.startswith("      em.iteration") for line in lines)
+
+    def test_summarize_spans_aggregates(self, traced_controller, kmeans):
+        controller, ob = traced_controller
+        controller.calibrate(kmeans)
+        summary = summarize_spans(ob.tracer.spans)
+        assert summary["estimator.fit"]["count"] == 2.0
+        assert summary["estimator.fit"]["total_s"] == pytest.approx(
+            2 * summary["estimator.fit"]["mean_s"])
+
+
+class TestCliSurface:
+    def test_estimate_writes_trace_and_metrics(self, tmp_path, capsys):
+        from repro.cli import main
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.json"
+        code = main(["estimate", "--benchmark", "kmeans", "--space", "cores",
+                     "--samples", "8", "--trace", str(trace),
+                     "--metrics", str(metrics)])
+        assert code == 0
+        assert trace.exists() and metrics.exists()
+        spans = read_trace(trace)
+        assert any(s.name == "em.iteration" for s in spans)
+
+    def test_obs_summarize_renders_tree(self, tmp_path, capsys):
+        from repro.cli import main
+        trace = tmp_path / "trace.jsonl"
+        assert main(["estimate", "--benchmark", "kmeans", "--space", "cores",
+                     "--samples", "8", "--trace", str(trace)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "estimator.fit" in out
+        assert "em.iteration" in out
+        assert "mean s" in out
+
+    def test_obs_summarize_missing_file(self, capsys):
+        from repro.cli import main
+        assert main(["obs", "summarize", "/nonexistent/trace.jsonl"]) == 1
+
+
+class TestLoggingSetup:
+    def test_formatter_appends_fields(self):
+        import io
+        stream = io.StringIO()
+        logger = logging_setup(level=logging.DEBUG, stream=stream,
+                               logger_name="repro-test-logger")
+        logger.info("phase change", extra={"fields": {"quantum": 3,
+                                                      "deviation": 0.5}})
+        line = stream.getvalue().strip()
+        assert "phase change" in line
+        assert "deviation=0.5" in line
+        assert "quantum=3" in line
+
+    def test_idempotent(self):
+        first = logging_setup(logger_name="repro-test-idem")
+        second = logging_setup(logger_name="repro-test-idem")
+        assert first is second
+        assert len(first.handlers) == 1
