@@ -16,7 +16,9 @@ Every command accepts ``--seed`` for reproducibility and ``--space``
 (``paper`` = 1024 configurations, ``cores`` = the Section 2 32-config
 space).  ``estimate``, ``optimize`` and ``reproduce`` also accept
 ``--trace PATH`` (record spans to a JSONL file) and ``--metrics PATH``
-(write the metrics snapshot as JSON).
+(write the metrics snapshot as JSON).  The sweep-shaped ``reproduce``
+targets accept ``--workers N`` to fan cells across processes (see
+docs/PARALLELISM.md); results are identical for any worker count.
 """
 
 from __future__ import annotations
@@ -84,6 +86,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            choices=("fig1", "fig5", "fig6", "fig11",
                                     "fig12", "table1"))
     reproduce.add_argument("--seed", type=int, default=0)
+    reproduce.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="processes for the sweep targets (fig5/fig6/fig11/fig12); "
+             "default: the REPRO_WORKERS environment variable, else 1 "
+             "(serial); results are identical for any worker count")
     _add_obs_arguments(reproduce)
 
     obs = sub.add_parser(
@@ -164,6 +171,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     from repro.estimators.registry import create_estimator
     from repro.runtime.controller import RuntimeController, TradeoffEstimate
     from repro.runtime.race_to_idle import RaceToIdleController
+    from repro.runtime.sampling import RandomSampler
 
     ctx = default_context(space_kind=args.space, seed=args.seed)
     try:
@@ -189,7 +197,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     controller = RuntimeController(
         machine=machine, space=ctx.space,
         estimator=create_estimator(args.estimator),
-        prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+        sampler=RandomSampler(seed=args.seed))
     work = args.utilization * float(truth.true_rates.max()) * args.deadline
     report = controller.run(
         profile, work, args.deadline,
@@ -233,7 +242,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     if args.target in ("fig5", "fig6"):
         from repro.experiments.estimation import accuracy_experiment
         ctx = default_context(space_kind="paper", seed=args.seed)
-        result = accuracy_experiment(ctx, trials=1)
+        result = accuracy_experiment(ctx, trials=1, workers=args.workers)
         table = result.perf if args.target == "fig5" else result.power
         means = (result.mean_perf() if args.target == "fig5"
                  else result.mean_power())
@@ -250,7 +259,8 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
                                               overall_normalized,
                                               summarize_normalized)
         ctx = default_context(space_kind="paper", seed=args.seed)
-        curves = energy_experiment(ctx, num_utilizations=8)
+        curves = energy_experiment(ctx, num_utilizations=8,
+                                   workers=args.workers)
         table = summarize_normalized(curves)
         overall = overall_normalized(curves)
         order = ("leo", "online", "offline", "race-to-idle")
@@ -265,7 +275,7 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         ctx = default_context(space_kind="paper", seed=args.seed)
         result = sensitivity_experiment(
             ctx, sizes=(0, 5, 10, 15, 20, 30),
-            benchmarks=ctx.benchmark_names[:8])
+            benchmarks=ctx.benchmark_names[:8], workers=args.workers)
         rows = [[s, result.perf["leo"][i], result.perf["online"][i]]
                 for i, s in enumerate(result.sizes)]
         print(format_table(["samples", "leo perf acc", "online perf acc"],

@@ -31,9 +31,11 @@ from repro.experiments.harness import (
     random_indices,
     sample_target,
 )
+from repro.experiments.parallel import ParallelRunner
 from repro.optimize.lp import EnergyMinimizer
 from repro.runtime.controller import RuntimeController, TradeoffEstimate
 from repro.runtime.race_to_idle import RaceToIdleController
+from repro.runtime.sampling import RandomSampler
 
 #: Approaches whose energy is reported (beyond the analytic optimum).
 ENERGY_APPROACHES = APPROACHES + ("race-to-idle",)
@@ -73,13 +75,92 @@ class EnergyCurve:
         return float(np.mean(ratios))
 
 
+def _energy_cell(shared, cell) -> EnergyCurve:
+    """One benchmark's full utilization sweep (a :class:`ParallelRunner`
+    task: module-level, seeded entirely by the cell payload).
+
+    Machine state carries across utilization levels *within* a
+    benchmark, exactly as the serial loop ran it, so per-benchmark cells
+    reproduce the serial results bit for bit.
+    """
+    ctx, utilizations, sample_count, deadline = shared
+    b, name = cell
+    profile = ctx.profile(name)
+    view = ctx.dataset.leave_one_out(name)
+    truth_view = ctx.truth.leave_one_out(name)
+    idle = ctx.idle_power()
+    true_max = float(truth_view.true_rates.max())
+
+    # One calibration per approach (samples shared across approaches).
+    seed = ctx.seed + 7000 + b
+    indices = random_indices(len(ctx.space), sample_count, seed)
+    rate_obs, power_obs = sample_target(ctx, profile, indices,
+                                        seed_offset=seed)
+    estimates: Dict[str, TradeoffEstimate] = {}
+    for approach in APPROACHES:
+        est = estimate_curves(ctx, view, indices, rate_obs, power_obs,
+                              approach)
+        if est.feasible:
+            estimates[approach] = TradeoffEstimate(
+                rates=est.rates, powers=est.powers,
+                estimator_name=approach)
+
+    optimal = EnergyMinimizer(truth_view.true_rates,
+                              truth_view.true_powers, idle)
+
+    energy: Dict[str, List[float]] = {a: [] for a in ENERGY_APPROACHES}
+    energy["optimal"] = []
+    met: Dict[str, List[bool]] = {a: [] for a in ENERGY_APPROACHES}
+    work_fraction: Dict[str, List[float]] = {
+        a: [] for a in ENERGY_APPROACHES
+    }
+
+    machine = ctx.machine(seed_offset=300 + b)
+    for utilization in utilizations:
+        work = utilization * true_max * deadline
+        energy["optimal"].append(optimal.min_energy(work, deadline))
+        for approach in APPROACHES:
+            if approach not in estimates:
+                energy[approach].append(float("nan"))
+                met[approach].append(False)
+                work_fraction[approach].append(0.0)
+                continue
+            controller = RuntimeController(
+                machine=machine, space=ctx.space,
+                estimator=create_estimator(approach),
+                prior_rates=view.prior_rates,
+                prior_powers=view.prior_powers,
+                sampler=RandomSampler(seed=seed))
+            report = controller.run(profile, work, deadline,
+                                    estimates[approach])
+            energy[approach].append(report.energy)
+            met[approach].append(report.met_target)
+            work_fraction[approach].append(
+                min(report.work_done / work, 1.0))
+        racer = RaceToIdleController(machine, ctx.space)
+        report = racer.run(profile, work, deadline)
+        energy["race-to-idle"].append(report.energy)
+        met["race-to-idle"].append(report.met_target)
+        work_fraction["race-to-idle"].append(
+            min(report.work_done / work, 1.0))
+
+    return EnergyCurve(benchmark=name, utilizations=utilizations,
+                       energy=energy, met=met,
+                       work_fraction=work_fraction)
+
+
 def energy_experiment(ctx: Optional[ExperimentContext] = None,
                       benchmarks: Optional[Sequence[str]] = None,
                       num_utilizations: int = 20,
                       sample_count: int = 20,
-                      deadline: float = DEADLINE_SECONDS
+                      deadline: float = DEADLINE_SECONDS,
+                      workers: Optional[int] = None
                       ) -> List[EnergyCurve]:
-    """Run the Section 6.4 sweep; one :class:`EnergyCurve` per benchmark."""
+    """Run the Section 6.4 sweep; one :class:`EnergyCurve` per benchmark.
+
+    ``workers`` fans the per-benchmark cells across processes via
+    :class:`ParallelRunner`; curves are identical for any count.
+    """
     if ctx is None:
         ctx = harness.default_context()
     if num_utilizations < 2:
@@ -89,70 +170,9 @@ def energy_experiment(ctx: Optional[ExperimentContext] = None,
     names = list(benchmarks) if benchmarks is not None else ctx.benchmark_names
     utilizations = np.linspace(0.05, 1.0, num_utilizations)
 
-    curves = []
-    for b, name in enumerate(names):
-        profile = ctx.profile(name)
-        view = ctx.dataset.leave_one_out(name)
-        truth_view = ctx.truth.leave_one_out(name)
-        idle = ctx.idle_power()
-        true_max = float(truth_view.true_rates.max())
-
-        # One calibration per approach (samples shared across approaches).
-        seed = ctx.seed + 7000 + b
-        indices = random_indices(len(ctx.space), sample_count, seed)
-        rate_obs, power_obs = sample_target(ctx, profile, indices,
-                                            seed_offset=seed)
-        estimates: Dict[str, TradeoffEstimate] = {}
-        for approach in APPROACHES:
-            est = estimate_curves(ctx, view, indices, rate_obs, power_obs,
-                                  approach)
-            if est.feasible:
-                estimates[approach] = TradeoffEstimate(
-                    rates=est.rates, powers=est.powers,
-                    estimator_name=approach)
-
-        optimal = EnergyMinimizer(truth_view.true_rates,
-                                  truth_view.true_powers, idle)
-
-        energy: Dict[str, List[float]] = {a: [] for a in ENERGY_APPROACHES}
-        energy["optimal"] = []
-        met: Dict[str, List[bool]] = {a: [] for a in ENERGY_APPROACHES}
-        work_fraction: Dict[str, List[float]] = {
-            a: [] for a in ENERGY_APPROACHES
-        }
-
-        machine = ctx.machine(seed_offset=300 + b)
-        for utilization in utilizations:
-            work = utilization * true_max * deadline
-            energy["optimal"].append(optimal.min_energy(work, deadline))
-            for approach in APPROACHES:
-                if approach not in estimates:
-                    energy[approach].append(float("nan"))
-                    met[approach].append(False)
-                    work_fraction[approach].append(0.0)
-                    continue
-                controller = RuntimeController(
-                    machine=machine, space=ctx.space,
-                    estimator=create_estimator(approach),
-                    prior_rates=view.prior_rates,
-                    prior_powers=view.prior_powers)
-                report = controller.run(profile, work, deadline,
-                                        estimates[approach])
-                energy[approach].append(report.energy)
-                met[approach].append(report.met_target)
-                work_fraction[approach].append(
-                    min(report.work_done / work, 1.0))
-            racer = RaceToIdleController(machine, ctx.space)
-            report = racer.run(profile, work, deadline)
-            energy["race-to-idle"].append(report.energy)
-            met["race-to-idle"].append(report.met_target)
-            work_fraction["race-to-idle"].append(
-                min(report.work_done / work, 1.0))
-
-        curves.append(EnergyCurve(benchmark=name, utilizations=utilizations,
-                                  energy=energy, met=met,
-                                  work_fraction=work_fraction))
-    return curves
+    runner = ParallelRunner(workers=workers)
+    return runner.map(_energy_cell, list(enumerate(names)),
+                      shared=(ctx, utilizations, sample_count, deadline))
 
 
 def summarize_normalized(curves: Sequence[EnergyCurve]

@@ -29,6 +29,7 @@ from repro.experiments.harness import (
     random_indices,
     sample_target,
 )
+from repro.experiments.parallel import ParallelRunner
 
 #: The representative applications of Figures 7-10.
 REPRESENTATIVES: Tuple[str, ...] = ("kmeans", "swish", "x264")
@@ -59,34 +60,62 @@ class AccuracyResult:
         return harness.summarize_means(self.power, APPROACHES)
 
 
+def _accuracy_cell(shared, cell) -> Dict[str, Tuple[float, float]]:
+    """One (benchmark, trial) unit of the Figure 5/6 protocol.
+
+    Module-level so :class:`ParallelRunner` can ship it to worker
+    processes; the seed is fully determined by the cell payload, so the
+    result is scheduling-independent.
+    """
+    ctx, sample_count = shared
+    b, name, trial = cell
+    view = ctx.dataset.leave_one_out(name)
+    truth_view = ctx.truth.leave_one_out(name)
+    seed = ctx.seed + 1000 * (b + 1) + trial
+    indices = random_indices(len(ctx.space), sample_count, seed)
+    rate_obs, power_obs = sample_target(
+        ctx, ctx.profile(name), indices, seed_offset=seed % 7919)
+    scores = {}
+    for approach in APPROACHES:
+        estimate = estimate_curves(
+            ctx, view, indices, rate_obs, power_obs, approach)
+        scores[approach] = accuracy_scores(estimate, truth_view)
+    return scores
+
+
 def accuracy_experiment(ctx: Optional[ExperimentContext] = None,
                         sample_count: int = 20,
                         trials: int = 3,
-                        benchmarks: Optional[Sequence[str]] = None
+                        benchmarks: Optional[Sequence[str]] = None,
+                        workers: Optional[int] = None
                         ) -> AccuracyResult:
-    """Run the Figure 5/6 protocol and return the accuracy tables."""
+    """Run the Figure 5/6 protocol and return the accuracy tables.
+
+    ``workers`` fans the (benchmark, trial) cells across processes via
+    :class:`ParallelRunner`; the tables are identical for any count.
+    """
     if ctx is None:
         ctx = harness.default_context()
     if trials < 1:
         raise ValueError(f"trials must be >= 1, got {trials}")
     names = list(benchmarks) if benchmarks is not None else ctx.benchmark_names
 
+    cells = [(b, name, trial)
+             for b, name in enumerate(names) for trial in range(trials)]
+    runner = ParallelRunner(workers=workers)
+    cell_scores = runner.map(_accuracy_cell, cells,
+                             shared=(ctx, sample_count))
+
     perf: Dict[str, Dict[str, float]] = {}
     power: Dict[str, Dict[str, float]] = {}
-    for b, name in enumerate(names):
-        view = ctx.dataset.leave_one_out(name)
-        truth_view = ctx.truth.leave_one_out(name)
+    for name in names:
         perf_acc = {a: [] for a in APPROACHES}
         power_acc = {a: [] for a in APPROACHES}
-        for trial in range(trials):
-            seed = ctx.seed + 1000 * (b + 1) + trial
-            indices = random_indices(len(ctx.space), sample_count, seed)
-            rate_obs, power_obs = sample_target(
-                ctx, ctx.profile(name), indices, seed_offset=seed % 7919)
+        for (_, cell_name, _), scores in zip(cells, cell_scores):
+            if cell_name != name:
+                continue
             for approach in APPROACHES:
-                estimate = estimate_curves(
-                    ctx, view, indices, rate_obs, power_obs, approach)
-                pa, wa = accuracy_scores(estimate, truth_view)
+                pa, wa = scores[approach]
                 perf_acc[approach].append(pa)
                 power_acc[approach].append(wa)
         perf[name] = {a: float(np.mean(v)) for a, v in perf_acc.items()}

@@ -33,6 +33,7 @@ from repro.experiments.harness import (
 from repro.optimize.lp import EnergyMinimizer
 from repro.runtime.controller import RuntimeController, TradeoffEstimate
 from repro.runtime.race_to_idle import RaceToIdleController
+from repro.runtime.sampling import RandomSampler
 
 #: The six observed logical-CPU counts of Section 2 (as 0-based indices).
 OBSERVED_CORES = (5, 10, 15, 20, 25, 30)
@@ -113,7 +114,8 @@ def motivation_experiment(ctx: Optional[ExperimentContext] = None,
             controller = RuntimeController(
                 machine=machine, space=ctx.space,
                 estimator=create_estimator(approach),
-                prior_rates=view.prior_rates, prior_powers=view.prior_powers)
+                prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+                sampler=RandomSampler(seed=ctx.seed + 17))
             report = controller.run(profile, work, DEADLINE_SECONDS, estimate)
             energy[approach].append(report.energy)
         racer = RaceToIdleController(machine, ctx.space)

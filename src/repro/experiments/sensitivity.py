@@ -30,6 +30,7 @@ from repro.experiments.harness import (
     random_indices,
     sample_target,
 )
+from repro.experiments.parallel import ParallelRunner
 
 #: Default sample-size grid; 15 is the online baseline's cliff.
 DEFAULT_SIZES: Tuple[int, ...] = (0, 2, 5, 10, 14, 15, 20, 30, 40)
@@ -52,11 +53,42 @@ class SensitivityResult:
     offline_power: float
 
 
+def _sensitivity_cell(shared, cell):
+    """One (size, benchmark) unit of the Figure 12 sweep, all trials.
+
+    Module-level so :class:`ParallelRunner` can ship it across
+    processes; seeds depend only on the payload.
+    """
+    ctx, trials = shared
+    size, b, name = cell
+    view = ctx.dataset.leave_one_out(name)
+    truth_view = ctx.truth.leave_one_out(name)
+    per_trial = []
+    for trial in range(trials):
+        seed = ctx.seed + 100_000 + 997 * b + 31 * trial + size
+        indices = random_indices(len(ctx.space), size, seed)
+        rate_obs, power_obs = sample_target(
+            ctx, ctx.profile(name), indices, seed_offset=seed % 4099)
+        scores = {}
+        for approach in SWEEP_APPROACHES:
+            est = estimate_curves(ctx, view, indices,
+                                  rate_obs, power_obs, approach)
+            scores[approach] = accuracy_scores(est, truth_view)
+        per_trial.append(scores)
+    return per_trial
+
+
 def sensitivity_experiment(ctx: Optional[ExperimentContext] = None,
                            sizes: Sequence[int] = DEFAULT_SIZES,
                            benchmarks: Optional[Sequence[str]] = None,
-                           trials: int = 1) -> SensitivityResult:
-    """Run the Figure 12 sweep."""
+                           trials: int = 1,
+                           workers: Optional[int] = None
+                           ) -> SensitivityResult:
+    """Run the Figure 12 sweep.
+
+    ``workers`` fans the (size, benchmark) cells across processes via
+    :class:`ParallelRunner`; results are identical for any count.
+    """
     if ctx is None:
         ctx = harness.default_context()
     if any(size < 0 for size in sizes):
@@ -87,26 +119,29 @@ def sensitivity_experiment(ctx: Optional[ExperimentContext] = None,
     offline_perf = float(np.mean(offline_perf_scores))
     offline_power = float(np.mean(offline_power_scores))
 
+    # Fan the nonzero (size, benchmark) cells out; size 0 is analytic
+    # (LEO degenerates to offline; online cannot run) and stays local.
+    cells = [(size, b, name) for size in sizes if size > 0
+             for b, name in enumerate(names)]
+    runner = ParallelRunner(workers=workers)
+    cell_results = dict(zip(
+        [(size, b) for size, b, _ in cells],
+        runner.map(_sensitivity_cell, cells, shared=(ctx, trials))))
+
     for size in sizes:
         per_perf = {a: [] for a in SWEEP_APPROACHES}
         per_power = {a: [] for a in SWEEP_APPROACHES}
         for b, name in enumerate(names):
-            for trial in range(trials):
-                if size == 0:
-                    # LEO degenerates to offline; online cannot run.
+            if size == 0:
+                for _ in range(trials):
                     per_perf["leo"].append(offline_perf_scores[b])
                     per_power["leo"].append(offline_power_scores[b])
                     per_perf["online"].append(0.0)
                     per_power["online"].append(0.0)
-                    continue
-                seed = ctx.seed + 100_000 + 997 * b + 31 * trial + size
-                indices = random_indices(len(ctx.space), size, seed)
-                rate_obs, power_obs = sample_target(
-                    ctx, ctx.profile(name), indices, seed_offset=seed % 4099)
+                continue
+            for scores in cell_results[(size, b)]:
                 for approach in SWEEP_APPROACHES:
-                    est = estimate_curves(ctx, views[name], indices,
-                                          rate_obs, power_obs, approach)
-                    pa, wa = accuracy_scores(est, truth_views[name])
+                    pa, wa = scores[approach]
                     per_perf[approach].append(pa)
                     per_power[approach].append(wa)
         for approach in SWEEP_APPROACHES:

@@ -222,7 +222,12 @@ class RuntimeController:
         self.estimator = estimator
         self.prior_rates = prior_rates
         self.prior_powers = prior_powers
-        self.sampler = sampler if sampler is not None else RandomSampler()
+        # The default sampler is explicitly seeded: an OS-entropy default
+        # would make calibration nondeterministic, which silently breaks
+        # result equality when experiments fan out across processes.
+        # Callers wanting independent draws pass a per-cell-seeded
+        # sampler (RandomSampler(seed=cell_seed)).
+        self.sampler = sampler if sampler is not None else RandomSampler(seed=0)
         self.sample_count = sample_count
         self.sample_window = sample_window
         self.quantum_fraction = quantum_fraction

@@ -5,6 +5,21 @@ The motivational example observes 6 uniformly spaced core counts
 online baseline "sample randomly select 20 configurations each"
 (Section 6.3).  Both strategies are provided, plus a latin-hypercube-like
 stratified option for the sampling ablation.
+
+**Determinism under process fan-out.**  The randomized samplers carry a
+private ``numpy`` Generator whose stream advances with every
+:meth:`~Sampler.select` call.  Two hazards follow when experiment cells
+run in parallel worker processes (see docs/PARALLELISM.md):
+
+* an *unseeded* sampler (``seed=None``) draws from OS entropy, so the
+  same cell gives different answers on different runs or workers;
+* a *shared* sampler instance pickled into several workers duplicates
+  its stream — "random" cells become correlated copies of each other.
+
+The rule the experiment harness follows: construct a fresh sampler
+inside each cell, seeded from the cell's payload
+(``RandomSampler(seed=cell_seed)``).  The constructor seed is kept on
+``self.seed`` so tests and harness code can verify it was set.
 """
 
 from __future__ import annotations
@@ -40,6 +55,7 @@ class RandomSampler(Sampler):
     name = "random"
 
     def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def select(self, num_configs: int, count: int) -> np.ndarray:
@@ -75,6 +91,7 @@ class StratifiedSampler(Sampler):
     name = "stratified"
 
     def __init__(self, seed: Optional[int] = None) -> None:
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
 
     def select(self, num_configs: int, count: int) -> np.ndarray:
