@@ -1,0 +1,160 @@
+"""CI smoke check for the estimation service, end to end over the CLI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+
+Starts a real ``python -m repro serve`` subprocess (ephemeral port, one
+worker, admission bound 2), then drives it the way a deployment would:
+
+* concurrent ``sleep`` requests fill the admission budget and the next
+  request must be shed with a typed ``ServiceOverloaded`` well inside
+  its own deadline — the bounded-broker guarantee;
+* a cold ``calibrate-report`` publishes version 1 to the registry and a
+  second, warm request returns the identical curves with zero samples —
+  the cross-tenant amortization guarantee;
+* the broker's metrics must account for every one of those requests;
+* the ``shutdown`` op must stop the server process cleanly (exit 0).
+
+Kept out of the ``test_*`` namespace on purpose: it is a CI gate over
+the subprocess + socket path, not a figure reproduction.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.service import (  # noqa: E402  (path bootstrap above)
+    ServiceAddress,
+    ServiceClient,
+    ServiceOverloaded,
+)
+
+MAX_PENDING = 2
+
+
+def start_server(registry_dir: str):
+    """Launch ``repro serve`` and wait for its SERVING line."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--listen", "127.0.0.1:0", "--registry", registry_dir,
+         "--max-pending", str(MAX_PENDING), "--workers", "1",
+         "--deadline", "30"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        cwd=str(REPO), env=None)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            raise RuntimeError(
+                f"server exited early (rc={process.returncode})")
+        if line.startswith("SERVING "):
+            return process, ServiceAddress.parse(line.split(None, 1)[1]
+                                                 .strip())
+    process.kill()
+    raise RuntimeError("server never printed SERVING")
+
+
+def check_admission(address) -> None:
+    """Fill the budget with sleeps; the next request must shed fast."""
+    occupiers = []
+
+    def occupy():
+        with ServiceClient(address, timeout=30.0) as client:
+            occupiers.append(client.sleep(1.0, deadline_s=15.0))
+
+    threads = [threading.Thread(target=occupy)
+               for _ in range(MAX_PENDING)]
+    for thread in threads:
+        thread.start()
+    wait_for_admitted(address, MAX_PENDING)
+
+    with ServiceClient(address, timeout=30.0) as client:
+        started = time.monotonic()
+        try:
+            client.sleep(0.1, deadline_s=5.0)
+        except ServiceOverloaded as exc:
+            elapsed = time.monotonic() - started
+            assert elapsed < 5.0, f"shed took {elapsed:.1f}s >= deadline"
+            assert exc.details.get("max_pending") == MAX_PENDING, exc.details
+        else:
+            raise AssertionError("request k+1 was admitted past the bound")
+    for thread in threads:
+        thread.join(30.0)
+    assert len(occupiers) == MAX_PENDING, "admitted sleeps must complete"
+    print(f"admission: bound {MAX_PENDING} held, overflow shed in "
+          f"{elapsed * 1e3:.0f}ms")
+
+
+def wait_for_admitted(address, count, timeout=10.0) -> None:
+    deadline = time.monotonic() + timeout
+    with ServiceClient(address, timeout=10.0) as client:
+        while time.monotonic() < deadline:
+            if client.metrics()["admission"]["admitted"] == count:
+                return
+            time.sleep(0.02)
+    raise AssertionError(f"admitted never reached {count}")
+
+
+def check_warm_start(address) -> None:
+    with ServiceClient(address, timeout=300.0) as client:
+        cold = client.calibrate_report("kmeans", space="cores", samples=6,
+                                       estimator="leo", deadline_s=240.0)
+        warm = client.calibrate_report("kmeans", space="cores", samples=6,
+                                       estimator="leo", deadline_s=240.0)
+    assert cold["source"] == "calibration" and cold["version"] == 1, cold
+    assert warm["source"] == "registry", warm
+    assert warm["samples_used"] == 0, warm
+    assert warm["rates"] == cold["rates"], "warm curves must be identical"
+    assert warm["powers"] == cold["powers"]
+    print("warm start: version 1 published, second tenant used 0 samples")
+
+
+def check_metrics(address) -> None:
+    with ServiceClient(address) as client:
+        counters = client.metrics()["metrics"]["counters"]
+    assert counters.get("service_requests_total", 0) >= 5, counters
+    assert counters.get("service_shed_total", 0) >= 1, counters
+    print(f"metrics: {counters.get('service_requests_total', 0):.0f} "
+          f"requests, {counters.get('service_shed_total', 0):.0f} shed")
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="leo_smoke_reg_") as registry:
+        process, address = start_server(registry)
+        try:
+            with ServiceClient(address, timeout=10.0) as client:
+                assert client.ping()["pong"] is True
+            check_admission(address)
+            check_warm_start(address)
+            check_metrics(address)
+            with ServiceClient(address, timeout=10.0) as client:
+                assert client.shutdown() == {"stopping": True}
+            process.wait(timeout=30.0)
+            assert process.returncode == 0, (
+                f"server exited {process.returncode}")
+        except BaseException:
+            process.kill()
+            output = process.stdout.read()
+            if output:
+                print(f"--- server output ---\n{output}", file=sys.stderr)
+            raise
+        finally:
+            if process.poll() is None:
+                process.kill()
+            process.stdout.close()
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,10 @@ Commands:
   energy against race-to-idle and the true optimum.
 * ``reproduce`` — regenerate a paper figure/table and print its rows
   (``fig1 fig5 fig6 fig11 fig12 table1``).
+* ``serve`` — run the multi-tenant estimation service (see
+  docs/SERVICE.md); prints ``SERVING <address>`` once listening.
+* ``request`` — send one operation to a running service and print the
+  JSON response.
 * ``obs summarize PATH`` — render a JSONL trace (written with
   ``--trace``) as a span tree with per-name aggregates.
 
@@ -92,6 +96,41 @@ def _build_parser() -> argparse.ArgumentParser:
              "default: the REPRO_WORKERS environment variable, else 1 "
              "(serial); results are identical for any worker count")
     _add_obs_arguments(reproduce)
+
+    serve = sub.add_parser(
+        "serve", help="run the estimation service (docs/SERVICE.md)")
+    serve.add_argument(
+        "--listen", default="127.0.0.1:0", metavar="ADDR",
+        help="host:port (port 0 = ephemeral) or unix:/path/to.sock")
+    serve.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="model-registry directory enabling warm starts; omit for a "
+             "stateless server")
+    serve.add_argument("--estimator", default="leo",
+                       help="default estimator for requests that omit one")
+    serve.add_argument("--max-pending", type=int, default=8, metavar="K",
+                       help="admission bound: request K+1 is shed")
+    serve.add_argument("--deadline", type=float, default=30.0, metavar="S",
+                       help="default per-request deadline in seconds")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="handler thread-pool width")
+    _add_obs_arguments(serve)
+
+    request = sub.add_parser(
+        "request", help="send one operation to a running service")
+    request.add_argument("address", metavar="ADDR",
+                         help="host:port or unix:/path (from SERVING line)")
+    request.add_argument("op", help="operation name, e.g. ping, "
+                                    "estimate, calibrate-report")
+    request.add_argument("--payload", default=None, metavar="JSON",
+                         help="operation payload as a JSON object")
+    request.add_argument("--deadline", type=float, default=None,
+                         metavar="S", help="per-request deadline (seconds)")
+    request.add_argument("--timeout", type=float, default=60.0,
+                         metavar="S", help="socket timeout (seconds)")
+    request.add_argument("--retries", type=int, default=2)
+    request.add_argument("--retry-overloaded", action="store_true",
+                         help="retry with backoff when the request is shed")
 
     obs = sub.add_parser(
         "obs", help="inspect recorded observability artifacts")
@@ -291,6 +330,86 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs import MetricsRegistry
+    from repro.service import (EstimationService, ModelRegistry,
+                               ServiceAddress, ServiceServer)
+    try:
+        address = ServiceAddress.parse(args.listen)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    registry = (ModelRegistry(args.registry)
+                if args.registry is not None else None)
+    service = EstimationService(registry=registry,
+                                default_estimator=args.estimator)
+    if args.trace is not None:
+        observability = Observability.recording()
+    else:
+        observability = Observability(metrics=MetricsRegistry())
+    server = ServiceServer(service, address,
+                           max_pending=args.max_pending,
+                           default_deadline_s=args.deadline,
+                           max_workers=args.workers,
+                           observability=observability)
+
+    def _ready(bound: object) -> None:
+        # The launch handshake: harnesses wait for this exact line to
+        # learn the ephemeral port, so it must flush immediately.
+        print(f"SERVING {bound}", flush=True)
+
+    code = 0
+    try:
+        asyncio.run(server.serve(ready=_ready))
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(exc, file=sys.stderr)
+        code = 1
+    if args.trace is not None:
+        spans = list(observability.tracer.spans) + server.request_spans
+        write_trace(args.trace, spans)
+        print(f"trace: {len(spans)} spans -> {args.trace}",
+              file=sys.stderr)
+    if args.metrics is not None:
+        server.metrics.write_json(args.metrics)
+        print(f"metrics -> {args.metrics}", file=sys.stderr)
+    return code
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.service import ServiceAddress, ServiceClient, ServiceError
+    try:
+        address = ServiceAddress.parse(args.address)
+        payload = json.loads(args.payload) if args.payload else {}
+        if not isinstance(payload, dict):
+            raise ValueError("--payload must be a JSON object")
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    client = ServiceClient(address, timeout=args.timeout,
+                           retries=args.retries,
+                           retry_overloaded=args.retry_overloaded)
+    try:
+        result = client.call(args.op, payload, deadline_s=args.deadline)
+    except ServiceError as exc:
+        print(json.dumps({"ok": False,
+                          "error": {"type": exc.code, "message": str(exc),
+                                    "details": exc.details}}, indent=2))
+        return 1
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot reach {address}: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+    print(json.dumps({"ok": True, "payload": result}, indent=2))
+    return 0
+
+
 def _cmd_obs_summarize(path: str) -> int:
     from repro.reporting.span_tree import render_span_tree, summarize_spans
     try:
@@ -348,6 +467,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_with_observability(_cmd_optimize, args)
     if args.command == "reproduce":
         return _run_with_observability(_cmd_reproduce, args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "request":
+        return _cmd_request(args)
     if args.command == "obs":
         return _cmd_obs_summarize(args.path)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -14,7 +14,9 @@ from repro.estimators.online import OnlineEstimator
 from repro.estimators.registry import (
     available_estimators,
     create_estimator,
+    register,
     register_estimator,
+    unregister,
 )
 
 __all__ = [
@@ -29,5 +31,7 @@ __all__ = [
     "OnlineEstimator",
     "available_estimators",
     "create_estimator",
+    "register",
     "register_estimator",
+    "unregister",
 ]

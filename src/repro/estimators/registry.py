@@ -5,6 +5,14 @@ Experiments refer to approaches by the paper's names ("leo", "online",
 instances.  The exhaustive oracle is not registered because it needs the
 ground truth at construction time — it is not buildable from a name
 alone.
+
+Downstream code — notably :mod:`repro.service`, which exposes
+estimators to remote tenants *by name* — extends the registry through
+:func:`register`.  Registration is strict: duplicate names are an
+error (silently replacing ``"leo"`` under a running service would
+change every tenant's results), and construction-time keyword-argument
+mismatches are reported with the offending names rather than a bare
+``TypeError`` from deep inside a constructor.
 """
 
 from __future__ import annotations
@@ -28,7 +36,10 @@ _FACTORIES: Dict[str, Callable[[], Estimator]] = {
 def create_estimator(name: str, **kwargs) -> Estimator:
     """Instantiate an estimator by its paper name.
 
-    Keyword arguments are forwarded to the estimator's constructor.
+    Keyword arguments are forwarded to the estimator's constructor; a
+    constructor that rejects them raises a ``TypeError`` naming the
+    estimator and the arguments, so a caller three layers up (e.g. a
+    service request handler) can report something actionable.
     """
     try:
         factory = _FACTORIES[name.lower()]
@@ -36,7 +47,15 @@ def create_estimator(name: str, **kwargs) -> Estimator:
         raise KeyError(
             f"unknown estimator {name!r}; known: {sorted(_FACTORIES)}"
         ) from None
-    return factory(**kwargs)
+    if not kwargs:
+        return factory()
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise TypeError(
+            f"estimator {name!r} rejected constructor arguments "
+            f"{sorted(kwargs)}: {exc}"
+        ) from exc
 
 
 def available_estimators() -> List[str]:
@@ -44,11 +63,39 @@ def available_estimators() -> List[str]:
     return sorted(_FACTORIES)
 
 
+def register(name: str, factory: Callable[..., Estimator]) -> None:
+    """Add a named estimator factory; the public extension hook.
+
+    Raises:
+        ValueError: If ``name`` is empty or already registered (use
+            :func:`unregister` first to replace deliberately).
+        TypeError: If ``factory`` is not callable.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"estimator name must be a non-empty string, "
+                         f"got {name!r}")
+    if not callable(factory):
+        raise TypeError(f"factory for {name!r} must be callable, "
+                        f"got {type(factory).__name__}")
+    key = name.lower()
+    if key in _FACTORIES:
+        raise ValueError(
+            f"estimator {key!r} is already registered; unregister it "
+            f"first or choose another name"
+        )
+    _FACTORIES[key] = factory
+
+
+def unregister(name: str) -> bool:
+    """Remove a registered factory; returns whether one existed."""
+    return _FACTORIES.pop(name.lower(), None) is not None
+
+
 def register_estimator(name: str, factory: Callable[[], Estimator]) -> None:
     """Add (or replace) a named estimator factory.
 
-    Lets downstream users plug their own approaches into the experiment
-    harness without forking it.
+    The legacy replace-allowed hook; prefer :func:`register`, which
+    refuses duplicates instead of silently swapping implementations.
     """
     if not name:
         raise ValueError("estimator name must be non-empty")

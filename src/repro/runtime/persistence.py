@@ -7,13 +7,25 @@ lifetime across process restarts by persisting the fitted curves:
 :class:`EstimateStore` keeps one record per (application, space size,
 estimator) on disk, so a returning application skips calibration
 entirely.
+
+Records are schema-versioned (:data:`SCHEMA_VERSION` in the embedded
+metadata) and written atomically (temporary file + ``os.replace``), so
+concurrent writers never expose a torn record and a reader always sees
+either the old or the new curve in full.  Unreadable records — corrupt
+archives, mangled metadata JSON, or records written by a *future*
+schema this code cannot interpret — are treated as absent rather than
+raised mid-load: the caller simply re-calibrates, which is always safe.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import os
 import pathlib
 import re
+import threading
+import zipfile
 from typing import List, Optional, Union
 
 import numpy as np
@@ -21,6 +33,13 @@ import numpy as np
 from repro.runtime.controller import TradeoffEstimate
 
 PathLike = Union[str, pathlib.Path]
+
+logger = logging.getLogger(__name__)
+
+#: Version written into every record's metadata.  Bump when the record
+#: layout changes incompatibly; loaders skip records from the future.
+#: Version 1 records (no ``schema_version`` key) remain readable.
+SCHEMA_VERSION = 2
 
 _KEY_SANITIZER = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -55,34 +74,69 @@ class EstimateStore:
     # ------------------------------------------------------------------
     def save(self, app_name: str, estimate: TradeoffEstimate
              ) -> pathlib.Path:
-        """Persist one estimate; returns the record path."""
+        """Persist one estimate atomically; returns the record path.
+
+        The record is assembled in a sibling temporary file and moved
+        into place with ``os.replace``, so a concurrent :meth:`load`
+        sees either the previous record or this one, never a partial
+        write — even with several writers racing on the same key.
+        """
         if estimate.rates.ndim != 1 or estimate.rates.shape != \
                 estimate.powers.shape:
             raise ValueError("estimate curves must be aligned 1-D arrays")
         path = self._path(app_name, estimate.rates.size,
                           estimate.estimator_name)
         meta = json.dumps({
+            "schema_version": SCHEMA_VERSION,
             "app": app_name,
             "estimator": estimate.estimator_name,
             "sampling_time": estimate.sampling_time,
             "sampling_energy": estimate.sampling_energy,
             "fit_seconds": estimate.fit_seconds,
         })
-        np.savez_compressed(path, rates=estimate.rates,
-                            powers=estimate.powers,
-                            meta=np.array(meta))
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, rates=estimate.rates,
+                                    powers=estimate.powers,
+                                    meta=np.array(meta))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
         return path
 
     def load(self, app_name: str, num_configs: int,
              estimator_name: str) -> Optional[TradeoffEstimate]:
-        """Fetch a stored estimate, or ``None`` if absent."""
+        """Fetch a stored estimate, or ``None`` if absent.
+
+        An unreadable record — truncated archive, corrupt metadata, or
+        a ``schema_version`` newer than this code — also returns
+        ``None`` (with a warning) so a damaged store degrades to a
+        re-calibration instead of an unrelated crash mid-load.  A
+        *readable* record whose curve length disagrees with
+        ``num_configs`` still raises: that is a real keying bug, not
+        corruption.
+        """
         path = self._path(app_name, num_configs, estimator_name)
         if not path.exists():
             return None
-        with np.load(path, allow_pickle=False) as data:
-            rates = data["rates"]
-            powers = data["powers"]
-            meta = json.loads(str(data["meta"]))
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                rates = np.asarray(data["rates"], dtype=float)
+                powers = np.asarray(data["powers"], dtype=float)
+                meta = json.loads(str(data["meta"]))
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+            logger.warning("skipping unreadable estimate record %s (%s)",
+                           path, exc)
+            return None
+        schema = meta.get("schema_version", 1)
+        if not isinstance(schema, int) or schema > SCHEMA_VERSION:
+            logger.warning(
+                "skipping estimate record %s with schema_version %r "
+                "(this build reads <= %d)", path, schema, SCHEMA_VERSION)
+            return None
         if rates.size != num_configs:
             raise ValueError(
                 f"stored estimate for {app_name!r} covers {rates.size} "
@@ -108,7 +162,8 @@ class EstimateStore:
     def known_applications(self) -> List[str]:
         """Application slugs with at least one stored record."""
         names = {p.name.split("--")[0] for p in
-                 self.directory.glob("*--*--*.npz")}
+                 self.directory.glob("*--*--*.npz")
+                 if not p.name.startswith(".")}
         return sorted(names)
 
     def get_or_calibrate(self, app_name, controller, profile

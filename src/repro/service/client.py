@@ -1,0 +1,258 @@
+"""The service client and the :class:`RemoteEstimator` adapter.
+
+:class:`ServiceClient` speaks the JSON-lines protocol over one
+connection, with automatic reconnect-and-retry (exponential backoff)
+for transport failures and — optionally — for load sheds.
+
+:class:`RemoteEstimator` implements the
+:class:`~repro.estimators.base.Estimator` protocol over a client, so a
+:class:`~repro.runtime.controller.RuntimeController` can be pointed at
+a service **without changing a line of controller code**::
+
+    client = ServiceClient(ServiceAddress.parse("127.0.0.1:7421"))
+    controller = RuntimeController(machine, space,
+                                   estimator=RemoteEstimator(client))
+
+Because curves survive the JSON round trip bit-exactly (see
+:mod:`repro.service.protocol`) and the estimators are deterministic
+given the problem, a remote-backed controller run reproduces the
+in-process run to the last bit — ``tests/test_service_e2e.py`` asserts
+exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import socket
+import time
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.estimators.base import (
+    EstimationProblem,
+    Estimator,
+    InsufficientSamplesError,
+)
+from repro.service.protocol import (
+    EstimationRejected,
+    ProtocolError,
+    Request,
+    Response,
+    ServiceAddress,
+    ServiceOverloaded,
+    decode_array,
+    decode_frame,
+    encode_array,
+    encode_frame,
+    problem_to_payload,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class ServiceClient:
+    """One connection to an estimation service, with retries.
+
+    Args:
+        address: Where the service listens.
+        timeout: Socket timeout per read/write (seconds).  Should exceed
+            the largest ``deadline_s`` you send, so the server's own
+            deadline response arrives before the socket gives up.
+        retries: Transport-failure retry budget per call (reconnect and
+            resend; safe because every service op is idempotent).
+        backoff: Initial retry delay in seconds, doubled per attempt.
+        retry_overloaded: Also retry :class:`ServiceOverloaded`
+            responses (with the same backoff schedule) instead of
+            surfacing them — the polite-tenant mode.
+        default_deadline_s: ``deadline_s`` attached to calls that do not
+            specify one; ``None`` defers to the server default.
+    """
+
+    def __init__(self, address: ServiceAddress, timeout: float = 60.0,
+                 retries: int = 2, backoff: float = 0.05,
+                 retry_overloaded: bool = False,
+                 default_deadline_s: Optional[float] = None) -> None:
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
+        self.address = address
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.retry_overloaded = retry_overloaded
+        self.default_deadline_s = default_deadline_s
+        self._ids = itertools.count(1)
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection management ------------------------------------------
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._sock = self.address.connect(timeout=self.timeout)
+            self._file = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        """Drop the connection (the next call reconnects)."""
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- the core call --------------------------------------------------
+    def call(self, op: str, payload: Optional[Dict[str, Any]] = None,
+             deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        """Invoke one operation; returns the response payload.
+
+        Raises the rehydrated typed :class:`~repro.service.protocol.
+        ServiceError` on a failure response, after exhausting any
+        applicable retries.
+        """
+        if deadline_s is None:
+            deadline_s = self.default_deadline_s
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, payload or {}, deadline_s)
+            except (ConnectionError, socket.timeout, OSError) as exc:
+                self.close()
+                if attempt >= self.retries:
+                    raise
+                logger.debug("retrying after transport failure",
+                             extra={"fields": {"op": op, "error": str(exc),
+                                               "attempt": attempt}})
+            except ServiceOverloaded:
+                if not self.retry_overloaded or attempt >= self.retries:
+                    raise
+                logger.debug("retrying after load shed",
+                             extra={"fields": {"op": op,
+                                               "attempt": attempt}})
+            if self.backoff:
+                time.sleep(self.backoff * (2 ** attempt))
+            attempt += 1
+
+    def _call_once(self, op: str, payload: Dict[str, Any],
+                   deadline_s: Optional[float]) -> Dict[str, Any]:
+        self._ensure_connected()
+        request = Request(op=op, payload=payload,
+                          request_id=next(self._ids),
+                          deadline_s=deadline_s)
+        self._sock.sendall(encode_frame(request.to_wire()))
+        # Responses on a pipelined connection may arrive out of order;
+        # drain frames until ours shows up.  (This client issues calls
+        # serially, so "out of order" only means responses to requests
+        # an earlier timed-out attempt abandoned.)
+        while True:
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("service closed the connection")
+            response = Response.from_wire(decode_frame(line))
+            if response.request_id == request.request_id:
+                return response.result()
+            if response.request_id is None:
+                # An unkeyed protocol-error response can only refer to
+                # the frame we just sent.
+                response.result()
+                raise ProtocolError("server rejected the frame")
+            logger.debug("discarding stale response",
+                         extra={"fields": {"id": response.request_id}})
+
+    # -- op conveniences ------------------------------------------------
+    def ping(self, echo: Any = None) -> Dict[str, Any]:
+        return self.call("ping", {"echo": echo})
+
+    def estimate(self, problem: EstimationProblem,
+                 estimator: Optional[str] = None,
+                 deadline_s: Optional[float] = None,
+                 **kwargs: Any) -> np.ndarray:
+        """Run a remote fit; returns the estimated curve."""
+        payload: Dict[str, Any] = {"problem": problem_to_payload(problem)}
+        if estimator is not None:
+            payload["estimator"] = estimator
+        if kwargs:
+            payload["kwargs"] = kwargs
+        result = self.call("estimate", payload, deadline_s=deadline_s)
+        return decode_array(result["estimate"])
+
+    def optimize(self, rates: np.ndarray, powers: np.ndarray,
+                 idle_power: float, work: float, deadline: float,
+                 mode: str = "deadline-energy") -> Dict[str, Any]:
+        """Solve the Eq. (1) LP remotely; returns schedule and energy."""
+        return self.call("optimize", {
+            "rates": encode_array(rates), "powers": encode_array(powers),
+            "idle_power": idle_power, "work": work, "deadline": deadline,
+            "mode": mode})
+
+    def calibrate_report(self, app: str, **options: Any) -> Dict[str, Any]:
+        """Calibrate a suite application (or fetch it from the registry)."""
+        return self.call("calibrate-report", dict(options, app=app))
+
+    def registry_list(self) -> Dict[str, Any]:
+        return self.call("registry-list")
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.call("metrics")
+
+    def sleep(self, seconds: float,
+              deadline_s: Optional[float] = None) -> Dict[str, Any]:
+        return self.call("sleep", {"seconds": seconds},
+                         deadline_s=deadline_s)
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the server to stop (after answering)."""
+        result = self.call("shutdown")
+        self.close()
+        return result
+
+
+class RemoteEstimator(Estimator):
+    """An :class:`Estimator` whose fits run on an estimation service.
+
+    Drops into any estimator slot — :class:`~repro.runtime.controller.
+    RuntimeController`, the experiment harness — with the computation
+    happening server-side, where coalescing shares identical concurrent
+    fits across tenants.
+
+    Args:
+        client: The connection to use (owned by the caller).
+        estimator: Server-side estimator name.  Also becomes this
+            adapter's :attr:`name`, so persistence keys and reports
+            match the in-process equivalent.
+        deadline_s: Per-fit deadline; ``None`` uses the client default.
+    """
+
+    def __init__(self, client: ServiceClient, estimator: str = "leo",
+                 deadline_s: Optional[float] = None, **kwargs: Any) -> None:
+        self.client = client
+        self.remote_name = estimator
+        self.name = estimator
+        self.deadline_s = deadline_s
+        self.kwargs = kwargs
+
+    def estimate(self, problem: EstimationProblem) -> np.ndarray:
+        try:
+            return self.client.estimate(problem,
+                                        estimator=self.remote_name,
+                                        deadline_s=self.deadline_s,
+                                        **self.kwargs)
+        except EstimationRejected as exc:
+            # The controller's ill-posed-fit handling (keep the previous
+            # estimate, try a different approach) must work unchanged
+            # against a remote backend.
+            raise InsufficientSamplesError(str(exc)) from exc

@@ -1,0 +1,372 @@
+"""The service's versioned model registry.
+
+Layered on :class:`repro.runtime.persistence.EstimateStore`: the store
+keeps the *latest* record per (application, config-space size,
+estimator) as the fast warm-start path, while the registry adds an
+append-only, schema-versioned JSON history so a published model is never
+overwritten — a returning tenant reads the newest version, an auditor
+can read every version that ever served traffic.
+
+On-disk layout::
+
+    registry/
+      latest/                       # EstimateStore write-through (.npz)
+        {app}--{n}--{estimator}.npz
+      models/
+        {app}--{n}--{estimator}/
+          v000001.json              # one immutable record per publish
+          v000002.json
+      pools/
+        {space-key}/
+          v000001.npz               # versioned prior pools (M x n tables)
+
+Version files are immutable once written: a publish assembles the record
+in a temporary file and links it into place with ``os.link`` (atomic,
+refuses to clobber), retrying on the next free version number when two
+publishers race.  Readers skip records they cannot interpret — corrupt
+JSON, missing fields, or a ``schema_version`` from the future — and
+fall back to the newest *valid* version, mirroring the tolerant loading
+of the underlying :class:`EstimateStore`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import pathlib
+import re
+import threading
+import time
+import zipfile
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.runtime.controller import TradeoffEstimate
+from repro.runtime.persistence import EstimateStore, _slug
+
+PathLike = Union[str, pathlib.Path]
+
+logger = logging.getLogger(__name__)
+
+#: Schema stamped on every registry record; readers skip newer versions.
+REGISTRY_SCHEMA_VERSION = 1
+
+_VERSION_FILE = re.compile(r"^v(\d{6})\.json$")
+_POOL_FILE = re.compile(r"^v(\d{6})\.npz$")
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelRecord:
+    """One immutable published model version.
+
+    Attributes:
+        app: Application name (unslugged, as published).
+        estimator: Estimator name the curves came from.
+        num_configs: Configuration-space size the curves cover.
+        version: 1-based publish sequence number within the key.
+        rates: Estimated heartbeat rates, shape ``(num_configs,)``.
+        powers: Estimated system powers, shape ``(num_configs,)``.
+        metadata: Free-form provenance (sampling cost, accuracy, ...).
+        created_unix: Publish wall-clock time (seconds since epoch).
+    """
+
+    app: str
+    estimator: str
+    num_configs: int
+    version: int
+    rates: np.ndarray
+    powers: np.ndarray
+    metadata: Dict[str, Any]
+    created_unix: float
+
+    def to_estimate(self) -> TradeoffEstimate:
+        """The record as a controller-consumable estimate."""
+        return TradeoffEstimate(
+            rates=self.rates, powers=self.powers,
+            estimator_name=self.estimator,
+            sampling_time=float(self.metadata.get("sampling_time", 0.0)),
+            sampling_energy=float(self.metadata.get("sampling_energy", 0.0)),
+            fit_seconds=float(self.metadata.get("fit_seconds", 0.0)),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": REGISTRY_SCHEMA_VERSION,
+            "app": self.app,
+            "estimator": self.estimator,
+            "num_configs": self.num_configs,
+            "version": self.version,
+            "rates": self.rates.tolist(),
+            "powers": self.powers.tolist(),
+            "metadata": self.metadata,
+            "created_unix": self.created_unix,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "ModelRecord":
+        rates = np.asarray(payload["rates"], dtype=float)
+        powers = np.asarray(payload["powers"], dtype=float)
+        if rates.ndim != 1 or rates.shape != powers.shape:
+            raise ValueError("record curves must be aligned 1-D arrays")
+        return cls(
+            app=str(payload["app"]), estimator=str(payload["estimator"]),
+            num_configs=int(payload["num_configs"]),
+            version=int(payload["version"]),
+            rates=rates, powers=powers,
+            metadata=dict(payload.get("metadata", {})),
+            created_unix=float(payload.get("created_unix", 0.0)),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class PriorPool:
+    """A versioned offline profiling table: ``(M, n)`` rates and powers."""
+
+    space_key: str
+    version: int
+    names: Tuple[str, ...]
+    rates: np.ndarray
+    powers: np.ndarray
+
+
+class ModelRegistry:
+    """Versioned fitted-model store shared by every service tenant."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        #: Warm-start write-through: the newest record per key as an
+        #: :class:`EstimateStore` npz, loadable without touching the
+        #: version history.
+        self.store = EstimateStore(self.directory / "latest")
+        self._models_dir = self.directory / "models"
+        self._pools_dir = self.directory / "pools"
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+    def _key(self, app: str, num_configs: int, estimator: str) -> str:
+        return f"{_slug(app)}--{int(num_configs)}--{_slug(estimator)}"
+
+    def _model_dir(self, app: str, num_configs: int,
+                   estimator: str) -> pathlib.Path:
+        return self._models_dir / self._key(app, num_configs, estimator)
+
+    @staticmethod
+    def _versions_in(directory: pathlib.Path,
+                     pattern: re.Pattern) -> List[int]:
+        if not directory.is_dir():
+            return []
+        versions = []
+        for entry in directory.iterdir():
+            match = pattern.match(entry.name)
+            if match:
+                versions.append(int(match.group(1)))
+        return sorted(versions)
+
+    def versions(self, app: str, num_configs: int,
+                 estimator: str) -> List[int]:
+        """Published version numbers for one key, ascending."""
+        return self._versions_in(self._model_dir(app, num_configs,
+                                                 estimator), _VERSION_FILE)
+
+    # ------------------------------------------------------------------
+    # Publishing
+    # ------------------------------------------------------------------
+    def publish(self, app: str, estimate: TradeoffEstimate,
+                metadata: Optional[Dict[str, Any]] = None) -> ModelRecord:
+        """Append a new immutable version and refresh the warm-start store.
+
+        Returns the published record (with its allocated version).  Safe
+        against concurrent publishers on the same key: version files are
+        created with an atomic no-clobber link, and collisions retry on
+        the next number.
+        """
+        rates = np.asarray(estimate.rates, dtype=float)
+        powers = np.asarray(estimate.powers, dtype=float)
+        if rates.ndim != 1 or rates.shape != powers.shape:
+            raise ValueError("estimate curves must be aligned 1-D arrays")
+        meta = dict(metadata or {})
+        meta.setdefault("sampling_time", estimate.sampling_time)
+        meta.setdefault("sampling_energy", estimate.sampling_energy)
+        meta.setdefault("fit_seconds", estimate.fit_seconds)
+
+        directory = self._model_dir(app, rates.size, estimate.estimator_name)
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / (f".publish.{os.getpid()}."
+                           f"{threading.get_ident()}.tmp")
+        record: Optional[ModelRecord] = None
+        try:
+            existing = self._versions_in(directory, _VERSION_FILE)
+            version = (existing[-1] + 1) if existing else 1
+            while True:
+                record = ModelRecord(
+                    app=app, estimator=estimate.estimator_name,
+                    num_configs=int(rates.size), version=version,
+                    rates=rates, powers=powers, metadata=meta,
+                    created_unix=time.time(),
+                )
+                tmp.write_text(json.dumps(record.to_dict()) + "\n")
+                target = directory / f"v{version:06d}.json"
+                try:
+                    os.link(tmp, target)
+                    break
+                except FileExistsError:
+                    version += 1  # lost a race; take the next number
+                except OSError:
+                    # Filesystem without hard links: fall back to a
+                    # replace, accepting last-writer-wins on a collision.
+                    os.replace(tmp, target)
+                    break
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        self.store.save(app, record.to_estimate())
+        return record
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _read_record(self, path: pathlib.Path) -> Optional[ModelRecord]:
+        """One version file, or ``None`` when it cannot be interpreted."""
+        try:
+            payload = json.loads(path.read_text())
+            schema = payload.get("schema_version", 1)
+            if not isinstance(schema, int) or schema > \
+                    REGISTRY_SCHEMA_VERSION:
+                logger.warning(
+                    "skipping registry record %s with schema_version %r "
+                    "(this build reads <= %d)", path, schema,
+                    REGISTRY_SCHEMA_VERSION)
+                return None
+            return ModelRecord.from_dict(payload)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            logger.warning("skipping unreadable registry record %s (%s)",
+                           path, exc)
+            return None
+
+    def latest(self, app: str, num_configs: int,
+               estimator: str) -> Optional[ModelRecord]:
+        """The newest valid record for a key, or ``None``."""
+        directory = self._model_dir(app, num_configs, estimator)
+        for version in reversed(self._versions_in(directory, _VERSION_FILE)):
+            record = self._read_record(directory / f"v{version:06d}.json")
+            if record is not None:
+                return record
+        return None
+
+    def history(self, app: str, num_configs: int,
+                estimator: str) -> List[ModelRecord]:
+        """Every valid record for a key, oldest first."""
+        directory = self._model_dir(app, num_configs, estimator)
+        records = []
+        for version in self._versions_in(directory, _VERSION_FILE):
+            record = self._read_record(directory / f"v{version:06d}.json")
+            if record is not None:
+                records.append(record)
+        return records
+
+    def warm_estimate(self, app: str, num_configs: int,
+                      estimator: str) -> Optional[TradeoffEstimate]:
+        """Warm-start lookup: the latest model as a ready estimate.
+
+        Tries the :class:`EstimateStore` fast path first (one npz read),
+        falling back to the version history when the write-through copy
+        is missing or unreadable.
+        """
+        estimate = self.store.load(app, num_configs, estimator)
+        if estimate is not None:
+            return estimate
+        record = self.latest(app, num_configs, estimator)
+        return record.to_estimate() if record is not None else None
+
+    def known_models(self) -> List[Dict[str, Any]]:
+        """A summary row per key: app slug, size, estimator, versions."""
+        rows = []
+        if self._models_dir.is_dir():
+            for directory in sorted(self._models_dir.iterdir()):
+                parts = directory.name.split("--")
+                if len(parts) != 3 or not directory.is_dir():
+                    continue
+                versions = self._versions_in(directory, _VERSION_FILE)
+                if not versions:
+                    continue
+                rows.append({
+                    "app": parts[0],
+                    "num_configs": int(parts[1]),
+                    "estimator": parts[2],
+                    "versions": len(versions),
+                    "latest_version": versions[-1],
+                })
+        return rows
+
+    # ------------------------------------------------------------------
+    # Prior pools
+    # ------------------------------------------------------------------
+    def publish_prior_pool(self, space_key: str, names: Sequence[str],
+                           rates: np.ndarray,
+                           powers: np.ndarray) -> PriorPool:
+        """Version an ``(M, n)`` offline profiling table for a space."""
+        rates = np.asarray(rates, dtype=float)
+        powers = np.asarray(powers, dtype=float)
+        if rates.ndim != 2 or rates.shape != powers.shape:
+            raise ValueError("prior pool tables must be aligned 2-D arrays")
+        if len(names) != rates.shape[0]:
+            raise ValueError(
+                f"{len(names)} names for {rates.shape[0]} pool rows")
+        directory = self._pools_dir / _slug(space_key)
+        directory.mkdir(parents=True, exist_ok=True)
+        meta = json.dumps({"schema_version": REGISTRY_SCHEMA_VERSION,
+                           "space_key": space_key,
+                           "names": list(names),
+                           "created_unix": time.time()})
+        tmp = directory / (f".publish.{os.getpid()}."
+                           f"{threading.get_ident()}.tmp")
+        try:
+            with open(tmp, "wb") as handle:
+                np.savez_compressed(handle, rates=rates, powers=powers,
+                                    meta=np.array(meta))
+            existing = self._versions_in(directory, _POOL_FILE)
+            version = (existing[-1] + 1) if existing else 1
+            while True:
+                target = directory / f"v{version:06d}.npz"
+                try:
+                    os.link(tmp, target)
+                    break
+                except FileExistsError:
+                    version += 1
+                except OSError:
+                    os.replace(tmp, target)
+                    break
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        return PriorPool(space_key=space_key, version=version,
+                         names=tuple(names), rates=rates, powers=powers)
+
+    def latest_prior_pool(self, space_key: str) -> Optional[PriorPool]:
+        """The newest valid prior pool for a space, or ``None``."""
+        directory = self._pools_dir / _slug(space_key)
+        for version in reversed(self._versions_in(directory, _POOL_FILE)):
+            path = directory / f"v{version:06d}.npz"
+            try:
+                with np.load(path, allow_pickle=False) as data:
+                    rates = np.asarray(data["rates"], dtype=float)
+                    powers = np.asarray(data["powers"], dtype=float)
+                    meta = json.loads(str(data["meta"]))
+                schema = meta.get("schema_version", 1)
+                if not isinstance(schema, int) or schema > \
+                        REGISTRY_SCHEMA_VERSION:
+                    logger.warning("skipping prior pool %s with "
+                                   "schema_version %r", path, schema)
+                    continue
+                return PriorPool(space_key=space_key, version=version,
+                                 names=tuple(meta.get("names", ())),
+                                 rates=rates, powers=powers)
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile) as exc:
+                logger.warning("skipping unreadable prior pool %s (%s)",
+                               path, exc)
+        return None

@@ -1,12 +1,16 @@
 """Tests for repro.runtime.persistence (the estimate store)."""
 
+import json
+import threading
+import zipfile
+
 import numpy as np
 import pytest
 
 from repro.estimators.leo import LEOEstimator
 from repro.platform.machine import Machine
 from repro.runtime.controller import RuntimeController, TradeoffEstimate
-from repro.runtime.persistence import EstimateStore
+from repro.runtime.persistence import SCHEMA_VERSION, EstimateStore
 from repro.runtime.sampling import RandomSampler
 from repro.workloads.suite import get_benchmark
 
@@ -72,6 +76,156 @@ class TestRoundtrip:
         store = EstimateStore(tmp_path / "deep" / "models")
         store.save("kmeans", _estimate())
         assert store.load("kmeans", 8, "leo") is not None
+
+
+class TestSchemaVersioning:
+    def test_records_carry_schema_version(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate())
+        with np.load(path, allow_pickle=False) as data:
+            meta = json.loads(str(data["meta"]))
+        assert meta["schema_version"] == SCHEMA_VERSION
+
+    def test_version1_record_without_key_still_loads(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate())
+        with np.load(path, allow_pickle=False) as data:
+            rates, powers = data["rates"], data["powers"]
+            meta = json.loads(str(data["meta"]))
+        del meta["schema_version"]  # a pre-versioning record
+        np.savez_compressed(path, rates=rates, powers=powers,
+                            meta=np.array(json.dumps(meta)))
+        assert store.load("kmeans", 8, "leo") is not None
+
+    def test_future_schema_version_skipped(self, tmp_path, caplog):
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate())
+        with np.load(path, allow_pickle=False) as data:
+            rates, powers = data["rates"], data["powers"]
+            meta = json.loads(str(data["meta"]))
+        meta["schema_version"] = SCHEMA_VERSION + 10
+        np.savez_compressed(path, rates=rates, powers=powers,
+                            meta=np.array(json.dumps(meta)))
+        with caplog.at_level("WARNING"):
+            assert store.load("kmeans", 8, "leo") is None
+        assert "schema_version" in caplog.text
+
+    def test_corrupt_archive_returns_none(self, tmp_path, caplog):
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate())
+        path.write_bytes(b"this is not a zip archive")
+        with caplog.at_level("WARNING"):
+            assert store.load("kmeans", 8, "leo") is None
+        assert "unreadable" in caplog.text
+
+    def test_truncated_archive_returns_none(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate())
+        path.write_bytes(path.read_bytes()[:40])
+        assert store.load("kmeans", 8, "leo") is None
+
+    def test_missing_array_key_returns_none(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate())
+        np.savez_compressed(path, rates=np.ones(8))  # no powers/meta
+        assert store.load("kmeans", 8, "leo") is None
+
+    def test_size_mismatch_still_raises(self, tmp_path):
+        # A readable record under the wrong key is a bug, not corruption.
+        store = EstimateStore(tmp_path)
+        path = store.save("kmeans", _estimate(n=8))
+        path.rename(store.directory / "kmeans--16--leo.npz")
+        with pytest.raises(ValueError, match="covers 8"):
+            store.load("kmeans", 16, "leo")
+
+    def test_corrupt_record_recovers_via_get_or_calibrate(self, tmp_path,
+                                                          cores_space,
+                                                          cores_dataset):
+        view = cores_dataset.leave_one_out("kmeans")
+        controller = RuntimeController(
+            machine=Machine(seed=31), space=cores_space,
+            estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=0), sample_count=6)
+        store = EstimateStore(tmp_path)
+        kmeans = get_benchmark("kmeans")
+        first = store.get_or_calibrate("kmeans", controller, kmeans)
+        # Corrupt the record: the next call re-calibrates instead of
+        # crashing mid-load.
+        path = store._path("kmeans", len(cores_space), "leo")
+        path.write_bytes(b"garbage")
+        second = store.get_or_calibrate("kmeans", controller, kmeans)
+        assert second.rates.size == first.rates.size
+        assert store.load("kmeans", len(cores_space), "leo") is not None
+
+
+class TestConcurrentAccess:
+    def test_two_writers_atomic_replace(self, tmp_path):
+        """Racing writers on one key: the survivor is one complete
+        record, and no torn read is ever observed."""
+        store = EstimateStore(tmp_path)
+        n = 64
+        variants = {
+            1.0: _full_estimate(n, 1.0),
+            2.0: _full_estimate(n, 2.0),
+        }
+        errors = []
+        stop = threading.Event()
+
+        def writer(fill):
+            try:
+                while not stop.is_set():
+                    store.save("racy", variants[fill])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    loaded = store.load("racy", n, "leo")
+                    if loaded is None:
+                        continue
+                    # A torn record would mix fills within one curve.
+                    fill = loaded.rates[0]
+                    assert fill in variants
+                    np.testing.assert_array_equal(
+                        loaded.rates, variants[fill].rates)
+                    np.testing.assert_array_equal(
+                        loaded.powers, variants[fill].powers)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(1.0,)),
+                   threading.Thread(target=writer, args=(2.0,)),
+                   threading.Thread(target=reader),
+                   threading.Thread(target=reader)]
+        for t in threads:
+            t.start()
+        stop_timer = threading.Timer(1.0, stop.set)
+        stop_timer.start()
+        for t in threads:
+            t.join(10.0)
+        stop_timer.cancel()
+        stop.set()
+        assert not errors, errors
+        survivor = store.load("racy", n, "leo")
+        assert survivor is not None
+        assert zipfile.is_zipfile(store._path("racy", n, "leo"))
+
+    def test_tmp_files_do_not_leak_or_pollute_listing(self, tmp_path):
+        store = EstimateStore(tmp_path)
+        for _ in range(5):
+            store.save("kmeans", _estimate())
+        leftovers = [p for p in store.directory.iterdir()
+                     if p.name.startswith(".")]
+        assert leftovers == []
+        assert store.known_applications() == ["kmeans"]
+
+
+def _full_estimate(n, fill):
+    return TradeoffEstimate(rates=np.full(n, fill),
+                            powers=np.full(n, fill * 10.0),
+                            estimator_name="leo")
 
 
 class TestGetOrCalibrate:

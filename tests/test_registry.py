@@ -9,7 +9,9 @@ from repro.estimators.online import OnlineEstimator
 from repro.estimators.registry import (
     available_estimators,
     create_estimator,
+    register,
     register_estimator,
+    unregister,
 )
 
 
@@ -57,3 +59,72 @@ class TestRegistration:
     def test_register_rejects_empty_name(self):
         with pytest.raises(ValueError):
             register_estimator("", OfflineEstimator)
+
+
+class _Custom(Estimator):
+    name = "custom"
+
+    def __init__(self, knob=0):
+        self.knob = knob
+
+    def estimate(self, problem):
+        raise NotImplementedError
+
+
+class TestPublicRegisterHook:
+    def test_register_and_create(self):
+        register("hook-test", _Custom)
+        try:
+            built = create_estimator("hook-test", knob=3)
+            assert isinstance(built, _Custom)
+            assert built.knob == 3
+            assert "hook-test" in available_estimators()
+        finally:
+            assert unregister("hook-test")
+
+    def test_duplicate_name_rejected(self):
+        register("dup-test", _Custom)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register("dup-test", _Custom)
+            # Builtins are protected the same way.
+            with pytest.raises(ValueError, match="already registered"):
+                register("leo", _Custom)
+        finally:
+            assert unregister("dup-test")
+
+    def test_duplicate_check_is_case_insensitive(self):
+        register("case-test", _Custom)
+        try:
+            with pytest.raises(ValueError):
+                register("CASE-TEST", _Custom)
+        finally:
+            assert unregister("Case-Test")
+
+    def test_non_callable_factory_rejected(self):
+        with pytest.raises(TypeError, match="callable"):
+            register("bad-factory", object())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            register("", _Custom)
+        with pytest.raises(ValueError):
+            register(None, _Custom)
+
+    def test_unregister_missing_returns_false(self):
+        assert not unregister("never-registered")
+
+    def test_unknown_kwargs_error_names_them(self):
+        register("kwargs-test", _Custom)
+        try:
+            with pytest.raises(TypeError) as excinfo:
+                create_estimator("kwargs-test", bogus=1, other=2)
+            message = str(excinfo.value)
+            assert "kwargs-test" in message
+            assert "bogus" in message and "other" in message
+        finally:
+            assert unregister("kwargs-test")
+
+    def test_builtin_unknown_kwargs_wrapped(self):
+        with pytest.raises(TypeError, match="'leo'.*frobnicate"):
+            create_estimator("leo", frobnicate=True)

@@ -1,0 +1,187 @@
+"""Tests for repro.service.client (retries, RemoteEstimator)."""
+
+import json
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import EstimationProblem, InsufficientSamplesError
+from repro.service import (
+    EstimationService,
+    RemoteEstimator,
+    ServerThread,
+    ServiceAddress,
+    ServiceClient,
+    ServiceOverloaded,
+)
+from repro.service.protocol import encode_frame
+
+
+class _FlakyServer:
+    """A raw socket server scripted per connection, for retry tests.
+
+    Each element of ``script`` handles one connection: ``"drop"`` closes
+    it immediately, ``"overloaded"`` answers every request with a shed,
+    ``"overloaded-once"`` sheds the first request then answers normally,
+    ``"ok"`` answers every request with a successful pong.
+    """
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.connections = 0
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.address = ServiceAddress(
+            host="127.0.0.1", port=self._sock.getsockname()[1])
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for behaviour in self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:  # listener closed during teardown
+                return
+            self.connections += 1
+            if behaviour == "drop":
+                conn.close()
+                continue
+            with conn:
+                reader = conn.makefile("rb")
+                shed_remaining = 1 if behaviour == "overloaded-once" else 0
+                for line in reader:
+                    frame = json.loads(line)
+                    if behaviour == "overloaded" or shed_remaining:
+                        shed_remaining = max(0, shed_remaining - 1)
+                        reply = {"v": 1, "id": frame.get("id"), "ok": False,
+                                 "error": {"type": "overloaded",
+                                           "message": "full",
+                                           "details": {}}}
+                    else:
+                        reply = {"v": 1, "id": frame.get("id"), "ok": True,
+                                 "payload": {"pong": True, "echo": None}}
+                    conn.sendall(encode_frame(reply))
+
+    def close(self):
+        self._sock.close()
+
+
+class TestRetries:
+    def test_reconnects_after_dropped_connection(self):
+        server = _FlakyServer(["drop", "ok"])
+        try:
+            client = ServiceClient(server.address, retries=2, backoff=0.01)
+            assert client.ping()["pong"] is True
+            assert server.connections == 2
+            client.close()
+        finally:
+            server.close()
+
+    def test_transport_retries_exhausted(self):
+        server = _FlakyServer(["drop", "drop", "drop"])
+        try:
+            client = ServiceClient(server.address, retries=2, backoff=0.01)
+            with pytest.raises((ConnectionError, OSError)):
+                client.ping()
+            assert server.connections == 3  # initial + 2 retries
+            client.close()
+        finally:
+            server.close()
+
+    def test_overloaded_surfaces_by_default(self):
+        server = _FlakyServer(["overloaded"])
+        try:
+            client = ServiceClient(server.address, retries=3, backoff=0.01)
+            with pytest.raises(ServiceOverloaded):
+                client.ping()
+            assert server.connections == 1  # no retry without opt-in
+            client.close()
+        finally:
+            server.close()
+
+    def test_retry_overloaded_opt_in(self):
+        # The shed arrives on a healthy connection, so the retry reuses
+        # it (the client reconnects only on transport failure) — the
+        # server must recover per-request, not per-connection.
+        server = _FlakyServer(["overloaded-once"])
+        try:
+            client = ServiceClient(server.address, retries=2, backoff=0.01,
+                                   retry_overloaded=True)
+            assert client.ping()["pong"] is True
+            assert server.connections == 1
+            client.close()
+        finally:
+            server.close()
+
+    def test_invalid_configuration_rejected(self):
+        addr = ServiceAddress(host="127.0.0.1", port=1)
+        with pytest.raises(ValueError):
+            ServiceClient(addr, retries=-1)
+        with pytest.raises(ValueError):
+            ServiceClient(addr, backoff=-0.1)
+
+    def test_unreachable_address_raises_after_retries(self):
+        # A closed port: connect() fails fast with ECONNREFUSED.
+        sock = socket.create_server(("127.0.0.1", 0))
+        port = sock.getsockname()[1]
+        sock.close()
+        client = ServiceClient(ServiceAddress(host="127.0.0.1", port=port),
+                               retries=1, backoff=0.01, timeout=2.0)
+        with pytest.raises(OSError):
+            client.ping()
+
+
+class TestRemoteEstimator:
+    @pytest.fixture()
+    def server(self):
+        with ServerThread(EstimationService(), max_pending=8,
+                          max_workers=2) as thread:
+            yield thread
+
+    def test_implements_estimator_protocol(self, server):
+        from repro.estimators.base import Estimator
+        with ServiceClient(server.bound_address) as client:
+            remote = RemoteEstimator(client, estimator="leo")
+            assert isinstance(remote, Estimator)
+            assert remote.name == "leo"  # keys/reports match in-process
+
+    def test_estimate_delegates(self, server):
+        rng = np.random.default_rng(2)
+        problem = EstimationProblem(
+            features=rng.random((12, 3)),
+            prior=rng.random((3, 12)) + 0.5,
+            observed_indices=np.array([0, 4, 8]),
+            observed_values=rng.random(3) + 0.5)
+        with ServiceClient(server.bound_address, timeout=60.0) as client:
+            remote = RemoteEstimator(client, estimator="leo")
+            from repro.estimators import LEOEstimator
+            assert np.array_equal(remote.estimate(problem),
+                                  LEOEstimator().estimate(problem))
+
+    def test_insufficient_samples_translated(self, server):
+        # Online polynomial regression needs >= its coefficient count;
+        # one observation is ill-posed, and the remote error must come
+        # back as the same exception the in-process estimator raises.
+        rng = np.random.default_rng(3)
+        problem = EstimationProblem(
+            features=rng.random((12, 3)), prior=None,
+            observed_indices=np.array([2]),
+            observed_values=np.array([1.0]))
+        with ServiceClient(server.bound_address, timeout=60.0) as client:
+            remote = RemoteEstimator(client, estimator="online")
+            with pytest.raises(InsufficientSamplesError):
+                remote.estimate(problem)
+
+    def test_constructor_kwargs_forwarded(self, server):
+        rng = np.random.default_rng(4)
+        problem = EstimationProblem(
+            features=rng.random((20, 3)),
+            prior=rng.random((3, 20)) + 0.5,
+            observed_indices=np.arange(0, 20, 2),
+            observed_values=rng.random(10) + 0.5)
+        with ServiceClient(server.bound_address, timeout=60.0) as client:
+            remote = RemoteEstimator(client, estimator="knn", k=2)
+            from repro.estimators import KNNEstimator
+            assert np.array_equal(remote.estimate(problem),
+                                  KNNEstimator(k=2).estimate(problem))
