@@ -1,0 +1,93 @@
+"""CI smoke check for the cluster co-scheduling subsystem.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/cluster_smoke.py
+
+Runs three tenants (fluidanimate, kmeans, blackscholes) on the small
+``cores`` space under the joint power-cap coordinator and checks the
+subsystem's core guarantees end to end:
+
+* the conservative per-epoch node peak never exceeds the cap, at a
+  loose cap and at a tight one;
+* every tenant meets its deadline under the joint policy at both caps;
+* at the loose cap — where the equal-split baseline is also feasible —
+  the joint allocator completes the same work for less total energy;
+* at the tight cap the equal split misses a deadline the joint
+  allocator meets (the feasibility win);
+* a repeated joint run is bit-identical (fixed-seed determinism).
+
+Kept out of the ``test_*`` namespace on purpose: it is a CI gate over
+the whole coordinator loop, not a figure reproduction.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.experiments.cluster_energy import (  # noqa: E402
+    DEFAULT_BENCHMARKS,
+    DEFAULT_DEADLINE,
+    DEFAULT_UTILIZATIONS,
+    _cluster_cell,
+    tenant_workloads,
+)
+from repro.experiments.harness import default_context  # noqa: E402
+
+LOOSE_CAP = 260.0
+TIGHT_CAP = 230.0
+
+
+def run_cell(shared, cap, policy):
+    run = _cluster_cell(shared, (cap, policy))
+    assert run.cap_respected, (
+        f"{policy}@{cap:.0f}W: peak {run.max_peak_watts:.1f}W exceeded "
+        f"the cap")
+    assert run.max_peak_watts <= cap + 1e-6, run.max_peak_watts
+    print(f"{policy:<7} cap={cap:5.0f}W  energy={run.total_energy:7.1f}J  "
+          f"peak={run.max_peak_watts:6.1f}W  "
+          f"missed={','.join(run.missed) or '-'}")
+    return run
+
+
+def main() -> int:
+    ctx = default_context(space_kind="cores")
+    workloads = tenant_workloads(ctx, DEFAULT_BENCHMARKS,
+                                 DEFAULT_UTILIZATIONS, DEFAULT_DEADLINE)
+    shared = (ctx, workloads, DEFAULT_DEADLINE)
+
+    joint_loose = run_cell(shared, LOOSE_CAP, "joint")
+    static_loose = run_cell(shared, LOOSE_CAP, "static")
+    joint_tight = run_cell(shared, TIGHT_CAP, "joint")
+    static_tight = run_cell(shared, TIGHT_CAP, "static")
+
+    assert not joint_loose.missed, joint_loose.missed
+    assert not joint_tight.missed, joint_tight.missed
+    assert not static_loose.missed, static_loose.missed
+    assert joint_loose.total_energy < static_loose.total_energy, (
+        f"joint {joint_loose.total_energy:.1f}J must beat equal-split "
+        f"{static_loose.total_energy:.1f}J at the loose cap")
+    assert static_tight.missed, (
+        "expected the equal split to pinch the heavy tenant at "
+        f"{TIGHT_CAP:.0f}W")
+
+    repeat = _cluster_cell(shared, (LOOSE_CAP, "joint"))
+    assert repeat.total_energy == joint_loose.total_energy, (
+        "fixed-seed joint run must be bit-identical")
+    assert repeat.missed == joint_loose.missed
+
+    saved = 1.0 - joint_loose.total_energy / static_loose.total_energy
+    print(f"joint saves {100.0 * saved:.1f}% at {LOOSE_CAP:.0f}W with all "
+          f"deadlines met; meets all at {TIGHT_CAP:.0f}W where equal split "
+          f"misses {','.join(static_tight.missed)}")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,13 @@ See README.md for the architecture overview and DESIGN.md for the
 system inventory and per-experiment index.
 """
 
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterReport,
+    PartitionedMachine,
+    PowerCapAllocator,
+    Tenant,
+)
 from repro.core import (
     EMConfig,
     HierarchicalBayesianModel,
@@ -69,6 +76,11 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "ClusterCoordinator",
+    "ClusterReport",
+    "PartitionedMachine",
+    "PowerCapAllocator",
+    "Tenant",
     "EMConfig",
     "HierarchicalBayesianModel",
     "NIWPrior",

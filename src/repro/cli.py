@@ -9,6 +9,9 @@ Commands:
   energy against race-to-idle and the true optimum.
 * ``reproduce`` — regenerate a paper figure/table and print its rows
   (``fig1 fig5 fig6 fig11 fig12 table1``).
+* ``cluster`` — co-schedule several benchmarks on one node under a
+  global power cap and compare the joint allocator against the
+  per-app-static-cap and race-to-idle baselines (docs/CLUSTER.md).
 * ``serve`` — run the multi-tenant estimation service (see
   docs/SERVICE.md); prints ``SERVING <address>`` once listening.
 * ``request`` — send one operation to a running service and print the
@@ -96,6 +99,32 @@ def _build_parser() -> argparse.ArgumentParser:
              "default: the REPRO_WORKERS environment variable, else 1 "
              "(serial); results are identical for any worker count")
     _add_obs_arguments(reproduce)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="co-schedule benchmarks under a power cap (docs/CLUSTER.md)")
+    cluster.add_argument(
+        "--benchmarks", default=None, metavar="A,B,C",
+        help="comma-separated co-resident benchmarks "
+             "(default: fluidanimate,kmeans,blackscholes)")
+    cluster.add_argument(
+        "--utilizations", default=None, metavar="U1,U2,U3",
+        help="per-tenant demanded fraction of partition capacity "
+             "(default: 0.9,0.25,0.35)")
+    cluster.add_argument(
+        "--caps", default=None, metavar="W1,W2",
+        help="comma-separated power caps in watts "
+             "(default: 260,240,225)")
+    cluster.add_argument("--deadline", type=float, default=40.0,
+                         help="shared tenant deadline in seconds")
+    cluster.add_argument("--space", choices=("paper", "cores"),
+                         default="cores")
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="processes for the cap x policy cells; results are "
+             "identical for any worker count")
+    _add_obs_arguments(cluster)
 
     serve = sub.add_parser(
         "serve", help="run the estimation service (docs/SERVICE.md)")
@@ -330,6 +359,48 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.experiments.cluster_energy import (
+        DEFAULT_BENCHMARKS,
+        DEFAULT_CAPS,
+        DEFAULT_UTILIZATIONS,
+        cluster_energy_experiment,
+        summarize_runs,
+    )
+
+    def _split(raw: Optional[str], default, cast):
+        if raw is None:
+            return default
+        return tuple(cast(part) for part in raw.split(",") if part)
+
+    try:
+        benchmarks = _split(args.benchmarks, DEFAULT_BENCHMARKS, str)
+        utilizations = _split(args.utilizations, DEFAULT_UTILIZATIONS, float)
+        caps = _split(args.caps, DEFAULT_CAPS, float)
+        if len(benchmarks) != len(utilizations):
+            raise ValueError(
+                f"{len(benchmarks)} benchmarks need {len(benchmarks)} "
+                f"utilizations, got {len(utilizations)}")
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    ctx = default_context(space_kind=args.space, seed=args.seed)
+    try:
+        runs = cluster_energy_experiment(
+            ctx, benchmarks=benchmarks, utilizations=utilizations,
+            caps=caps, deadline=args.deadline, workers=args.workers)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(format_table(
+        ["cap (W)", "policy", "energy (J)", "mJ/heartbeat",
+         "peak (W)", "cap ok", "missed deadlines"],
+        summarize_runs(runs),
+        title=(f"{', '.join(benchmarks)} co-scheduled for "
+               f"{args.deadline:g}s")))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -467,6 +538,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_with_observability(_cmd_optimize, args)
     if args.command == "reproduce":
         return _run_with_observability(_cmd_reproduce, args)
+    if args.command == "cluster":
+        return _run_with_observability(_cmd_cluster, args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "request":

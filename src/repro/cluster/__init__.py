@@ -1,0 +1,62 @@
+"""Co-scheduling multiple applications on one node under a power cap.
+
+The single-application stack (sample → estimate → optimize → actuate)
+minimizes one application's energy under its own constraint; this
+package coordinates N of those stacks on one shared node so that every
+tenant meets its deadline while the node's total draw stays under a
+global power cap and total energy is minimized.  Three layers:
+
+* :mod:`repro.cluster.partition` — disjoint core/HT partitions with
+  ``Machine``-compatible per-tenant views (shared floor power split
+  fairly, shared memory contention modelled).
+* :mod:`repro.cluster.allocator` — the joint water-filling solver
+  dividing the cap across the tenants' learned tradeoff curves, with a
+  proportional-share degradation ladder.
+* :mod:`repro.cluster.coordinator` — the epoch loop: admission,
+  staggered calibration, sticky allocation, budget-filtered execution,
+  and phase-driven re-allocation, fully traced through
+  :mod:`repro.obs`.
+
+See docs/CLUSTER.md for the partition semantics, the allocator math,
+and the metric/span reference.
+"""
+
+from repro.cluster.allocator import (
+    Allocation,
+    PowerCapAllocator,
+    StaticAllocator,
+    TenantAllocation,
+    TenantDemand,
+)
+from repro.cluster.coordinator import (
+    POLICIES,
+    ClusterCoordinator,
+    ClusterReport,
+    Tenant,
+    TenantReport,
+)
+from repro.cluster.partition import (
+    DEFAULT_CONTENTION_KAPPA,
+    PartitionedMachine,
+    TenantMachine,
+    TenantSpace,
+    partition_space,
+)
+
+__all__ = [
+    "Allocation",
+    "PowerCapAllocator",
+    "StaticAllocator",
+    "TenantAllocation",
+    "TenantDemand",
+    "POLICIES",
+    "ClusterCoordinator",
+    "ClusterReport",
+    "Tenant",
+    "TenantReport",
+    "DEFAULT_CONTENTION_KAPPA",
+    "PartitionedMachine",
+    "TenantMachine",
+    "TenantSpace",
+    "partition_space",
+]

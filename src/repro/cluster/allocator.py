@@ -1,0 +1,391 @@
+"""Dividing a global power cap across tenants' learned tradeoff curves.
+
+Each tenant arrives with an estimated (rate, power) curve — its
+:class:`~repro.runtime.controller.TradeoffEstimate` restricted to its
+partition — and a required heartbeat rate (remaining work over
+remaining time).  The allocator solves
+
+    minimize    sum_i  E_i(b_i)
+    subject to  sum_i  b_i  <=  cap * (1 - margin)
+                b_i  >=  b_min_i
+
+where ``b_i`` is tenant *i*'s **instantaneous power budget** and
+``E_i(b)`` is the minimal average power at which tenant *i* can sustain
+its required rate using only configurations whose estimated power is at
+most ``b`` — evaluated by :class:`~repro.optimize.lp.EnergyMinimizer`
+as the inner oracle (the paper's Eq. 1 LP per tenant).  Budgets bound
+*peak* draw, not average draw: the coordinator enforces them by
+filtering each tenant's configuration space to configurations under
+budget, so any configuration a tenant's controller applies keeps the
+node under the cap by construction.
+
+``E_i`` is a piecewise-constant, non-increasing function of ``b`` whose
+breakpoints are the Pareto-optimal configurations' power levels, so the
+solver is a greedy water-filling: start every tenant at its minimal
+feasible budget and repeatedly grant the budget raise with the best
+energy-saved-per-watt ratio until the headroom is spent.  The result is
+additionally compared against the equal-split allocation and the better
+of the two is returned, so the joint allocation is never worse than the
+static baseline *under the same estimates*.
+
+Degradation ladder (each rung is observable in the returned
+:class:`Allocation`):
+
+1. **joint** — every tenant's requirement fits; budgets water-filled.
+2. **clamped tenant** — a tenant's requirement exceeds its own curve's
+   capacity (the inner oracle raises
+   :class:`~repro.optimize.lp.InfeasibleConstraintError`); its target
+   is clamped to the attached ``max_rate`` and allocation proceeds.
+3. **proportional** — the minimal feasible budgets alone exceed the
+   usable cap; every tenant gets a proportional share of the usable
+   cap instead, and best-effort targets are re-derived from what each
+   share affords.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.optimize.lp import EnergyMinimizer, InfeasibleConstraintError
+from repro.optimize.pareto import pareto_optimal_mask
+
+#: Horizon (s) over which the inner oracle's energy is read as average
+#: watts; the LP is scale-invariant in the horizon, so any value works.
+_HORIZON = 1.0
+
+_REL_TOL = 1e-9
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantDemand:
+    """One tenant's estimated curve and rate requirement.
+
+    Attributes:
+        name: Tenant identifier (stable across epochs).
+        rates: Estimated heartbeat rates over the tenant's space.
+        powers: Estimated powers (W) over the tenant's space.
+        idle_power: The tenant view's idle draw (its fair share of the
+            node idle), the rate-0 anchor of its frontier.
+        required_rate: Heartbeats/s the tenant needs to meet its
+            deadline (remaining work over remaining time).
+    """
+
+    name: str
+    rates: np.ndarray
+    powers: np.ndarray
+    idle_power: float
+    required_rate: float
+
+    def __post_init__(self) -> None:
+        rates = np.asarray(self.rates, dtype=float)
+        powers = np.asarray(self.powers, dtype=float)
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "powers", powers)
+        if rates.shape != powers.shape or rates.ndim != 1 or rates.size == 0:
+            raise ValueError(
+                f"tenant {self.name!r}: rates and powers must be equal-length "
+                f"non-empty 1-D arrays")
+        if self.required_rate < 0:
+            raise ValueError(
+                f"tenant {self.name!r}: required_rate must be >= 0, "
+                f"got {self.required_rate}")
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantAllocation:
+    """The allocator's decision for one tenant.
+
+    Attributes:
+        name: Tenant identifier.
+        budget_watts: Instantaneous power budget granted.
+        target_rate: Rate the tenant is asked to sustain — the required
+            rate, or less when the allocator degraded.
+        required_rate: The rate the tenant asked for.
+        feasible: Whether ``target_rate`` covers ``required_rate``.
+        estimated_watts: Average power of the tenant's optimal plan for
+            ``target_rate`` within the budget, under its estimates.
+    """
+
+    name: str
+    budget_watts: float
+    target_rate: float
+    required_rate: float
+    feasible: bool
+    estimated_watts: float
+
+
+@dataclasses.dataclass(frozen=True)
+class Allocation:
+    """A complete division of the cap across the live tenants.
+
+    Attributes:
+        tenants: Per-tenant decisions, in demand order.
+        cap_watts: The global cap the allocation respects.
+        usable_watts: ``cap * (1 - margin)``, what was actually divided.
+        mode: Which rung of the degradation ladder produced the
+            budgets: ``"joint"`` (water-filled), ``"equal"`` (the
+            equal-split candidate won), ``"static"`` (equal split by
+            policy), or ``"proportional"`` (requirements did not fit).
+    """
+
+    tenants: Tuple[TenantAllocation, ...]
+    cap_watts: float
+    usable_watts: float
+    mode: str
+
+    @property
+    def total_budget_watts(self) -> float:
+        """Sum of granted budgets; ``<= usable_watts`` by construction."""
+        return sum(t.budget_watts for t in self.tenants)
+
+    @property
+    def estimated_watts(self) -> float:
+        """Estimated average node power under the allocation."""
+        return sum(t.estimated_watts for t in self.tenants)
+
+    @property
+    def all_feasible(self) -> bool:
+        """Whether every tenant's requirement was granted in full."""
+        return all(t.feasible for t in self.tenants)
+
+    def budget(self, name: str) -> float:
+        """The named tenant's budget; ``KeyError`` if absent."""
+        for t in self.tenants:
+            if t.name == name:
+                return t.budget_watts
+        raise KeyError(f"no allocation for tenant {name!r}")
+
+    def tenant(self, name: str) -> TenantAllocation:
+        """The named tenant's full decision; ``KeyError`` if absent."""
+        for t in self.tenants:
+            if t.name == name:
+                return t
+        raise KeyError(f"no allocation for tenant {name!r}")
+
+
+# ----------------------------------------------------------------------
+# The inner oracle
+# ----------------------------------------------------------------------
+def _affordable(demand: TenantDemand, budget: float) -> np.ndarray:
+    """Boolean mask of configurations within the instantaneous budget."""
+    return demand.powers <= budget * (1.0 + _REL_TOL)
+
+
+def _tenant_plan(demand: TenantDemand, budget: float,
+                 target: float) -> Tuple[float, float]:
+    """``(achieved_rate, average_watts)`` of the best plan under budget.
+
+    Restricts the tenant's curve to affordable configurations and asks
+    :class:`EnergyMinimizer` for the cheapest schedule sustaining
+    ``target`` — or the fastest affordable rate when the target is out
+    of reach within the budget.
+    """
+    mask = _affordable(demand, budget)
+    if not mask.any():
+        return 0.0, demand.idle_power
+    minimizer = EnergyMinimizer(demand.rates[mask], demand.powers[mask],
+                                demand.idle_power)
+    achieved = min(target, minimizer.max_rate)
+    watts = minimizer.min_energy(achieved * _HORIZON, _HORIZON) / _HORIZON
+    return achieved, watts
+
+
+def _min_budget(demand: TenantDemand, target: float) -> float:
+    """Smallest budget whose affordable set can sustain ``target``."""
+    capable = demand.rates >= target * (1.0 - _REL_TOL)
+    if not capable.any():
+        # The caller clamps targets to the curve's capacity first, so
+        # this only triggers on pathological float edge cases.
+        capable = demand.rates >= float(np.max(demand.rates))
+    return max(float(np.min(demand.powers[capable])), demand.idle_power)
+
+
+def _clamp_target(demand: TenantDemand) -> Tuple[float, bool]:
+    """The tenant's target rate, clamped to its curve's capacity.
+
+    Probes the inner oracle with the raw requirement; an
+    :class:`InfeasibleConstraintError` carries the achievable
+    ``max_rate``, which becomes the degraded target (ladder rung 2).
+    """
+    minimizer = EnergyMinimizer(demand.rates, demand.powers,
+                                demand.idle_power)
+    try:
+        minimizer.solve(demand.required_rate * _HORIZON, _HORIZON)
+    except InfeasibleConstraintError as exc:
+        return exc.max_rate, False
+    return demand.required_rate, True
+
+
+# ----------------------------------------------------------------------
+# Allocators
+# ----------------------------------------------------------------------
+class PowerCapAllocator:
+    """Water-filling joint allocator over the tenants' learned hulls.
+
+    Args:
+        cap_watts: Global instantaneous power cap for the node.
+        margin: Fraction of the cap held back as headroom for
+            estimation error (budgets bound *estimated* peak power;
+            the margin absorbs the estimate-vs-truth gap).
+
+    Deterministic: ties in the water-filling are broken by demand
+    order, then by ascending budget level.
+    """
+
+    mode_family = "joint"
+
+    def __init__(self, cap_watts: float, margin: float = 0.05) -> None:
+        if cap_watts <= 0:
+            raise ValueError(f"cap_watts must be positive, got {cap_watts}")
+        if not 0 <= margin < 1:
+            raise ValueError(f"margin must be in [0, 1), got {margin}")
+        self.cap_watts = float(cap_watts)
+        self.margin = float(margin)
+
+    @property
+    def usable_watts(self) -> float:
+        return self.cap_watts * (1.0 - self.margin)
+
+    def allocate(self, demands: Sequence[TenantDemand]) -> Allocation:
+        """Divide the cap; never exceeds ``usable_watts`` in any mode."""
+        demands = _check_demands(demands)
+        usable = self.usable_watts
+        clamped = [_clamp_target(d) for d in demands]
+        targets = [t for t, _ in clamped]
+        mins = [_min_budget(d, t) for d, t in zip(demands, targets)]
+
+        if sum(mins) > usable * (1.0 + _REL_TOL):
+            # Rung 3: requirements do not fit together; shrink every
+            # minimal budget proportionally and serve best-effort.
+            scale = usable / sum(mins)
+            budgets = [b * scale for b in mins]
+            return _build(demands, budgets, targets, self.cap_watts, usable,
+                          "proportional")
+
+        budgets, watts = self._water_fill(demands, targets, mins, usable)
+        mode = "joint"
+
+        # Equal-split candidate: when feasible and cheaper under the
+        # same estimates, prefer it — the joint allocation is then
+        # never worse than the static baseline by construction.
+        equal = usable / len(demands)
+        if all(equal >= b * (1.0 - _REL_TOL) for b in mins):
+            equal_watts = [_tenant_plan(d, equal, t)[1]
+                           for d, t in zip(demands, targets)]
+            if sum(equal_watts) < sum(watts) * (1.0 - _REL_TOL):
+                budgets = [equal] * len(demands)
+                mode = "equal"
+        return _build(demands, budgets, targets, self.cap_watts, usable, mode)
+
+    def _water_fill(self, demands: Sequence[TenantDemand],
+                    targets: Sequence[float], mins: Sequence[float],
+                    usable: float) -> Tuple[List[float], List[float]]:
+        """Greedy budget raises by best energy-saved-per-watt ratio."""
+        budgets = list(mins)
+        watts = [_tenant_plan(d, b, t)[1]
+                 for d, b, t in zip(demands, budgets, targets)]
+        levels = [self._levels(d) for d in demands]
+        plans: Dict[Tuple[int, float], float] = {}
+        headroom = usable - sum(budgets)
+        while True:
+            best: Optional[Tuple[float, int, float, float]] = None
+            for i, demand in enumerate(demands):
+                for level in levels[i]:
+                    if level <= budgets[i] * (1.0 + _REL_TOL):
+                        continue
+                    extra = level - budgets[i]
+                    if extra > headroom * (1.0 + _REL_TOL):
+                        break  # levels ascend; the rest cost more
+                    key = (i, level)
+                    if key not in plans:
+                        plans[key] = _tenant_plan(demand, level,
+                                                  targets[i])[1]
+                    gain = watts[i] - plans[key]
+                    if gain <= _REL_TOL:
+                        continue
+                    ratio = gain / extra
+                    if best is None or ratio > best[0] * (1.0 + _REL_TOL):
+                        best = (ratio, i, level, plans[key])
+            if best is None:
+                break
+            _, i, level, new_watts = best
+            headroom -= level - budgets[i]
+            budgets[i] = level
+            watts[i] = new_watts
+        return budgets, watts
+
+    @staticmethod
+    def _levels(demand: TenantDemand) -> List[float]:
+        """Candidate budget levels: Pareto-optimal power draws, ascending.
+
+        ``E(b)`` only changes when the affordable set gains a
+        Pareto-optimal configuration, so these are the only budgets
+        worth granting.
+        """
+        mask = pareto_optimal_mask(demand.rates, demand.powers)
+        return sorted(set(float(p) for p in demand.powers[mask]))
+
+
+class StaticAllocator:
+    """The per-app-static-cap baseline: equal budgets, no coordination.
+
+    Splits the usable cap evenly regardless of the tenants' curves —
+    what a cluster operator does without learned models.  Shares
+    :class:`PowerCapAllocator`'s cap/margin semantics so the two are
+    interchangeable in the coordinator.
+    """
+
+    mode_family = "static"
+
+    def __init__(self, cap_watts: float, margin: float = 0.05) -> None:
+        if cap_watts <= 0:
+            raise ValueError(f"cap_watts must be positive, got {cap_watts}")
+        if not 0 <= margin < 1:
+            raise ValueError(f"margin must be in [0, 1), got {margin}")
+        self.cap_watts = float(cap_watts)
+        self.margin = float(margin)
+
+    @property
+    def usable_watts(self) -> float:
+        return self.cap_watts * (1.0 - self.margin)
+
+    def allocate(self, demands: Sequence[TenantDemand]) -> Allocation:
+        demands = _check_demands(demands)
+        usable = self.usable_watts
+        share = usable / len(demands)
+        targets = [_clamp_target(d)[0] for d in demands]
+        budgets = [share] * len(demands)
+        return _build(demands, budgets, targets, self.cap_watts, usable,
+                      "static")
+
+
+def _check_demands(demands: Sequence[TenantDemand]
+                   ) -> Sequence[TenantDemand]:
+    if not demands:
+        raise ValueError("allocate() needs at least one tenant demand")
+    names = [d.name for d in demands]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names in demands: {names}")
+    return demands
+
+
+def _build(demands: Sequence[TenantDemand], budgets: Sequence[float],
+           targets: Sequence[float], cap: float, usable: float,
+           mode: str) -> Allocation:
+    """Assemble the final Allocation, re-deriving what each budget affords."""
+    tenants = []
+    for demand, budget, target in zip(demands, budgets, targets):
+        achieved, watts = _tenant_plan(demand, budget, target)
+        tenants.append(TenantAllocation(
+            name=demand.name,
+            budget_watts=float(budget),
+            target_rate=float(achieved),
+            required_rate=float(demand.required_rate),
+            feasible=achieved >= demand.required_rate * (1.0 - 1e-6),
+            estimated_watts=float(watts),
+        ))
+    return Allocation(tenants=tuple(tenants), cap_watts=float(cap),
+                      usable_watts=float(usable), mode=mode)

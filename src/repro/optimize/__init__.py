@@ -1,6 +1,6 @@
 """Energy-minimization machinery: Pareto frontier, LP solvers, schedules."""
 
-from repro.optimize.lp import EnergyMinimizer
+from repro.optimize.lp import EnergyMinimizer, InfeasibleConstraintError
 from repro.optimize.pareto import HullPoint, TradeoffFrontier, pareto_optimal_mask
 from repro.optimize.schedule import Schedule, Slot
 from repro.optimize.simplex import (
@@ -12,6 +12,7 @@ from repro.optimize.simplex import (
 
 __all__ = [
     "EnergyMinimizer",
+    "InfeasibleConstraintError",
     "HullPoint",
     "TradeoffFrontier",
     "pareto_optimal_mask",

@@ -38,6 +38,30 @@ from repro.optimize.simplex import SimplexSolution, solve_lp
 _MODES = ("deadline-energy", "active-energy")
 
 
+class InfeasibleConstraintError(ValueError):
+    """The performance constraint exceeds the estimated capacity.
+
+    Raised by :meth:`EnergyMinimizer.solve` when ``work / deadline`` is
+    higher than the highest rate on the estimated frontier.  Subclasses
+    ``ValueError`` so historical ``except ValueError`` call sites keep
+    working; new callers (notably the cluster power allocator) can catch
+    the typed error and read the attached capacity to degrade
+    gracefully instead of failing.
+
+    Attributes:
+        required: The demanded rate, ``work / deadline`` (hb/s).
+        max_rate: The highest achievable rate under the estimate (hb/s).
+    """
+
+    def __init__(self, required: float, max_rate: float) -> None:
+        super().__init__(
+            f"demand {required:g} hb/s exceeds estimated capacity "
+            f"{max_rate:g} hb/s"
+        )
+        self.required = float(required)
+        self.max_rate = float(max_rate)
+
+
 class EnergyMinimizer:
     """Solves Eq. (1) for one application's estimated tradeoffs.
 
@@ -89,8 +113,10 @@ class EnergyMinimizer:
     def solve(self, work: float, deadline: float) -> Schedule:
         """Minimal-energy schedule finishing ``work`` by ``deadline``.
 
-        Raises ``ValueError`` when the demand exceeds the estimated
-        capacity (``work > max_rate * deadline``).
+        Raises :class:`InfeasibleConstraintError` (a ``ValueError``)
+        when the demand exceeds the estimated capacity
+        (``work > max_rate * deadline``); the error carries the maximum
+        achievable rate so callers can clamp and degrade.
         """
         ob = get_observability()
         if not ob.enabled:
@@ -114,10 +140,7 @@ class EnergyMinimizer:
             raise ValueError(f"deadline must be positive, got {deadline}")
         required = work / deadline
         if required > self.max_rate * (1 + 1e-12):
-            raise ValueError(
-                f"demand {required:g} hb/s exceeds estimated capacity "
-                f"{self.max_rate:g} hb/s"
-            )
+            raise InfeasibleConstraintError(required, self.max_rate)
         required = min(required, self.max_rate)
 
         if self.mode == "active-energy":

@@ -20,7 +20,7 @@ from repro.platform.machine import Machine, Measurement
 from repro.platform.performance_model import PerformanceModel
 from repro.platform.power_model import PowerConstants, PowerModel
 from repro.platform.thermal import ThermalModel
-from repro.platform.topology import PAPER_TOPOLOGY, Topology
+from repro.platform.topology import PAPER_TOPOLOGY, CorePartition, Topology
 
 __all__ = [
     "Configuration",
@@ -40,5 +40,6 @@ __all__ = [
     "PowerModel",
     "ThermalModel",
     "PAPER_TOPOLOGY",
+    "CorePartition",
     "Topology",
 ]

@@ -12,6 +12,7 @@ a core allocation provides.
 from __future__ import annotations
 
 import dataclasses
+from typing import List, Sequence, Tuple, Union
 
 
 @dataclasses.dataclass(frozen=True)
@@ -81,6 +82,99 @@ class Topology:
         start = socket * self.cores_per_socket
         used = min(max(cores - start, 0), self.cores_per_socket)
         return used
+
+    # ------------------------------------------------------------------
+    # Partitioning (the cluster subsystem's substrate)
+    # ------------------------------------------------------------------
+    def split(self, requests: Sequence[Union["CorePartition",
+                                             Tuple[str, int],
+                                             Tuple[str, int, int]]]
+              ) -> List["CorePartition"]:
+        """Divide the machine's cores into disjoint named partitions.
+
+        Each request is a :class:`CorePartition` or a ``(name, cores)``
+        / ``(name, cores, threads)`` tuple; ``threads`` defaults to both
+        hyperthread contexts of every owned core.  Cores are packed
+        contiguously in request order (the affinity-mask convention the
+        rest of the platform uses), so the returned partitions carry
+        their ``first_core`` offsets.
+
+        Raises ``ValueError`` naming the offending partition for the
+        three ways a split can be malformed: a zero-core partition, a
+        partition claiming hyperthread contexts beyond its own cores'
+        siblings (splitting an HT pair across partitions), and
+        over-subscription of the physical cores.
+        """
+        partitions: List[CorePartition] = []
+        next_core = 0
+        seen = set()
+        for request in requests:
+            if isinstance(request, CorePartition):
+                name, cores, threads = (request.name, request.cores,
+                                        request.threads)
+            else:
+                name = request[0]
+                cores = request[1]
+                threads = (request[2] if len(request) > 2
+                           else self.threads_per_core * request[1])
+            if not name or not isinstance(name, str):
+                raise ValueError(
+                    f"partition name must be a non-empty string, got {name!r}")
+            if name in seen:
+                raise ValueError(f"duplicate partition {name!r}")
+            seen.add(name)
+            if cores < 1:
+                raise ValueError(
+                    f"partition {name!r} allocates zero cores; every "
+                    f"partition needs at least one physical core")
+            if threads < cores:
+                raise ValueError(
+                    f"partition {name!r} allocates {threads} thread "
+                    f"contexts for {cores} cores; each core contributes "
+                    f"at least its primary context")
+            if threads > self.threads_per_core * cores:
+                raise ValueError(
+                    f"partition {name!r} splits hyperthread siblings: "
+                    f"{threads} thread contexts exceed the "
+                    f"{self.threads_per_core * cores} contexts of its own "
+                    f"{cores} cores (sibling contexts belong to the "
+                    f"partition owning the core)")
+            if next_core + cores > self.total_cores:
+                raise ValueError(
+                    f"partitions over-subscribe the machine: partition "
+                    f"{name!r} needs cores "
+                    f"[{next_core}, {next_core + cores}) but the machine "
+                    f"has {self.total_cores} physical cores")
+            partitions.append(CorePartition(name=name, cores=cores,
+                                            threads=threads,
+                                            first_core=next_core))
+            next_core += cores
+        return partitions
+
+
+@dataclasses.dataclass(frozen=True)
+class CorePartition:
+    """A named, contiguous slice of a machine's physical cores.
+
+    Attributes:
+        name: Tenant/partition identifier.
+        cores: Physical cores owned by the partition.
+        threads: Hardware thread contexts owned (between ``cores`` and
+            ``threads_per_core * cores``; a partition owns the
+            hyperthread siblings of its own cores and nothing else).
+        first_core: Offset of the partition's first core in the node's
+            flat core numbering (assigned by :meth:`Topology.split`).
+    """
+
+    name: str
+    cores: int
+    threads: int
+    first_core: int = 0
+
+    @property
+    def last_core(self) -> int:
+        """One past the partition's highest core index."""
+        return self.first_core + self.cores
 
 
 #: The topology of the paper's evaluation platform (Section 6.1).

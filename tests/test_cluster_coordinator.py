@@ -1,0 +1,257 @@
+"""Tests for the cluster coordinator's epoch loop.
+
+The subsystem's acceptance invariants, asserted on real runs over the
+cores-only space: the conservative per-epoch node peak never exceeds
+the cap, every tenant meets its deadline when the cap allows it, runs
+are bit-identical under a fixed seed, membership churn triggers
+re-partitioning and re-allocation, and any Estimator instance —
+including a RemoteEstimator speaking to a live service thread — can
+drive calibration.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator, Tenant
+from repro.cluster.partition import PartitionedMachine
+from repro.estimators.leo import LEOEstimator
+from repro.obs import Observability
+from repro.service import (
+    EstimationService,
+    RemoteEstimator,
+    ServerThread,
+    ServiceClient,
+)
+from repro.workloads.suite import get_benchmark
+
+CAP = 220.0
+DEADLINE = 15.0
+SEED = 3
+
+
+def sized_work(cores_space, names, utilizations, deadline=DEADLINE):
+    """Demand each tenant's utilization of its partition capacity."""
+    share = cores_space.topology.total_cores // len(names)
+    node = PartitionedMachine(cores_space, [(n, share) for n in names])
+    for name in names:
+        node.set_profile(name, get_benchmark(name))
+    work = {}
+    for name, utilization in zip(names, utilizations):
+        view = node.view(name)
+        profile = get_benchmark(name)
+        max_rate = max(view.true_rate(profile, c)
+                       for c in node.space_for(name).space)
+        work[name] = utilization * max_rate * deadline
+    return work
+
+
+def build(cores_space, cores_dataset, policy="joint", cap=CAP,
+          seed=SEED, observability=None,
+          names=("kmeans", "blackscholes"), utilizations=(0.3, 0.4)):
+    coordinator = ClusterCoordinator(
+        cores_space, cap_watts=cap, policy=policy, seed=seed,
+        observability=observability)
+    work = sized_work(cores_space, names, utilizations)
+    for name in names:
+        view = cores_dataset.leave_one_out(name)
+        coordinator.admit(Tenant(
+            name=name, workload=get_benchmark(name), work=work[name],
+            deadline=DEADLINE,
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers))
+    return coordinator
+
+
+@pytest.fixture(scope="module")
+def joint_run(cores_space, cores_dataset):
+    """One recorded joint run shared by the invariant assertions."""
+    observability = Observability.recording()
+    coordinator = build(cores_space, cores_dataset,
+                        observability=observability)
+    report = coordinator.run()
+    return report, observability
+
+
+class TestCapAndDeadlines:
+    def test_cap_respected_every_epoch(self, joint_run):
+        report, _ = joint_run
+        assert report.epoch_peak_watts, "no epochs ran"
+        assert report.cap_respected
+        for peak in report.epoch_peak_watts:
+            assert peak <= CAP * (1.0 + 1e-6)
+
+    def test_all_deadlines_met_on_true_curves(self, joint_run):
+        report, _ = joint_run
+        assert report.all_deadlines_met
+        for tenant in report.tenants.values():
+            assert tenant.work_done >= 0.99 * tenant.work_target
+
+    def test_budgets_granted_every_epoch(self, joint_run):
+        report, _ = joint_run
+        for tenant in report.tenants.values():
+            assert tenant.epochs > 0
+            assert len(tenant.budget_trace) == tenant.epochs
+            assert all(b > 0 for b in tenant.budget_trace)
+
+    def test_energy_accounted(self, joint_run):
+        report, _ = joint_run
+        assert report.node_energy > 0
+        assert report.node_energy == pytest.approx(
+            sum(t.energy for t in report.tenants.values()))
+        assert report.total_energy == report.node_energy
+
+
+class TestObservability:
+    def test_span_tree_covers_the_loop(self, joint_run):
+        _, ob = joint_run
+        names = [s.name for s in ob.tracer.spans]
+        for expected in ("cluster.run", "cluster.repartition",
+                         "cluster.calibrate", "cluster.allocate",
+                         "cluster.epoch", "cluster.tenant_epoch"):
+            assert expected in names, f"missing span {expected}"
+
+    def test_cluster_metrics_exported(self, joint_run):
+        report, ob = joint_run
+        snapshot = ob.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["cluster_epochs_total"] == report.epochs
+        assert counters["cluster_admissions_total"] == 2
+        assert counters["cluster_reallocations_total"] == (
+            report.reallocations)
+        assert counters.get("cluster_cap_violations_total", 0) == 0
+        assert snapshot["histograms"][
+            "cluster_epoch_peak_watts"]["count"] == report.epochs
+
+
+class TestDeterminism:
+    def test_fixed_seed_runs_are_bit_identical(self, joint_run,
+                                               cores_space,
+                                               cores_dataset):
+        first, _ = joint_run
+        second = build(cores_space, cores_dataset).run()
+        assert second.node_energy == first.node_energy
+        assert second.epoch_peak_watts == first.epoch_peak_watts
+        assert second.epochs == first.epochs
+        for name, tenant in first.tenants.items():
+            assert second.tenants[name].work_done == tenant.work_done
+            assert second.tenants[name].budget_trace == (
+                tenant.budget_trace)
+
+
+class TestMembershipChurn:
+    def test_arrival_and_departure_drive_reallocation(self, cores_space,
+                                                      cores_dataset):
+        coordinator = build(cores_space, cores_dataset, seed=9)
+        view = cores_dataset.leave_one_out("swish")
+        work = sized_work(cores_space, ("swish",), (0.2,), deadline=6.0)
+        coordinator.admit(Tenant(
+            name="swish", workload=get_benchmark("swish"),
+            work=work["swish"] / 4.0, deadline=6.0, arrival=4.0,
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers))
+        report = coordinator.run()
+        assert set(report.tenants) == {"kmeans", "blackscholes", "swish"}
+        # Arrival and departure each force a re-partition + re-allocate
+        # on top of the initial one.
+        assert report.reallocations >= 3
+        assert report.cap_respected
+
+    def test_depart_removes_pending_tenant(self, cores_space,
+                                           cores_dataset):
+        coordinator = build(cores_space, cores_dataset)
+        view = cores_dataset.leave_one_out("swish")
+        coordinator.admit(Tenant(
+            name="swish", workload=get_benchmark("swish"), work=100.0,
+            deadline=5.0, arrival=50.0,
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers))
+        coordinator.depart("swish")
+        report = coordinator.run()
+        assert "swish" not in report.tenants
+
+
+class TestEstimatorPlugability:
+    def test_estimator_instance_is_accepted(self, cores_space,
+                                            cores_dataset):
+        coordinator = ClusterCoordinator(cores_space, cap_watts=CAP,
+                                         seed=SEED)
+        view = cores_dataset.leave_one_out("kmeans")
+        work = sized_work(cores_space, ("kmeans",), (0.3,))
+        coordinator.admit(Tenant(
+            name="kmeans", workload=get_benchmark("kmeans"),
+            work=work["kmeans"], deadline=DEADLINE,
+            estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers))
+        report = coordinator.run()
+        assert report.all_deadlines_met
+        assert report.cap_respected
+
+    def test_remote_estimator_end_to_end(self, cores_space,
+                                         cores_dataset):
+        work = sized_work(cores_space, ("kmeans",), (0.3,))
+        view = cores_dataset.leave_one_out("kmeans")
+        with ServerThread(EstimationService(), max_pending=4,
+                          max_workers=1) as thread:
+            with ServiceClient(thread.bound_address,
+                               timeout=120.0) as client:
+                coordinator = ClusterCoordinator(
+                    cores_space, cap_watts=CAP, seed=SEED)
+                coordinator.admit(Tenant(
+                    name="kmeans", workload=get_benchmark("kmeans"),
+                    work=work["kmeans"], deadline=DEADLINE,
+                    estimator=RemoteEstimator(client, estimator="leo"),
+                    prior_rates=view.prior_rates,
+                    prior_powers=view.prior_powers))
+                remote_report = coordinator.run()
+        assert remote_report.all_deadlines_met
+        assert remote_report.cap_respected
+
+
+class TestValidation:
+    def test_run_without_tenants_rejected(self, cores_space):
+        with pytest.raises(ValueError, match="admit"):
+            ClusterCoordinator(cores_space, cap_watts=CAP).run()
+
+    def test_duplicate_admission_rejected(self, cores_space,
+                                          cores_dataset):
+        coordinator = build(cores_space, cores_dataset)
+        with pytest.raises(ValueError, match="already admitted"):
+            coordinator.admit(Tenant(name="kmeans",
+                                     workload=get_benchmark("kmeans"),
+                                     work=1.0, deadline=1.0))
+
+    def test_unknown_departure_rejected(self, cores_space):
+        coordinator = ClusterCoordinator(cores_space, cap_watts=CAP)
+        with pytest.raises(KeyError, match="ghost"):
+            coordinator.depart("ghost")
+
+    def test_bad_policy_and_cap_rejected(self, cores_space):
+        with pytest.raises(ValueError, match="policy"):
+            ClusterCoordinator(cores_space, cap_watts=CAP, policy="fair")
+        with pytest.raises(ValueError, match="cap_watts"):
+            ClusterCoordinator(cores_space, cap_watts=0.0)
+
+    def test_tenant_field_validation(self):
+        kmeans = get_benchmark("kmeans")
+        with pytest.raises(ValueError, match="work"):
+            Tenant(name="a", workload=kmeans, work=0.0, deadline=1.0)
+        with pytest.raises(ValueError, match="deadline"):
+            Tenant(name="a", workload=kmeans, work=1.0, deadline=0.0)
+        with pytest.raises(ValueError, match="arrival"):
+            Tenant(name="a", workload=kmeans, work=1.0, deadline=1.0,
+                   arrival=-1.0)
+        with pytest.raises(ValueError, match="cores"):
+            Tenant(name="a", workload=kmeans, work=1.0, deadline=1.0,
+                   cores=0)
+        with pytest.raises(ValueError, match="name"):
+            Tenant(name="", workload=kmeans, work=1.0, deadline=1.0)
+
+    def test_oversubscribed_cores_rejected(self, cores_space,
+                                           cores_dataset):
+        coordinator = ClusterCoordinator(cores_space, cap_watts=CAP)
+        view = cores_dataset.leave_one_out("kmeans")
+        for i in range(17):
+            coordinator.admit(Tenant(
+                name=f"t{i}", workload=get_benchmark("kmeans"),
+                work=10.0, deadline=5.0,
+                prior_rates=view.prior_rates,
+                prior_powers=view.prior_powers))
+        with pytest.raises(ValueError):
+            coordinator.run()

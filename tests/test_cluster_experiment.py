@@ -1,0 +1,119 @@
+"""Tests for the cluster co-scheduling experiment and its CLI surface.
+
+The parallel-harness contract extends to the new experiment: fanning
+the (cap, policy) cells across worker processes must not change a bit
+of any result.  The sweep itself is exercised on a reduced grid; the
+full acceptance story (joint beats the equal split at a loose cap,
+meets deadlines the split misses at a tight one) is the CI gate in
+benchmarks/cluster_smoke.py.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.cluster_energy import (
+    ClusterRun,
+    cluster_energy_experiment,
+    joint_vs_static,
+    summarize_runs,
+    tenant_workloads,
+)
+from repro.experiments.harness import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx(cores_space, suite, cores_dataset, cores_truth):
+    return ExperimentContext(space=cores_space, suite=tuple(suite),
+                            dataset=cores_dataset, truth=cores_truth,
+                            seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_grid(ctx):
+    """One cap, two policies, two tenants — the smallest real sweep."""
+    return dict(ctx=ctx, benchmarks=("kmeans", "blackscholes"),
+                utilizations=(0.3, 0.4), caps=(220.0,),
+                deadline=15.0, policies=("joint", "static"))
+
+
+class TestSweep:
+    def test_serial_sweep_invariants(self, small_grid):
+        runs = cluster_energy_experiment(workers=1, **small_grid)
+        assert len(runs) == 2
+        assert {r.policy for r in runs} == {"joint", "static"}
+        for run in runs:
+            assert run.cap_respected
+            assert run.max_peak_watts <= run.cap_watts * (1.0 + 1e-6)
+            assert run.total_energy > 0
+            assert run.work_done > 0
+            assert set(run.tenant_energy) == {"kmeans", "blackscholes"}
+
+    def test_parallel_results_bit_equal(self, small_grid):
+        serial = cluster_energy_experiment(workers=1, **small_grid)
+        parallel = cluster_energy_experiment(workers=2, **small_grid)
+        assert len(serial) == len(parallel)
+        for a, b in zip(serial, parallel):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+
+class TestWorkloadSizing:
+    def test_work_scales_with_utilization(self, ctx):
+        low = tenant_workloads(ctx, ("kmeans", "blackscholes"),
+                               (0.2, 0.2), 15.0)
+        high = tenant_workloads(ctx, ("kmeans", "blackscholes"),
+                                (0.4, 0.4), 15.0)
+        for (name_l, work_l), (name_h, work_h) in zip(low, high):
+            assert name_l == name_h
+            assert work_h == pytest.approx(2.0 * work_l)
+
+    def test_mismatched_lengths_rejected(self, ctx):
+        with pytest.raises(ValueError, match="utilizations"):
+            tenant_workloads(ctx, ("kmeans",), (0.5, 0.5), 10.0)
+
+
+def fake_run(cap, policy, energy, missed=()):
+    return ClusterRun(cap_watts=cap, policy=policy, total_energy=energy,
+                      work_done=100.0, work_target=100.0,
+                      max_peak_watts=cap - 10.0, cap_respected=True,
+                      reallocations=1, missed=list(missed),
+                      tenant_energy={"a": energy})
+
+
+class TestReporting:
+    def test_energy_per_work(self):
+        run = fake_run(200.0, "joint", 500.0)
+        assert run.energy_per_work == pytest.approx(5.0)
+
+    def test_summarize_runs_rows(self):
+        rows = summarize_runs([fake_run(200.0, "joint", 500.0),
+                               fake_run(200.0, "static", 600.0,
+                                        missed=("a",))])
+        assert len(rows) == 2
+        assert rows[0][1] == "joint"
+        assert rows[1][6] == "a"
+
+    def test_joint_vs_static_pivots_by_cap(self):
+        table = joint_vs_static([fake_run(200.0, "joint", 500.0),
+                                 fake_run(200.0, "static", 600.0),
+                                 fake_run(150.0, "joint", 550.0)])
+        assert table[200.0] == {"joint": 500.0, "static": 600.0}
+        assert table[150.0] == {"joint": 550.0}
+
+
+class TestCli:
+    def test_cluster_command_smoke(self, capsys):
+        code = main(["cluster", "--benchmarks", "kmeans,blackscholes",
+                     "--utilizations", "0.3,0.4", "--caps", "220",
+                     "--deadline", "15", "--space", "cores"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "joint" in out and "static" in out and "race" in out
+        assert "cap ok" in out
+
+    def test_cluster_rejects_mismatched_lists(self, capsys):
+        code = main(["cluster", "--benchmarks", "kmeans",
+                     "--utilizations", "0.3,0.4", "--space", "cores"])
+        assert code == 1
+        assert "utilizations" in capsys.readouterr().err

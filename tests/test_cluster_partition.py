@@ -1,0 +1,181 @@
+"""Tests for the partitioned node and its per-tenant machine views.
+
+The invariants the cluster subsystem leans on: tenant wall powers sum
+to the node wall power (fair floor shares), the partition boundary is
+enforced at actuation time, contention derates follow the documented
+formula, and node energy accounting survives membership churn.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.partition import (
+    DEFAULT_CONTENTION_KAPPA,
+    PartitionedMachine,
+    TenantMachine,
+    partition_space,
+)
+from repro.platform.config_space import ConfigurationSpace
+from repro.platform.machine import Machine
+from repro.platform.topology import PAPER_TOPOLOGY
+from repro.workloads.suite import get_benchmark
+
+
+@pytest.fixture()
+def node(cores_space) -> PartitionedMachine:
+    return PartitionedMachine(
+        cores_space, [("a", 6), ("b", 5), ("c", 5)], seed=11)
+
+
+class TestTenantPower:
+    def test_idle_shares_sum_to_node_idle(self, node):
+        whole = Machine(PAPER_TOPOLOGY, seed=0)
+        assert node.idle_power() == pytest.approx(whole.idle_power())
+
+    def test_floor_share_updates_on_repartition(self, node):
+        assert node.view("a").floor_share == pytest.approx(1.0 / 3.0)
+        node.repartition([("a", 8), ("b", 8)])
+        assert node.view("a").floor_share == pytest.approx(0.5)
+
+    def test_tenant_power_below_whole_machine(self, node, kmeans):
+        # The view charges 1/N of the floor instead of all of it.
+        config = node.space_for("a").space[0]
+        view_power = node.view("a").true_power(kmeans, config)
+        whole = Machine(PAPER_TOPOLOGY, seed=0)
+        assert view_power < whole.true_power(kmeans, config)
+
+
+class TestContention:
+    def test_corunner_pressure_derates_rate(self, cores_space):
+        node = PartitionedMachine(cores_space, [("a", 8), ("b", 8)],
+                                  seed=3)
+        kmeans = get_benchmark("kmeans")
+        swish = get_benchmark("swish")
+        config = node.space_for("a").space[0]
+        node.set_profile("a", kmeans)
+        alone = node.view("a").true_rate(kmeans, config)
+        node.set_profile("b", swish)
+        contended = node.view("a").true_rate(kmeans, config)
+        expected = alone / (1.0 + DEFAULT_CONTENTION_KAPPA
+                            * swish.memory_intensity
+                            * kmeans.memory_intensity)
+        assert contended == pytest.approx(expected)
+        assert contended < alone
+
+    def test_own_profile_does_not_pressure_itself(self, cores_space):
+        node = PartitionedMachine(cores_space, [("a", 8), ("b", 8)])
+        kmeans = get_benchmark("kmeans")
+        config = node.space_for("a").space[0]
+        baseline = node.view("a").true_rate(kmeans, config)
+        node.set_profile("a", kmeans)
+        assert node.view("a").true_rate(kmeans, config) == baseline
+
+    def test_unknown_tenant_profile_rejected(self, node, kmeans):
+        with pytest.raises(KeyError, match="ghost"):
+            node.set_profile("ghost", kmeans)
+
+    def test_negative_kappa_rejected(self, cores_space):
+        with pytest.raises(ValueError, match="contention_kappa"):
+            PartitionedMachine(cores_space, [("a", 8)],
+                               contention_kappa=-0.1)
+
+
+class TestPartitionBoundary:
+    def test_apply_rejects_oversized_config(self, node, cores_space,
+                                            kmeans):
+        view = node.view("b")  # 5 cores
+        view.load(kmeans)
+        too_big = next(c for c in cores_space if c.cores == 6)
+        with pytest.raises(ValueError, match="'b'"):
+            view.apply(too_big)
+
+    def test_apply_accepts_fitting_config(self, node, cores_space,
+                                          kmeans):
+        view = node.view("b")
+        view.load(kmeans)
+        fits = next(c for c in cores_space
+                    if c.cores == 5 and c.threads == 5)
+        view.apply(fits)
+        assert view.run_for(0.1).heartbeats > 0
+
+
+class TestPartitionSpace:
+    def test_keeps_only_fitting_configs(self, cores_space, node):
+        tspace = node.space_for("b")  # 5 cores, 10 threads
+        assert all(c.cores <= 5 and c.threads <= 10
+                   for c in tspace.space)
+        # base_indices point back at the same configurations.
+        for local, base in enumerate(tspace.base_indices):
+            assert tspace.space[local] == cores_space[int(base)]
+
+    def test_empty_projection_names_partition(self, cores_space):
+        huge_only = ConfigurationSpace([cores_space[len(cores_space) - 1]],
+                                       cores_space.topology)
+        node = PartitionedMachine(cores_space, [("tiny", 2), ("rest", 14)])
+        with pytest.raises(ValueError, match="'tiny'"):
+            partition_space(huge_only, node.partitions[0])
+
+
+class TestChurnAccounting:
+    def test_survivors_keep_their_clock_and_energy(self, node):
+        view = node.view("a")
+        view.idle_for(2.0)
+        energy_before = view.total_energy
+        node.repartition([("a", 8), ("b", 8)])
+        assert node.view("a") is view
+        assert view.clock == pytest.approx(2.0)
+        assert view.total_energy == pytest.approx(energy_before)
+
+    def test_departed_energy_folds_into_node_energy(self, node):
+        node.view("c").idle_for(3.0)
+        total_before = node.node_energy
+        node.repartition([("a", 8), ("b", 8)])
+        assert "c" not in node.names
+        assert node.node_energy == pytest.approx(total_before)
+
+    def test_arrivals_join_at_the_given_clock(self, node):
+        node.view("a").idle_for(4.0)
+        node.repartition([("a", 6), ("b", 5), ("d", 5)], clock=4.0)
+        assert node.view("d").clock == pytest.approx(4.0)
+
+    def test_sync_clocks_charges_idle_for_the_lag(self, node):
+        node.view("a").idle_for(2.0)
+        lagging = node.view("b")
+        idle_energy = lagging.idle_power() * 2.0
+        energy_before = lagging.total_energy
+        node.sync_clocks()
+        assert all(node.view(n).clock == pytest.approx(2.0)
+                   for n in node.names)
+        assert lagging.total_energy - energy_before == pytest.approx(
+            idle_energy)
+
+    def test_noise_streams_are_stable_per_tenant(self, cores_space,
+                                                 kmeans):
+        # Same seed and name => the same measurement stream, regardless
+        # of what the co-tenants are called.
+        runs = []
+        for others in (["x"], ["y", "z"]):
+            node = PartitionedMachine(
+                cores_space, [("a", 8)] + [(o, 4) for o in others][:1]
+                + ([("z", 4)] if len(others) > 1 else [("x2", 4)]),
+                seed=21)
+            view = node.view("a")
+            view.load(kmeans)
+            view.apply(node.space_for("a").space[0])
+            runs.append(view.run_for(0.5).heartbeats)
+        assert runs[0] == runs[1]
+
+
+class TestTenantMachineDirect:
+    def test_standalone_view_is_machine_compatible(self, cores_space,
+                                                   kmeans):
+        parts = PAPER_TOPOLOGY.split([("solo", 8), ("rest", 8)])
+        view = TenantMachine(PAPER_TOPOLOGY, parts[0], floor_share=0.5,
+                             seed=5)
+        assert isinstance(view, Machine)
+        view.load(kmeans)
+        view.apply(next(c for c in cores_space
+                        if c.cores == 8 and c.threads == 8))
+        measurement = view.run_for(1.0)
+        assert measurement.heartbeats > 0
+        assert measurement.system_power > view.idle_power()

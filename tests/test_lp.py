@@ -142,3 +142,25 @@ class TestRaceToIdle:
         schedule = simple.race_to_idle(work=5.0, deadline=10.0,
                                        race_config=1)
         assert schedule.slots[0].config_index == 1
+
+
+class TestInfeasibleConstraintError:
+    def test_typed_error_with_capacity_attached(self, simple):
+        from repro.optimize.lp import InfeasibleConstraintError
+        with pytest.raises(InfeasibleConstraintError) as excinfo:
+            simple.solve(work=51.0, deadline=10.0)
+        assert excinfo.value.max_rate == pytest.approx(5.0)
+        assert excinfo.value.required == pytest.approx(5.1)
+
+    def test_subclasses_value_error(self):
+        from repro.optimize.lp import InfeasibleConstraintError
+        assert issubclass(InfeasibleConstraintError, ValueError)
+
+    def test_exported_from_package(self):
+        from repro.optimize import InfeasibleConstraintError
+        assert InfeasibleConstraintError is not None
+
+    def test_min_energy_propagates_typed_error(self, simple):
+        from repro.optimize.lp import InfeasibleConstraintError
+        with pytest.raises(InfeasibleConstraintError):
+            simple.min_energy(work=60.0, deadline=10.0)

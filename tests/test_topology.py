@@ -84,3 +84,56 @@ class TestValidation:
                          memory_controllers=1)
         assert small.total_cores == 4
         assert small.total_threads == 8
+
+
+class TestSplit:
+    def test_packs_cores_in_request_order(self):
+        parts = PAPER_TOPOLOGY.split([("a", 6), ("b", 5), ("c", 5)])
+        assert [p.name for p in parts] == ["a", "b", "c"]
+        assert [p.first_core for p in parts] == [0, 6, 11]
+        assert [p.last_core for p in parts] == [6, 11, 16]
+
+    def test_threads_default_to_both_siblings(self):
+        (part,) = PAPER_TOPOLOGY.split([("a", 4)])
+        assert part.threads == 8
+
+    def test_explicit_thread_count(self):
+        (part,) = PAPER_TOPOLOGY.split([("a", 4, 4)])
+        assert part.threads == 4
+
+    def test_zero_core_partition_named(self):
+        with pytest.raises(ValueError, match="'b'.*zero cores"):
+            PAPER_TOPOLOGY.split([("a", 4), ("b", 0)])
+
+    def test_negative_core_partition_rejected(self):
+        with pytest.raises(ValueError, match="'a'"):
+            PAPER_TOPOLOGY.split([("a", -1)])
+
+    def test_ht_sibling_split_named(self):
+        # 4 cores own 8 thread contexts; claiming 9 would steal a
+        # sibling context from another partition's core.
+        with pytest.raises(ValueError, match="'greedy'.*hyperthread"):
+            PAPER_TOPOLOGY.split([("greedy", 4, 9), ("b", 4)])
+
+    def test_threads_below_cores_named(self):
+        with pytest.raises(ValueError, match="'a'"):
+            PAPER_TOPOLOGY.split([("a", 4, 3)])
+
+    def test_over_subscription_names_offender(self):
+        with pytest.raises(ValueError, match="over-subscribe.*'late'"):
+            PAPER_TOPOLOGY.split([("a", 8), ("b", 8), ("late", 1)])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            PAPER_TOPOLOGY.split([("a", 4), ("a", 4)])
+
+    def test_exact_fit_is_allowed(self):
+        parts = PAPER_TOPOLOGY.split([("a", 8), ("b", 8)])
+        assert sum(p.cores for p in parts) == PAPER_TOPOLOGY.total_cores
+
+    def test_accepts_core_partition_instances(self):
+        from repro.platform.topology import CorePartition
+        spec = CorePartition(name="a", cores=3, threads=6)
+        (part,) = PAPER_TOPOLOGY.split([spec])
+        assert (part.name, part.cores, part.threads) == ("a", 3, 6)
+        assert part.first_core == 0
