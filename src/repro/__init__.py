@@ -33,6 +33,15 @@ from repro.core import (
     ObservationSet,
     accuracy,
 )
+from repro.errors import ReproError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    default_plan,
+    get_plan,
+)
+from repro.faults import use as use_faults
 from repro.obs import (
     MetricsRegistry,
     Observability,
@@ -57,6 +66,7 @@ from repro.optimize import EnergyMinimizer, Schedule, Slot, TradeoffFrontier
 from repro.platform import Configuration, ConfigurationSpace, Machine, Topology
 from repro.runtime import (
     ActiveCalibrator,
+    CheckpointManager,
     EnergyManager,
     RaceToIdleController,
     RunReport,
@@ -110,7 +120,15 @@ __all__ = [
     "Tracer",
     "logging_setup",
     "use_observability",
+    "ReproError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "default_plan",
+    "get_plan",
+    "use_faults",
     "ActiveCalibrator",
+    "CheckpointManager",
     "EnergyManager",
     "RaceToIdleController",
     "RunReport",

@@ -126,6 +126,25 @@ def _build_parser() -> argparse.ArgumentParser:
              "identical for any worker count")
     _add_obs_arguments(cluster)
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a workload under a fault plan (docs/RESILIENCE.md)")
+    chaos.add_argument("--benchmark", default="kmeans")
+    chaos.add_argument(
+        "--plan", default="default",
+        help="shipped fault plan name (none, default, sensors, "
+             "estimation, service, cluster)")
+    chaos.add_argument("--windows", type=int, default=4,
+                       help="back-to-back deadline windows per pass")
+    chaos.add_argument("--utilization", type=float, default=0.5)
+    chaos.add_argument("--deadline", type=float, default=25.0,
+                       help="seconds per window")
+    chaos.add_argument("--estimator", default="leo")
+    chaos.add_argument("--space", choices=("paper", "cores"),
+                       default="cores")
+    chaos.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(chaos)
+
     serve = sub.add_parser(
         "serve", help="run the estimation service (docs/SERVICE.md)")
     serve.add_argument(
@@ -401,6 +420,49 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if not 0 < args.utilization <= 1:
+        print("--utilization must be in (0, 1]", file=sys.stderr)
+        return 1
+    from repro.errors import FaultPlanError
+    from repro.experiments.chaos import chaos_run
+
+    ctx = default_context(space_kind=args.space, seed=args.seed)
+    try:
+        report = chaos_run(
+            ctx, benchmark=args.benchmark, plan=args.plan, seed=args.seed,
+            windows=args.windows, utilization=args.utilization,
+            deadline=args.deadline, estimator=args.estimator)
+    except (KeyError, FaultPlanError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    rows = [
+        ["survived", report.survived if not report.error
+         else f"{report.survived} ({report.error})"],
+        ["windows completed", f"{report.windows_run}/{report.windows}"],
+        ["energy (J)", f"{report.fault_energy:.1f} "
+                       f"(baseline {report.baseline_energy:.1f})"],
+        ["energy overhead", f"{report.energy_overhead:+.1%}"],
+        ["missed targets", f"{report.violations} "
+                           f"(baseline {report.baseline_violations})"],
+        ["calibration failures", report.calibration_failures],
+        ["demotions / promotions",
+         f"{report.demotions} / {report.promotions}"],
+        ["final tier", report.final_tier],
+        ["recovered to tier 0", report.recovered],
+        ["faults injected",
+         ", ".join(f"{kind} x{n}"
+                   for kind, n in sorted(report.fault_counts.items()))
+         or "none"],
+    ]
+    print(format_table(
+        ["", ""], rows,
+        title=(f"{args.benchmark} under the {args.plan!r} fault plan "
+               f"({args.windows} x {args.deadline:g}s windows, "
+               f"seed {args.seed})")))
+    return 0 if report.survived else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -540,6 +602,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_with_observability(_cmd_reproduce, args)
     if args.command == "cluster":
         return _run_with_observability(_cmd_cluster, args)
+    if args.command == "chaos":
+        return _run_with_observability(_cmd_chaos, args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "request":

@@ -60,11 +60,14 @@ from repro.cluster.partition import (
     TenantMachine,
     TenantSpace,
 )
+from repro.errors import InsufficientSamplesError, SensorReadError
 from repro.estimators.base import Estimator
 from repro.estimators.registry import create_estimator
 from repro.experiments.parallel import cell_seed
+from repro.faults.context import get_injector
 from repro.obs import Observability, get_observability
 from repro.obs import use as use_observability
+from repro.runtime.resilience import RECOVERABLE_EXCEPTIONS
 from repro.platform.config_space import ConfigurationSpace
 from repro.platform.topology import Topology
 from repro.runtime.controller import RuntimeController, TradeoffEstimate
@@ -309,6 +312,9 @@ class ClusterCoordinator:
         allocator_cls = (PowerCapAllocator if policy == "joint"
                          else StaticAllocator)
         self.allocator = allocator_cls(cap_watts, margin=cap_margin)
+        self.cap_margin = float(cap_margin)
+        self._allocator_cls = allocator_cls
+        self._cap_scale = 1.0
         self.node: Optional[PartitionedMachine] = None
         self._pending: List[Tenant] = []
         self._departures: set = set()
@@ -353,6 +359,7 @@ class ClusterCoordinator:
 
     def _run(self) -> ClusterReport:
         ob = get_observability()
+        injector = get_injector()
         reports: Dict[str, TenantReport] = {}
         epoch_peaks: List[float] = []
         reallocations = 0
@@ -364,6 +371,20 @@ class ClusterCoordinator:
         with ob.tracer.span("cluster.run", policy=self.policy,
                             cap_watts=self.cap_watts) as run_span:
             while True:
+                # Fault-injection hook: a tenant crashes at an epoch
+                # boundary — it departs like any other leaver (its
+                # report records the incomplete work) and the node
+                # repartitions around it.
+                for spec in injector.fire("cluster.tenant", clock=now):
+                    if spec.kind != "tenant-crash" or not self._states:
+                        continue
+                    victim = (spec.target
+                              if spec.target in self._states
+                              else sorted(self._states)[0])
+                    self._departures.add(victim)
+                    ob.metrics.inc("cluster_tenant_crashes_total")
+                    logger.warning("tenant crashed",
+                                   extra={"fields": {"tenant": victim}})
                 changed = self._apply_membership(now, reports, ob)
                 if not self._states:
                     if self._pending:
@@ -377,6 +398,26 @@ class ClusterCoordinator:
                     allocation = None
                     realloc_next = True
                 now = self.node.node_clock
+
+                # Fault-injection hook: a cap transient (facility
+                # brown-out) scales the node cap for a window.  Entering
+                # or leaving the window rebuilds the allocator at the
+                # effective cap and forces a re-allocation.
+                scale = 1.0
+                for spec in injector.active("cluster.cap", clock=now):
+                    scale = min(scale, max(spec.magnitude, 0.05))
+                if scale != self._cap_scale:
+                    self._cap_scale = scale
+                    self.allocator = self._allocator_cls(
+                        self.cap_watts * scale, margin=self.cap_margin)
+                    realloc_next = True
+                    if scale < 1.0:
+                        ob.metrics.inc("cluster_cap_transients_total")
+                    logger.warning(
+                        "power cap scaled",
+                        extra={"fields": {"scale": scale,
+                                          "cap_watts":
+                                          self.cap_watts * scale}})
 
                 demands = [self._demand(state)
                            for state in self._states.values()]
@@ -413,8 +454,23 @@ class ClusterCoordinator:
                             name, state.tenant.profile_at(state.elapsed))
                     peak = 0.0
                     for name, state in self._states.items():
-                        peak += self._run_tenant_epoch(
-                            state, allocation.tenant(name), step, ob)
+                        try:
+                            peak += self._run_tenant_epoch(
+                                state, allocation.tenant(name), step, ob)
+                        except RECOVERABLE_EXCEPTIONS as exc:
+                            # The tenant's epoch failed mid-flight: it
+                            # forfeits this epoch (sync_clocks levels
+                            # its clock) but stays admitted with its
+                            # previous estimate, so one faulty epoch
+                            # never takes down the node.
+                            peak += state.machine.idle_power()
+                            ob.metrics.inc("cluster_epoch_faults_total")
+                            logger.warning(
+                                "tenant epoch fault; idling tenant",
+                                extra={"fields": {
+                                    "tenant": name,
+                                    "error": f"{type(exc).__name__}: "
+                                             f"{exc}"}})
                     self.node.sync_clocks()
                     espan.set_attribute("peak_watts", peak)
                 epoch_peaks.append(peak)
@@ -558,7 +614,8 @@ class ClusterCoordinator:
     # ------------------------------------------------------------------
     # Calibration and demands
     # ------------------------------------------------------------------
-    def _calibrate(self, state: _TenantState, ob) -> None:
+    def _calibrate(self, state: _TenantState, ob,
+                   _retry: bool = True) -> None:
         tenant = state.tenant
         profile = tenant.profile_at(max(state.elapsed, 0.0))
         state.calibrations += 1
@@ -575,10 +632,29 @@ class ClusterCoordinator:
             quantum_fraction=self.quantum_fraction)
         with ob.tracer.span("cluster.calibrate", tenant=tenant.name,
                             estimator=state.estimator_obj.name):
-            state.estimate = controller.calibrate(profile)
+            try:
+                estimate = controller.calibrate(profile)
+            except InsufficientSamplesError as exc:
+                # Estimator degradation is handled inside the
+                # controller's ladder; reaching here means even the
+                # samples were lost (e.g. total sensor dropout).  Keep
+                # a previous estimate when there is one, retry once
+                # with a fresh sampler stream otherwise.
+                ob.metrics.inc("cluster_calibration_faults_total")
+                logger.warning(
+                    "tenant calibration failed",
+                    extra={"fields": {"tenant": tenant.name,
+                                      "error": str(exc)}})
+                if state.estimate is not None:
+                    return
+                if _retry:
+                    self._calibrate(state, ob, _retry=False)
+                    return
+                raise
+        state.estimate = estimate
         # The application progresses while being sampled.
         state.remaining_work = max(
-            state.remaining_work - state.estimate.sampling_heartbeats, 0.0)
+            state.remaining_work - estimate.sampling_heartbeats, 0.0)
         ob.metrics.inc("cluster_calibrations_total")
 
     def _demand(self, state: _TenantState) -> TenantDemand:
@@ -711,7 +787,9 @@ class ClusterCoordinator:
                     step: float) -> Tuple[float, float]:
         """Race-to-idle within the budget: fastest config, then idle."""
         machine.load(profile)
-        config = fspace[int(np.argmax(festimate.rates))]
+        fastest = int(np.argmax(festimate.rates))
+        config = fspace[fastest]
+        believed_power = float(festimate.powers[fastest])
         quantum = max(step * self.quantum_fraction, 1e-6)
         time_left = step
         work_left = work
@@ -723,8 +801,14 @@ class ClusterCoordinator:
                 peak = max(peak, machine.idle_power())
             else:
                 machine.apply(config)
-                measurement = machine.run_for(slice_s)
-                work_left -= measurement.heartbeats
-                peak = max(peak, measurement.system_power)
+                try:
+                    measurement = machine.run_for(slice_s)
+                except SensorReadError:
+                    # Observation lost: credit no work, account the
+                    # believed draw so the epoch peak stays honest.
+                    peak = max(peak, believed_power)
+                else:
+                    work_left -= measurement.heartbeats
+                    peak = max(peak, measurement.system_power)
             time_left -= slice_s
         return peak, work - max(work_left, 0.0)

@@ -30,6 +30,8 @@ from repro.core.linalg import (
 )
 from repro.core.observation import ObservationSet
 from repro.core.priors import NIWPrior
+from repro.errors import ConvergenceError
+from repro.faults.context import get_injector
 from repro.obs import get_observability
 
 logger = logging.getLogger(__name__)
@@ -53,6 +55,13 @@ class EMConfig:
             factorization whose Sigma differs by at most this relative
             max-norm — an explicit approximation for the late-EM plateau,
             off by default.
+        raise_on_nonconvergence: Raise :class:`~repro.errors.
+            ConvergenceError` when the iteration cap is hit without
+            meeting the tolerance, instead of returning
+            ``converged=False``.  Off by default: the paper's runtime
+            deliberately runs few iterations and accepts the partial
+            fit.  A non-finite log-likelihood *always* raises — a
+            NaN-poisoned fit is never returned.
     """
 
     max_iterations: int = 50
@@ -61,6 +70,7 @@ class EMConfig:
     use_woodbury: bool = True
     cache_posteriors: bool = True
     posterior_cache_tol: float = 0.0
+    raise_on_nonconvergence: bool = False
 
     def __post_init__(self) -> None:
         if self.max_iterations < 1:
@@ -180,6 +190,24 @@ class EMEngine:
         if noise_var <= 0:
             raise ValueError(f"init_noise_var must be positive, got {noise_var}")
 
+        # Fault-injection hook: force the failure modes the numerical
+        # guards below exist for.
+        for spec in get_injector().fire("em.fit"):
+            if spec.kind == "em-nonconvergence":
+                raise ConvergenceError(
+                    "injected EM non-convergence",
+                    iterations=self.config.max_iterations)
+            if spec.kind == "singular-covariance":
+                if spec.magnitude < 0:
+                    sigma_mat = np.full_like(sigma_mat, np.nan)
+                else:
+                    # A singular starting Sigma: repairable, so this
+                    # exercises the jitter-escalation guard; a negative
+                    # magnitude poisons it outright, so the guard raises
+                    # CovarianceError.
+                    sigma_mat = sigma_mat * spec.magnitude
+                sigma_mat = nearest_psd_jitter(sigma_mat)
+
         groups = obs.mask_groups()
         loglik_history: List[float] = []
         zhat = np.zeros((m, n))
@@ -232,6 +260,11 @@ class EMEngine:
                         diffs = zhat[apps_arr][:, obs_idx] - y_rows
                         sse_obs += float(np.einsum("ij,ij->", diffs, diffs))
 
+                    if not np.isfinite(loglik):
+                        raise ConvergenceError(
+                            f"EM log-likelihood became non-finite "
+                            f"({loglik!r}) at iteration {iterations}",
+                            iterations=iterations, loglik=loglik)
                     loglik_history.append(loglik)
                     it_span.set_attribute("loglik", loglik)
                     ob.metrics.inc("em_iterations_total")
@@ -252,6 +285,13 @@ class EMEngine:
             fit_span.set_attribute("converged", converged)
 
         if not converged:
+            if self.config.raise_on_nonconvergence:
+                raise ConvergenceError(
+                    f"EM hit the iteration cap ({iterations}) without "
+                    f"reaching tol={self.config.tol}",
+                    iterations=iterations,
+                    loglik=loglik_history[-1] if loglik_history
+                    else float("nan"))
             logger.debug(
                 "EM stopped at the iteration cap without converging",
                 extra={"fields": {"iterations": iterations,

@@ -29,6 +29,7 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import linalg as sla
 
+from repro.errors import CovarianceError
 from repro.obs import get_metrics, start_timer, stop_timer
 
 
@@ -41,11 +42,18 @@ def nearest_psd_jitter(a: np.ndarray, max_tries: int = 12) -> np.ndarray:
     """Return ``a`` with just enough diagonal jitter to be Cholesky-able.
 
     Starts from a relative jitter of 1e-12 of the mean diagonal and grows
-    by 10x per failed attempt.  Raises ``np.linalg.LinAlgError`` if the
-    matrix cannot be repaired within ``max_tries`` doublings (which would
-    indicate a genuinely broken update, not roundoff).
+    by 10x per failed attempt.  Raises :class:`~repro.errors.
+    CovarianceError` (a ``np.linalg.LinAlgError`` subclass, so legacy
+    handlers keep working) when the matrix contains non-finite entries
+    or cannot be repaired within ``max_tries`` escalations — either
+    indicates a genuinely broken update, not roundoff.  Escalations past
+    the first attempt are counted on the ambient metrics registry
+    (``linalg_jitter_escalations_total``).
     """
     a = symmetrize(np.asarray(a, dtype=float))
+    if not np.all(np.isfinite(a)):
+        raise CovarianceError(
+            "covariance matrix contains non-finite entries")
     scale = float(np.mean(np.diag(a)))
     if scale <= 0 or not np.isfinite(scale):
         scale = 1.0
@@ -56,8 +64,10 @@ def nearest_psd_jitter(a: np.ndarray, max_tries: int = 12) -> np.ndarray:
             break
         except np.linalg.LinAlgError:
             jitter = scale * 10.0 ** (attempt - 12)
+            if attempt:
+                get_metrics().inc("linalg_jitter_escalations_total")
     else:
-        raise np.linalg.LinAlgError(
+        raise CovarianceError(
             "matrix is not repairable to positive definite"
         )
     if jitter:

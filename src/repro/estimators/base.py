@@ -26,11 +26,19 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import EstimationError, InsufficientSamplesError
+from repro.faults.context import get_injector
 from repro.obs import get_observability
 
-
-class InsufficientSamplesError(ValueError):
-    """The estimator cannot produce a well-posed estimate from so few samples."""
+# Back-compat alias: InsufficientSamplesError was born here and moved
+# to repro.errors; ``from repro.estimators.base import
+# InsufficientSamplesError`` resolves to the same class object.
+__all__ = [
+    "EstimationProblem",
+    "Estimator",
+    "InsufficientSamplesError",
+    "normalize_problem",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -101,6 +109,10 @@ def _traced_estimate(fn: Callable) -> Callable:
     """
     @functools.wraps(fn)
     def wrapper(self, problem: EstimationProblem) -> np.ndarray:
+        for spec in get_injector().fire("estimator.fit"):
+            if spec.kind == "estimator-crash":
+                raise EstimationError(
+                    f"injected estimator crash ({self.name})")
         ob = get_observability()
         if not ob.enabled:
             return fn(self, problem)

@@ -1,0 +1,213 @@
+"""Chaos runs: one benchmark workload under a named fault plan.
+
+The acceptance experiment for the resilience layer (docs/RESILIENCE.md):
+drive a :class:`~repro.runtime.controller.RuntimeController` through
+several back-to-back deadline windows — recalibrating at every window
+boundary, the long-running-application shape — twice with identical
+seeds.  The first pass is fault-free; the second runs under a shipped
+:mod:`~repro.faults.plans` plan.  The report answers the questions the
+issue poses:
+
+* **survival** — did the controller finish every window without an
+  unhandled exception (degrading instead of crashing)?
+* **violations** — how many windows missed their work target under
+  faults, against the fault-free count?
+* **energy overhead** — what did the faults cost, as a ratio of the
+  fault-free baseline energy?
+* **recovery** — once the plan's faults cleared (the default plan's
+  horizon is the first minute of simulated time), did the degradation
+  ladder promote back to the configured estimator?
+
+Everything is deterministic given ``(benchmark, plan, seed)``: both
+passes replay bit-identically, which is what lets the CI chaos-smoke
+job assert exact survival and recovery on a fixed seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.errors import InsufficientSamplesError
+from repro.experiments.harness import ExperimentContext, default_context
+from repro.faults import FaultInjector, use
+from repro.faults.plans import get_plan
+
+__all__ = ["ChaosReport", "chaos_run"]
+
+
+@dataclasses.dataclass
+class ChaosReport:
+    """Outcome of one chaos run against its fault-free baseline.
+
+    Attributes:
+        benchmark: The suite application driven.
+        plan: The fault plan name.
+        seed: Seed shared by the plan, sampler, and machine.
+        windows: Deadline windows requested per pass.
+        survived: Whether the faulted pass finished every window without
+            an unhandled exception.
+        error: ``"{type}: {message}"`` of the escaping exception when
+            ``survived`` is false, else ``""``.
+        windows_run: Windows the faulted pass completed (== ``windows``
+            when it survived).
+        baseline_energy: Joules over all windows, fault-free.
+        fault_energy: Joules over the completed faulted windows.
+        energy_overhead: ``fault_energy / baseline_energy - 1`` (only
+            meaningful when the faulted pass survived all windows).
+        baseline_violations: Fault-free windows that missed the target.
+        violations: Faulted windows that missed the target.
+        calibration_failures: Window boundaries where calibration raised
+            :class:`~repro.errors.InsufficientSamplesError` and the
+            previous estimate was reused.
+        demotions: Ladder demotions recorded during the faulted pass.
+        promotions: Ladder promotions recorded during the faulted pass.
+        final_tier: Estimator tier trusted when the pass ended.
+        recovered: Whether the pass ended back at the configured
+            estimator (tier 0) — never having degraded also counts.
+        fault_counts: Fault kind → times the injector fired it.
+    """
+
+    benchmark: str
+    plan: str
+    seed: int
+    windows: int
+    survived: bool
+    error: str
+    windows_run: int
+    baseline_energy: float
+    fault_energy: float
+    energy_overhead: float
+    baseline_violations: int
+    violations: int
+    calibration_failures: int
+    demotions: int
+    promotions: int
+    final_tier: str
+    recovered: bool
+    fault_counts: Dict[str, int]
+
+
+def _build_controller(ctx: ExperimentContext, benchmark: str, seed: int,
+                      estimator: str, promotion_cooldown: int):
+    from repro.estimators.registry import create_estimator
+    from repro.runtime.controller import RuntimeController
+    from repro.runtime.sampling import RandomSampler
+
+    view = ctx.dataset.leave_one_out(benchmark)
+    return RuntimeController(
+        machine=ctx.machine(seed_offset=seed + 1),
+        space=ctx.space,
+        estimator=create_estimator(estimator),
+        prior_rates=view.prior_rates,
+        prior_powers=view.prior_powers,
+        sampler=RandomSampler(seed=seed),
+        promotion_cooldown=promotion_cooldown,
+    )
+
+
+def _drive(controller, profile, work: float, deadline: float,
+           windows: int):
+    """Calibrate-and-run ``windows`` back-to-back deadline windows.
+
+    Returns ``(energy, violations, calibration_failures, windows_run)``.
+    A calibration that loses every sample to sensor dropout reuses the
+    previous window's estimate (the keep-previous policy the rest of
+    the runtime uses); only a first-window total loss propagates.
+    """
+    energy = 0.0
+    violations = 0
+    calibration_failures = 0
+    estimate = None
+    for index in range(windows):
+        try:
+            estimate = controller.calibrate(profile)
+        except InsufficientSamplesError:
+            calibration_failures += 1
+            if estimate is None:
+                raise
+        report = controller.run(profile, work, deadline, estimate,
+                                adapt=True)
+        energy += report.energy
+        if not report.met_target:
+            violations += 1
+    return energy, violations, calibration_failures, windows
+
+
+def chaos_run(ctx: Optional[ExperimentContext] = None,
+              benchmark: str = "kmeans", plan: str = "default",
+              seed: int = 0, windows: int = 4, utilization: float = 0.5,
+              deadline: float = 25.0, estimator: str = "leo",
+              promotion_cooldown: int = 4) -> ChaosReport:
+    """Run ``benchmark`` under ``plan`` and report survival and cost.
+
+    Args:
+        ctx: Experiment context; default is the cached ``cores`` space
+            context (32 configurations keeps both passes fast).
+        benchmark: Suite application to drive.
+        plan: Shipped fault plan name (see
+            :func:`repro.faults.plans.plan_names`).
+        seed: Shared seed for the plan, sampler, and machine.
+        windows: Back-to-back deadline windows per pass.  With the
+            defaults the simulated clock passes the default plan's
+            fault horizon early in the run, so the tail windows
+            exercise recovery and promotion.
+        utilization: Demanded fraction of the application's peak rate.
+        deadline: Seconds per window.
+        estimator: Configured (tier-0) estimator name.
+        promotion_cooldown: Healthy quanta before a promotion probe.
+    """
+    if not 0 < utilization <= 1:
+        raise ValueError(
+            f"utilization must be in (0, 1], got {utilization}")
+    if windows < 1:
+        raise ValueError(f"windows must be >= 1, got {windows}")
+    if ctx is None:
+        ctx = default_context(space_kind="cores", seed=seed)
+    profile = ctx.profile(benchmark)
+    truth = ctx.truth.leave_one_out(benchmark)
+    work = utilization * float(truth.true_rates.max()) * deadline
+
+    # Fault-free baseline: identical controller, identical seeds.
+    baseline = _build_controller(ctx, benchmark, seed, estimator,
+                                 promotion_cooldown)
+    baseline_energy, baseline_violations, _, _ = _drive(
+        baseline, profile, work, deadline, windows)
+
+    # The faulted pass.  Any escaping exception is the headline result
+    # (survived=False), not a crash of the experiment itself.
+    controller = _build_controller(ctx, benchmark, seed, estimator,
+                                   promotion_cooldown)
+    injector = FaultInjector(get_plan(plan, seed=seed))
+    survived = True
+    error = ""
+    fault_energy = 0.0
+    violations = 0
+    calibration_failures = 0
+    windows_run = 0
+    with use(injector):
+        try:
+            (fault_energy, violations, calibration_failures,
+             windows_run) = _drive(controller, profile, work, deadline,
+                                   windows)
+        except Exception as exc:  # noqa: BLE001 — survival is the result
+            survived = False
+            error = f"{type(exc).__name__}: {exc}"
+
+    ladder = controller._ladder
+    overhead = (fault_energy / baseline_energy - 1.0
+                if baseline_energy > 0 else 0.0)
+    return ChaosReport(
+        benchmark=benchmark, plan=plan, seed=seed, windows=windows,
+        survived=survived, error=error, windows_run=windows_run,
+        baseline_energy=baseline_energy, fault_energy=fault_energy,
+        energy_overhead=overhead,
+        baseline_violations=baseline_violations, violations=violations,
+        calibration_failures=calibration_failures,
+        demotions=ladder.demotions if ladder is not None else 0,
+        promotions=ladder.promotions if ladder is not None else 0,
+        final_tier=(ladder.current.name if ladder is not None
+                    else controller.estimator.name),
+        recovered=ladder is None or ladder.tier_index == 0,
+        fault_counts=dict(injector.fired_counts),
+    )

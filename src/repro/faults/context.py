@@ -1,0 +1,54 @@
+"""The ambient fault-injection context.
+
+Injection hooks live deep in the stack (the machine's measurement path,
+the EM engine, the service client) where no constructor can thread an
+injector through without distorting the paper-facing APIs.  The same
+pattern :mod:`repro.obs` uses for observability applies: one injector
+is installed into a :mod:`contextvars` variable and hooks read it
+through :func:`get_injector`::
+
+    from repro.faults import FaultInjector, get_plan, use
+
+    with use(FaultInjector(get_plan("default"))) as injector:
+        controller.run(...)
+    print(injector.fired_counts)
+
+The default is :data:`~repro.faults.injector.NULL_INJECTOR`: hooks cost
+one contextvar lookup plus an empty-tuple return, draw no random
+numbers, and perturb nothing — the fault-free path stays bit-identical.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+from typing import Iterator, Optional
+
+from repro.faults.injector import NULL_INJECTOR, FaultInjector
+
+__all__ = ["get_injector", "use", "NULL_INJECTOR"]
+
+_STATE: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_fault_injector", default=NULL_INJECTOR)
+
+
+def get_injector():
+    """The ambient fault injector (the null injector when disabled)."""
+    return _STATE.get()
+
+
+@contextlib.contextmanager
+def use(injector: Optional[FaultInjector]) -> Iterator:
+    """Install ``injector`` as the ambient injector for the block.
+
+    ``None`` leaves the current injector in place (handy for optional
+    wiring, mirroring :func:`repro.obs.use`).
+    """
+    if injector is None:
+        yield _STATE.get()
+        return
+    token = _STATE.set(injector)
+    try:
+        yield injector
+    finally:
+        _STATE.reset(token)

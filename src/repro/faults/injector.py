@@ -1,0 +1,162 @@
+"""The deterministic fault injector.
+
+A :class:`FaultInjector` evaluates a :class:`~repro.faults.plan.
+FaultPlan` at every instrumented site.  Hooks deep in the stack call
+:meth:`fire` (per-event faults — "does a fault strike *this* reading /
+call / fit?") or :meth:`active` (windowed states — "is the cap
+transient in force *now*?").  Both are pure functions of the plan, its
+seed, and the deterministic sequence of site events, so a chaos run
+replays bit-identically.
+
+Each spec owns its own seeded random stream (derived from the plan seed
+and the spec's position, via the same SHA-256 technique the experiment
+harness uses for cell seeds), so adding or removing one spec never
+perturbs another spec's firing sequence.
+
+Every firing increments ``fault_injected_total`` and a per-kind
+``fault_<kind>_total`` counter, and — when a tracer is recording —
+emits a zero-length ``fault.inject`` span, through the ambient
+:mod:`repro.obs` context.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.obs import get_observability
+
+__all__ = ["FaultInjector", "stable_seed"]
+
+
+def stable_seed(*components) -> int:
+    """A 63-bit seed derived stably from arbitrary components.
+
+    Same technique as the experiment harness's cell seeds: SHA-256 over
+    the components' reprs, independent of process, platform, and hash
+    randomization.
+    """
+    digest = hashlib.sha256(repr(components).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+class FaultInjector:
+    """Evaluates one fault plan deterministically at injection sites.
+
+    Args:
+        plan: The fault plan to execute.
+
+    Attributes:
+        plan: The plan in force.
+        fired_counts: Mapping of fault kind → times it has fired.
+    """
+
+    #: Null-object discriminator: real injectors may inject.
+    enabled = True
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._rngs = [
+            np.random.default_rng(stable_seed(plan.seed, i, spec.kind))
+            for i, spec in enumerate(plan.specs)
+        ]
+        self._events = [0] * len(plan.specs)
+        self._fired = [0] * len(plan.specs)
+
+    # ------------------------------------------------------------------
+    @property
+    def fired_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for spec, n in zip(self.plan.specs, self._fired):
+            if n:
+                counts[spec.kind] = counts.get(spec.kind, 0) + n
+        return counts
+
+    @property
+    def total_fired(self) -> int:
+        return sum(self._fired)
+
+    # ------------------------------------------------------------------
+    def fire(self, site: str, clock: Optional[float] = None
+             ) -> Tuple[FaultSpec, ...]:
+        """Per-event faults striking ``site`` for the current event.
+
+        ``clock`` positions the event inside spec windows when the site
+        has a simulated clock; clock-less sites are positioned by their
+        site-local event index.  Windowed kinds never fire here — query
+        them with :meth:`active`.
+        """
+        fired: List[FaultSpec] = []
+        for i, spec in enumerate(self.plan.specs):
+            if spec.site != site or spec.windowed:
+                continue
+            position = clock if clock is not None else float(self._events[i])
+            self._events[i] += 1
+            if not (spec.start <= position < spec.end):
+                continue
+            if (spec.max_events is not None
+                    and self._fired[i] >= spec.max_events):
+                continue
+            if (spec.probability < 1.0
+                    and self._rngs[i].random() >= spec.probability):
+                continue
+            self._fired[i] += 1
+            fired.append(spec)
+            self._record(spec, site, position)
+        return tuple(fired)
+
+    def active(self, site: str, clock: float) -> Tuple[FaultSpec, ...]:
+        """Windowed fault states in force at ``site`` at ``clock``.
+
+        Pure query: no random draws, no event counters, no metrics —
+        callers poll it freely (e.g. once per quantum or epoch).
+        """
+        return tuple(
+            spec for spec in self.plan.specs
+            if spec.site == site and spec.windowed
+            and spec.start <= clock < spec.end
+        )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(spec: FaultSpec, site: str, position: float) -> None:
+        ob = get_observability()
+        ob.metrics.inc("fault_injected_total")
+        ob.metrics.inc(f"fault_{spec.kind.replace('-', '_')}_total")
+        if ob.tracer.is_recording:
+            with ob.tracer.span("fault.inject", kind=spec.kind, site=site,
+                                position=position, magnitude=spec.magnitude):
+                pass
+
+
+class NullInjector:
+    """The no-fault default: every query answers "nothing here".
+
+    One contextvar lookup plus one empty-tuple return per hook — the
+    fault-free path allocates nothing and draws no random numbers, so
+    instrumented code is bit-identical to uninstrumented code.
+    """
+
+    enabled = False
+    plan = None
+
+    @staticmethod
+    def fire(site: str, clock: Optional[float] = None) -> Tuple[()]:
+        return ()
+
+    @staticmethod
+    def active(site: str, clock: float) -> Tuple[()]:
+        return ()
+
+    @property
+    def fired_counts(self) -> Dict[str, int]:
+        return {}
+
+    total_fired = 0
+
+
+#: The shared disabled injector installed by default.
+NULL_INJECTOR = NullInjector()

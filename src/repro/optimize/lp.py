@@ -30,36 +30,19 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import InfeasibleConstraintError
 from repro.obs import get_observability
 from repro.optimize.pareto import TradeoffFrontier
 from repro.optimize.schedule import Schedule, Slot
 from repro.optimize.simplex import SimplexSolution, solve_lp
 
+# Back-compat alias: InfeasibleConstraintError was born in this module
+# and moved to repro.errors in the exception consolidation; imports of
+# ``repro.optimize.lp.InfeasibleConstraintError`` resolve to the same
+# class object.
+__all__ = ["EnergyMinimizer", "InfeasibleConstraintError"]
+
 _MODES = ("deadline-energy", "active-energy")
-
-
-class InfeasibleConstraintError(ValueError):
-    """The performance constraint exceeds the estimated capacity.
-
-    Raised by :meth:`EnergyMinimizer.solve` when ``work / deadline`` is
-    higher than the highest rate on the estimated frontier.  Subclasses
-    ``ValueError`` so historical ``except ValueError`` call sites keep
-    working; new callers (notably the cluster power allocator) can catch
-    the typed error and read the attached capacity to degrade
-    gracefully instead of failing.
-
-    Attributes:
-        required: The demanded rate, ``work / deadline`` (hb/s).
-        max_rate: The highest achievable rate under the estimate (hb/s).
-    """
-
-    def __init__(self, required: float, max_rate: float) -> None:
-        super().__init__(
-            f"demand {required:g} hb/s exceeds estimated capacity "
-            f"{max_rate:g} hb/s"
-        )
-        self.required = float(required)
-        self.max_rate = float(max_rate)
 
 
 class EnergyMinimizer:

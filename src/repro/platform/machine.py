@@ -19,6 +19,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.errors import SensorReadError
+from repro.faults.context import get_injector
 from repro.platform.config_space import Configuration, ConfigurationSpace
 from repro.platform.performance_model import PerformanceModel
 from repro.platform.power_model import PowerModel
@@ -157,6 +159,23 @@ class Machine:
         self.clock += duration
         self.total_energy += power_obs * duration
         self.total_heartbeats += heartbeats
+
+        # Fault-injection hook.  Firing happens *after* the machine's
+        # state advanced: the application really ran and really drew
+        # power — only the observation of the window is perturbed or
+        # lost.  The null injector returns an empty tuple and draws no
+        # random numbers, so the fault-free path is bit-identical.
+        for spec in get_injector().fire("machine.measure", clock=self.clock):
+            if spec.kind == "sensor-dropout":
+                raise SensorReadError("injected sensor dropout",
+                                      site="machine.measure")
+            if spec.kind == "sensor-outlier":
+                rate_obs *= spec.magnitude
+                power_obs *= spec.magnitude
+                chip_obs *= spec.magnitude
+            elif spec.kind == "sensor-bias":
+                power_obs *= (1.0 + spec.magnitude)
+                chip_obs *= (1.0 + spec.magnitude)
         return Measurement(duration=duration, heartbeats=heartbeats,
                            rate=rate_obs, system_power=power_obs,
                            chip_power=chip_obs)

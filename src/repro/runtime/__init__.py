@@ -5,8 +5,9 @@ from repro.runtime.controller import RunReport, RuntimeController, TradeoffEstim
 from repro.runtime.energy_manager import EnergyManager
 from repro.runtime.feedback import HullRateController
 from repro.runtime.governor import OndemandGovernor
-from repro.runtime.persistence import EstimateStore
+from repro.runtime.persistence import CheckpointManager, EstimateStore
 from repro.runtime.phase_detector import PhaseDetector
+from repro.runtime.resilience import CircuitBreaker, DegradationLadder
 from repro.runtime.race_to_idle import (
     RaceToIdleController,
     all_resources_config,
@@ -25,6 +26,9 @@ __all__ = [
     "RunReport",
     "RuntimeController",
     "TradeoffEstimate",
+    "CheckpointManager",
+    "CircuitBreaker",
+    "DegradationLadder",
     "EnergyManager",
     "EstimateStore",
     "HullRateController",

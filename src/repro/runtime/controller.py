@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.errors import CheckpointError, SensorReadError
 from repro.estimators.base import (
     EstimationProblem,
     Estimator,
@@ -41,11 +42,37 @@ from repro.optimize.schedule import Slot
 from repro.platform.config_space import ConfigurationSpace
 from repro.platform.machine import Machine
 from repro.runtime.phase_detector import PhaseDetector
+from repro.runtime.resilience import (
+    PINNED_TIER,
+    RECOVERABLE_EXCEPTIONS,
+    CircuitBreaker,
+    DegradationLadder,
+    Tier,
+    pinned_curves,
+)
 from repro.runtime.sampling import RandomSampler, Sampler
 from repro.workloads.phases import PhasedWorkload
 from repro.workloads.profile import ApplicationProfile
 
 logger = logging.getLogger(__name__)
+
+
+def _plain(value):
+    """Recursively convert numpy scalars to JSON-clean Python values."""
+    if isinstance(value, dict):
+        return {key: _plain(item) for key, item in value.items()}
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    return value
+
+
+def _rng_state(rng) -> Optional[dict]:
+    """A numpy Generator's JSON-clean state (``None`` passes through)."""
+    if rng is None:
+        return None
+    return _plain(rng.bit_generator.state)
 
 
 class TradeoffEstimate:
@@ -187,6 +214,15 @@ class RuntimeController:
             ambient context for every :meth:`calibrate` / :meth:`run`
             call; ``None`` (the default) inherits whatever the caller
             installed via :func:`repro.obs.use`.
+        fallback_estimators: Lower rungs of the estimator degradation
+            ladder (see :mod:`repro.runtime.resilience`), tried in order
+            when the configured estimator fails recoverably.  ``None``
+            (the default) selects the standard chain — ``online``
+            regression, then the ``offline`` prior mean when priors
+            exist; an explicit empty sequence disables estimator
+            fallbacks, leaving only the terminal pinned tier.
+        promotion_cooldown: Consecutive healthy quanta a degraded
+            controller waits before probing one ladder rung back up.
     """
 
     def __init__(self, machine: Machine, space: ConfigurationSpace,
@@ -199,7 +235,9 @@ class RuntimeController:
                  quantum_fraction: float = 0.05,
                  novel_config_tolerance: float = 0.35,
                  safety_margin: float = 0.04,
-                 observability: Optional[Observability] = None) -> None:
+                 observability: Optional[Observability] = None,
+                 fallback_estimators: Optional[Sequence[Estimator]] = None,
+                 promotion_cooldown: int = 8) -> None:
         if sample_count < 1:
             raise ValueError(f"sample_count must be >= 1, got {sample_count}")
         if sample_window <= 0:
@@ -216,6 +254,10 @@ class RuntimeController:
         if safety_margin < 0:
             raise ValueError(
                 f"safety_margin must be >= 0, got {safety_margin}"
+            )
+        if promotion_cooldown < 1:
+            raise ValueError(
+                f"promotion_cooldown must be >= 1, got {promotion_cooldown}"
             )
         self.machine = machine
         self.space = space
@@ -234,12 +276,47 @@ class RuntimeController:
         self.novel_config_tolerance = novel_config_tolerance
         self.safety_margin = safety_margin
         self.observability = observability
+        self.promotion_cooldown = promotion_cooldown
+        # The degradation ladder is built lazily on first use, so the
+        # fallback estimators exist only once the controller actually
+        # estimates (and so construction stays cheap for callers that
+        # bring their own estimate).
+        self._fallback_estimators = fallback_estimators
+        self._ladder: Optional[DegradationLadder] = None
         #: The estimate in force at the end of the most recent run().
         self.last_estimate: Optional[TradeoffEstimate] = None
 
     def _obs_scope(self):
         """Install the controller's bundle, if it has one."""
         return use_observability(self.observability)
+
+    # ------------------------------------------------------------------
+    # Resilience: the estimator degradation ladder
+    # ------------------------------------------------------------------
+    @property
+    def ladder(self) -> DegradationLadder:
+        """The estimator degradation ladder (built on first access)."""
+        if self._ladder is None:
+            self._ladder = self._build_ladder()
+        return self._ladder
+
+    def _build_ladder(self) -> DegradationLadder:
+        tiers = [Tier(self.estimator.name, self.estimator)]
+        fallbacks = self._fallback_estimators
+        if fallbacks is None:
+            from repro.estimators.registry import create_estimator
+            names = ["online"]
+            if (self.prior_rates is not None
+                    and self.prior_powers is not None):
+                names.append("offline")
+            fallbacks = [create_estimator(name) for name in names]
+        for fallback in fallbacks:
+            if fallback.name not in {tier.name for tier in tiers}:
+                tiers.append(Tier(fallback.name, fallback))
+        tiers.append(Tier(PINNED_TIER, None))
+        return DegradationLadder(
+            tiers,
+            breaker=CircuitBreaker(cooldown_quanta=self.promotion_cooldown))
 
     # ------------------------------------------------------------------
     # Calibration: sample + estimate
@@ -281,21 +358,39 @@ class RuntimeController:
                     clock_before = self.machine.clock
 
                     with tracer.span("controller.sample") as sample_span:
-                        indices = self.sampler.select(len(self.space), count)
-                        rates = np.empty(indices.size)
-                        powers = np.empty(indices.size)
+                        chosen = self.sampler.select(len(self.space), count)
+                        kept: List[int] = []
+                        rate_obs: List[float] = []
+                        power_obs: List[float] = []
                         heartbeats = 0.0
-                        for j, i in enumerate(indices):
+                        dropped = 0
+                        for i in chosen:
                             self.machine.apply(self.space[int(i)])
-                            measurement = self.machine.run_for(window)
-                            rates[j] = measurement.rate
-                            powers[j] = measurement.system_power
+                            try:
+                                measurement = self.machine.run_for(window)
+                            except SensorReadError:
+                                # The window ran (time and energy were
+                                # spent) but its observation was lost;
+                                # calibrate on the surviving samples.
+                                dropped += 1
+                                continue
+                            kept.append(int(i))
+                            rate_obs.append(measurement.rate)
+                            power_obs.append(measurement.system_power)
                             heartbeats += measurement.heartbeats
+                        indices = np.asarray(kept, dtype=int)
+                        rates = np.asarray(rate_obs, dtype=float)
+                        powers = np.asarray(power_obs, dtype=float)
                         sampling_time = self.machine.clock - clock_before
                         sampling_energy = (self.machine.total_energy
                                            - energy_before)
                         sample_span.set_attribute("num_samples",
                                                   int(indices.size))
+                        if dropped:
+                            sample_span.set_attribute("dropped_samples",
+                                                      dropped)
+                            active.metrics.inc(
+                                "fault_sampling_dropouts_total", dropped)
                         sample_span.set_attribute("sampling_time",
                                                   sampling_time)
                         sample_span.set_attribute("sampling_energy",
@@ -305,34 +400,90 @@ class RuntimeController:
                     active.metrics.inc("sampling_energy_joules",
                                        sampling_energy)
 
+                    if indices.size == 0:
+                        raise InsufficientSamplesError(
+                            "every calibration sample was lost to sensor "
+                            "dropout")
                     features = self.space.feature_matrix()
-                    rate_curve = self._estimate_rates(features, indices,
-                                                      rates)
-                    power_curve = self._estimate_powers(features, indices,
-                                                        powers)
+                    rate_curve, power_curve, tier = self._fit_with_ladder(
+                        features, indices, rates, powers)
                 spans = tracer.finished_since(mark)
 
         return TradeoffEstimate(
             rates=rate_curve, powers=power_curve,
-            estimator_name=self.estimator.name,
+            estimator_name=tier.name,
             spans=spans,
         )
 
-    def _estimate_rates(self, features: np.ndarray, indices: np.ndarray,
-                        rates: np.ndarray) -> np.ndarray:
+    def _fit_with_ladder(self, features: np.ndarray, indices: np.ndarray,
+                         rates: np.ndarray, powers: np.ndarray
+                         ) -> Tuple[np.ndarray, np.ndarray, Tier]:
+        """Fit both curves at the best ladder rung that survives.
+
+        Walks the degradation ladder from the currently trusted tier
+        down, falling past recoverable failures (EM divergence, singular
+        covariances, service transport errors) until a tier fits; the
+        terminal pinned tier cannot fail given at least one sample.
+        Demotes (and records resilience metrics) when anything below the
+        trusted tier had to be used; the fault-free path runs the
+        trusted tier alone and is bit-identical to a ladder-less fit.
+        """
+        ladder = self.ladder
+        start = ladder.tier_index
+        failure: Optional[BaseException] = None
+        for tier_index, tier in ladder.tiers_from_current():
+            try:
+                if tier.pinned:
+                    rate_curve, power_curve = pinned_curves(
+                        len(self.space), indices, rates, powers)
+                else:
+                    rate_curve = self._estimate_rates(
+                        tier.estimator, features, indices, rates)
+                    power_curve = self._estimate_powers(
+                        tier.estimator, features, indices, powers)
+            except InsufficientSamplesError:
+                # Too few samples is an input-size condition, not a
+                # fault: at the trusted tier it propagates (callers keep
+                # the previous estimate, as before the ladder existed);
+                # at a lower rung the ladder keeps falling.
+                if tier_index == start:
+                    raise
+                continue
+            except RECOVERABLE_EXCEPTIONS as exc:
+                failure = exc
+                get_observability().metrics.inc(
+                    "fault_estimator_failures_total")
+                logger.warning(
+                    "estimator tier failed; falling back",
+                    extra={"fields": {
+                        "tier": tier.name,
+                        "error": f"{type(exc).__name__}: {exc}"}})
+                continue
+            if tier_index > start:
+                reason = (f"{type(failure).__name__}: {failure}"
+                          if failure is not None else "insufficient samples")
+                ladder.demote_to(tier_index, reason=reason)
+            return rate_curve, power_curve, tier
+        assert failure is not None  # pinned cannot fail with samples
+        raise failure
+
+    def _estimate_rates(self, estimator: Estimator, features: np.ndarray,
+                        indices: np.ndarray, rates: np.ndarray
+                        ) -> np.ndarray:
         problem = EstimationProblem(
             features=features, prior=self.prior_rates,
             observed_indices=indices, observed_values=rates)
         normalized, scale = normalize_problem(problem)
-        curve = self.estimator.estimate(normalized) * scale
+        curve = estimator.estimate(normalized) * scale
         return self._clip_positive(curve, rates)
 
-    def _estimate_powers(self, features: np.ndarray, indices: np.ndarray,
-                         powers: np.ndarray) -> np.ndarray:
+    def _estimate_powers(self, estimator: Estimator, features: np.ndarray,
+                         indices: np.ndarray, powers: np.ndarray
+                         ) -> np.ndarray:
         problem = EstimationProblem(
             features=features, prior=self.prior_powers,
             observed_indices=indices, observed_values=powers)
-        curve = self.estimator.estimate(problem)
+        curve = estimator.estimate(problem)
         return self._clip_positive(curve, powers)
 
     @staticmethod
@@ -351,12 +502,19 @@ class RuntimeController:
     # ------------------------------------------------------------------
     def run(self, profile: ApplicationProfile, work: float, deadline: float,
             estimate: TradeoffEstimate, adapt: bool = False,
-            detector: Optional[PhaseDetector] = None) -> RunReport:
+            detector: Optional[PhaseDetector] = None,
+            checkpointer=None) -> RunReport:
         """Execute ``work`` heartbeats of ``profile`` within ``deadline``.
 
         Re-solves the LP every quantum from measured progress.  With
         ``adapt=True`` a phase detector may trigger an inline
         re-calibration, whose time and energy are charged to this run.
+
+        ``checkpointer`` — a :class:`~repro.runtime.persistence.
+        CheckpointManager` (or anything with its ``maybe_save(index,
+        payload_fn)`` shape) — snapshots the loop state at quantum
+        boundaries so a crashed run can be continued with
+        :meth:`resume`, bit-equal to the uninterrupted run.
         """
         if work < 0:
             raise ValueError(f"work must be >= 0, got {work}")
@@ -364,15 +522,18 @@ class RuntimeController:
             raise ValueError(f"deadline must be positive, got {deadline}")
         with self._obs_scope():
             return self._run_traced(profile, work, deadline, estimate,
-                                    adapt, detector)
+                                    adapt, detector,
+                                    checkpointer=checkpointer)
 
     def _run_traced(self, profile: ApplicationProfile, work: float,
                     deadline: float, estimate: TradeoffEstimate,
-                    adapt: bool, detector: Optional[PhaseDetector]
-                    ) -> RunReport:
+                    adapt: bool, detector: Optional[PhaseDetector],
+                    checkpointer=None,
+                    resume_state: Optional[dict] = None) -> RunReport:
         ob = get_observability()
         tracer = ob.tracer
-        self.machine.load(profile)
+        if resume_state is None:
+            self.machine.load(profile)
         if adapt and detector is None:
             detector = PhaseDetector()
 
@@ -380,23 +541,66 @@ class RuntimeController:
         # configurations, which is the runtime's gradient-ascent behaviour
         # ("all use gradient ascent to increase performance until the
         # demand is met", Section 6.6).
-        rates = estimate.rates.copy()
-        powers = estimate.powers.copy()
+        if resume_state is None:
+            rates = estimate.rates.copy()
+            powers = estimate.powers.copy()
+            energy_before = self.machine.total_energy
+            time_left = deadline
+            work_left = work
+            reestimations = 0
+            quantum_index = 0
+            visited: set = set()
+            power_trace: List[float] = []
+            rate_trace: List[float] = []
+        else:
+            rates = np.asarray(resume_state["rates"], dtype=float)
+            powers = np.asarray(resume_state["powers"], dtype=float)
+            energy_before = float(resume_state["energy_start"])
+            time_left = float(resume_state["time_left"])
+            work_left = float(resume_state["work_left"])
+            reestimations = int(resume_state["reestimations"])
+            quantum_index = int(resume_state["quantum_index"])
+            visited = {int(i) for i in resume_state["visited"]}
+            power_trace = [float(x) for x in resume_state["power_trace"]]
+            rate_trace = [float(x) for x in resume_state["rate_trace"]]
         minimizer = EnergyMinimizer(rates, powers, self.machine.idle_power())
-        energy_before = self.machine.total_energy
         quantum = deadline * self.quantum_fraction
-        time_left = deadline
-        work_left = work
-        reestimations = 0
-        quantum_index = 0
-        visited: set = set()
-        power_trace: List[float] = []
-        rate_trace: List[float] = []
 
         with tracer.span("controller.run", work=work, deadline=deadline,
                          estimator=estimate.estimator_name,
                          adapt=adapt) as run_span:
             while time_left > 1e-9 * deadline:
+                if checkpointer is not None:
+                    checkpointer.maybe_save(
+                        quantum_index,
+                        lambda: self._snapshot_run_state(
+                            profile, work, deadline, adapt,
+                            quantum_index=quantum_index,
+                            time_left=time_left, work_left=work_left,
+                            reestimations=reestimations, rates=rates,
+                            powers=powers, estimate=estimate,
+                            visited=visited, power_trace=power_trace,
+                            rate_trace=rate_trace,
+                            energy_before=energy_before,
+                            detector=detector))
+                ladder = self._ladder
+                if (ladder is not None and ladder.promotion_ready
+                        and work_left > 1e-9 * max(work, 1.0)
+                        and time_left > quantum):
+                    # The breaker cooled down: probe one rung up with a
+                    # short re-calibration, charged to this run like any
+                    # inline re-calibration.
+                    probe, elapsed = self._attempt_promotion(profile)
+                    time_left -= elapsed
+                    if probe is not None:
+                        work_left -= probe.sampling_heartbeats
+                        estimate = probe
+                        rates = estimate.rates.copy()
+                        powers = estimate.powers.copy()
+                        minimizer = EnergyMinimizer(
+                            rates, powers, self.machine.idle_power())
+                        visited.clear()
+                    continue
                 quantum_index += 1
                 ob.metrics.inc("quanta_total")
                 with tracer.span("controller.quantum",
@@ -408,6 +612,8 @@ class RuntimeController:
                         rate_trace.append(0.0)
                         time_left -= step
                         qspan.set_attribute("idle", True)
+                        if ladder is not None:
+                            ladder.note_healthy_quantum()
                         continue
 
                     slot = self._next_slot(minimizer, work_left, time_left)
@@ -417,6 +623,8 @@ class RuntimeController:
                         rate_trace.append(0.0)
                         time_left -= step
                         qspan.set_attribute("idle", True)
+                        if ladder is not None:
+                            ladder.note_healthy_quantum()
                         continue
                     config_index = slot.config_index
                     # Respect the plan: the slow leg only gets its allotted
@@ -432,7 +640,22 @@ class RuntimeController:
                     if believed_rate > 0:
                         step = min(step, max(work_left / believed_rate, 1e-6))
                     self.machine.apply(self.space[config_index])
-                    measurement = self.machine.run_for(step)
+                    try:
+                        measurement = self.machine.run_for(step)
+                    except SensorReadError:
+                        # The quantum ran (the machine advanced and drew
+                        # power) but its observation was lost: charge the
+                        # time, credit no work (conservative — unobserved
+                        # progress is re-done), and record the model's
+                        # believed behaviour in the traces.
+                        time_left -= step
+                        power_trace.append(float(powers[config_index]))
+                        rate_trace.append(float(rates[config_index]))
+                        qspan.set_attribute("sensor_dropout", True)
+                        ob.metrics.inc("fault_lost_quanta_total")
+                        if ladder is not None:
+                            ladder.note_fault()
+                        continue
                     work_left -= measurement.heartbeats
                     time_left -= step
                     power_trace.append(measurement.system_power)
@@ -501,6 +724,8 @@ class RuntimeController:
                             powers[config_index] = measurement.system_power
                             minimizer = EnergyMinimizer(
                                 rates, powers, self.machine.idle_power())
+                    if ladder is not None:
+                        ladder.note_healthy_quantum()
 
             work_done = work - max(work_left, 0.0)
             met_target = work_done >= 0.99 * work
@@ -569,6 +794,175 @@ class RuntimeController:
             return self.calibrate(profile, sample_window=0.25)
         except InsufficientSamplesError:
             return previous
+
+    def _attempt_promotion(self, profile: ApplicationProfile
+                           ) -> Tuple[Optional[TradeoffEstimate], float]:
+        """Probe one ladder rung up with a short re-calibration.
+
+        Returns ``(estimate, elapsed)``: the probe calibration's
+        estimate (at whatever tier it landed — ``None`` when even
+        sampling failed) and the simulated seconds the probe consumed.
+        The breaker records the outcome either way, so a failed probe
+        buys the faulty tier another full cooldown.
+        """
+        ladder = self.ladder
+        previous = ladder.tier_index
+        target = previous - 1
+        clock_before = self.machine.clock
+        ladder.tier_index = target
+        try:
+            estimate = self.calibrate(profile, sample_window=0.25)
+        except InsufficientSamplesError:
+            ladder.tier_index = previous
+            ladder.record_failed_probe()
+            return None, self.machine.clock - clock_before
+        if ladder.tier_index <= target:
+            ladder.record_promotion(ladder.tier_index)
+        # else: the calibration fell back below the target, and its
+        # demote_to already re-opened the breaker (the probe failed).
+        return estimate, self.machine.clock - clock_before
+
+    # ------------------------------------------------------------------
+    # Checkpoint / recovery
+    # ------------------------------------------------------------------
+    def _snapshot_run_state(self, profile: ApplicationProfile, work: float,
+                            deadline: float, adapt: bool, *,
+                            quantum_index: int, time_left: float,
+                            work_left: float, reestimations: int,
+                            rates: np.ndarray, powers: np.ndarray,
+                            estimate: TradeoffEstimate, visited: set,
+                            power_trace: List[float],
+                            rate_trace: List[float], energy_before: float,
+                            detector: Optional[PhaseDetector]) -> dict:
+        """A JSON-ready snapshot of the run loop at a quantum boundary.
+
+        Captures the loop-carried state plus every random stream the
+        remaining quanta will consume, so :meth:`resume` replays them
+        bit-equal to the uninterrupted run.  Refuses to snapshot a
+        thermally-modelled machine: the thermal integrator state is not
+        serialized, and a silent mismatch would break the bit-equality
+        guarantee.
+        """
+        machine = self.machine
+        if machine.thermal is not None:
+            raise CheckpointError(
+                "checkpointing a thermally-modelled machine is not "
+                "supported (the thermal integrator state is not "
+                "serialized)")
+        config_index = None
+        if machine.config is not None:
+            for i, candidate in enumerate(self.space):
+                if candidate == machine.config:
+                    config_index = i
+                    break
+        detector_state = None
+        if detector is not None:
+            detector_state = {"threshold": detector.threshold,
+                              "patience": detector.patience,
+                              "streak": detector._streak,
+                              "detections": detector.detections}
+        return {
+            "schema_version": 1,
+            "profile": profile.name,
+            "work": float(work),
+            "deadline": float(deadline),
+            "adapt": bool(adapt),
+            "quantum_index": int(quantum_index),
+            "time_left": float(time_left),
+            "work_left": float(work_left),
+            "reestimations": int(reestimations),
+            "rates": [float(x) for x in rates],
+            "powers": [float(x) for x in powers],
+            "estimate": {
+                "rates": [float(x) for x in estimate.rates],
+                "powers": [float(x) for x in estimate.powers],
+                "estimator_name": estimate.estimator_name,
+                "sampling_time": estimate.sampling_time,
+                "sampling_energy": estimate.sampling_energy,
+                "sampling_heartbeats": estimate.sampling_heartbeats,
+                "fit_seconds": estimate.fit_seconds,
+            },
+            "visited": sorted(int(i) for i in visited),
+            "power_trace": [float(x) for x in power_trace],
+            "rate_trace": [float(x) for x in rate_trace],
+            "energy_start": float(energy_before),
+            "machine": {
+                "clock": machine.clock,
+                "total_energy": machine.total_energy,
+                "total_heartbeats": machine.total_heartbeats,
+                "config_index": config_index,
+                "rng_state": _rng_state(machine._rng),
+            },
+            "sampler_rng": _rng_state(getattr(self.sampler, "_rng", None)),
+            "estimator_rng": _rng_state(getattr(self.estimator, "_rng",
+                                                None)),
+            "detector": detector_state,
+            "ladder": (self._ladder.snapshot()
+                       if self._ladder is not None else None),
+        }
+
+    def resume(self, state: dict, profile: ApplicationProfile,
+               detector: Optional[PhaseDetector] = None,
+               checkpointer=None) -> RunReport:
+        """Continue a checkpointed run to completion.
+
+        ``state`` is a payload from :meth:`~repro.runtime.persistence.
+        CheckpointManager.load`.  The controller must be constructed the
+        same way as the one that took the checkpoint (same machine
+        platform, space, estimator); the random streams and loop state
+        are restored exactly, so on a fault-free plan the resumed run's
+        :class:`RunReport` is bit-equal to the uninterrupted run's.
+        """
+        schema = state.get("schema_version", 1)
+        if schema != 1:
+            raise CheckpointError(
+                f"checkpoint schema_version {schema!r} is not supported")
+        if state.get("profile") != profile.name:
+            raise CheckpointError(
+                f"checkpoint was taken for application "
+                f"{state.get('profile')!r}, not {profile.name!r}")
+        machine = self.machine
+        machine.load(profile)
+        snap = state["machine"]
+        machine.clock = float(snap["clock"])
+        machine.total_energy = float(snap["total_energy"])
+        machine.total_heartbeats = float(snap["total_heartbeats"])
+        if snap.get("rng_state") is not None:
+            machine._rng.bit_generator.state = snap["rng_state"]
+        if snap.get("config_index") is not None:
+            machine.apply(self.space[int(snap["config_index"])])
+        sampler_rng = getattr(self.sampler, "_rng", None)
+        if sampler_rng is not None and state.get("sampler_rng") is not None:
+            sampler_rng.bit_generator.state = state["sampler_rng"]
+        estimator_rng = getattr(self.estimator, "_rng", None)
+        if (estimator_rng is not None
+                and state.get("estimator_rng") is not None):
+            estimator_rng.bit_generator.state = state["estimator_rng"]
+        if state.get("ladder") is not None:
+            self.ladder.restore(state["ladder"])
+        adapt = bool(state.get("adapt", False))
+        det_state = state.get("detector")
+        if det_state is not None:
+            if detector is None:
+                detector = PhaseDetector(threshold=det_state["threshold"],
+                                         patience=det_state["patience"])
+            detector._streak = int(det_state["streak"])
+            detector.detections = int(det_state["detections"])
+        est = state["estimate"]
+        estimate = TradeoffEstimate(
+            rates=np.asarray(est["rates"], dtype=float),
+            powers=np.asarray(est["powers"], dtype=float),
+            estimator_name=est["estimator_name"],
+            sampling_time=est["sampling_time"],
+            sampling_energy=est["sampling_energy"],
+            sampling_heartbeats=est["sampling_heartbeats"],
+            fit_seconds=est["fit_seconds"])
+        with self._obs_scope():
+            return self._run_traced(profile, float(state["work"]),
+                                    float(state["deadline"]), estimate,
+                                    adapt, detector,
+                                    checkpointer=checkpointer,
+                                    resume_state=state)
 
     # ------------------------------------------------------------------
     # Phased workloads (Section 6.6)

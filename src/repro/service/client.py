@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import random
 import socket
 import time
 from typing import Any, Dict, Optional
@@ -35,6 +36,7 @@ from repro.estimators.base import (
     Estimator,
     InsufficientSamplesError,
 )
+from repro.faults.context import get_injector
 from repro.service.protocol import (
     EstimationRejected,
     ProtocolError,
@@ -62,28 +64,46 @@ class ServiceClient:
             deadline response arrives before the socket gives up.
         retries: Transport-failure retry budget per call (reconnect and
             resend; safe because every service op is idempotent).
-        backoff: Initial retry delay in seconds, doubled per attempt.
+        backoff: Base retry delay in seconds.  Each retry sleeps a
+            *full-jitter* delay: uniform in ``[0, min(backoff_cap,
+            backoff * 2**attempt))``, which avoids synchronized retry
+            storms across tenants while keeping the exponential envelope.
+        backoff_cap: Ceiling on any single retry delay (seconds), so a
+            deep retry cannot sleep unboundedly.
         retry_overloaded: Also retry :class:`ServiceOverloaded`
             responses (with the same backoff schedule) instead of
             surfacing them — the polite-tenant mode.
         default_deadline_s: ``deadline_s`` attached to calls that do not
-            specify one; ``None`` defers to the server default.
+            specify one; ``None`` defers to the server default.  A
+            call's deadline also bounds its *total* retry time: when the
+            remaining budget cannot cover the next sleep, the pending
+            failure is surfaced immediately instead of retrying past
+            the point where the caller has stopped waiting.
+        jitter_seed: Seed for the jitter stream (deterministic tests);
+            ``None`` uses OS entropy.
     """
 
     def __init__(self, address: ServiceAddress, timeout: float = 60.0,
                  retries: int = 2, backoff: float = 0.05,
+                 backoff_cap: float = 2.0,
                  retry_overloaded: bool = False,
-                 default_deadline_s: Optional[float] = None) -> None:
+                 default_deadline_s: Optional[float] = None,
+                 jitter_seed: Optional[int] = None) -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if backoff_cap <= 0:
+            raise ValueError(f"backoff_cap must be positive, "
+                             f"got {backoff_cap}")
         self.address = address
         self.timeout = timeout
         self.retries = retries
         self.backoff = backoff
+        self.backoff_cap = backoff_cap
         self.retry_overloaded = retry_overloaded
         self.default_deadline_s = default_deadline_s
+        self._jitter = random.Random(jitter_seed)
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = None
         self._file = None
@@ -122,33 +142,71 @@ class ServiceClient:
 
         Raises the rehydrated typed :class:`~repro.service.protocol.
         ServiceError` on a failure response, after exhausting any
-        applicable retries.
+        applicable retries.  Total retry time is capped by the call's
+        deadline: when the remaining deadline budget cannot cover the
+        next backoff sleep, the pending failure is raised instead of
+        retrying into a window the caller has already abandoned.
         """
         if deadline_s is None:
             deadline_s = self.default_deadline_s
+        started = time.monotonic()
         attempt = 0
         while True:
             try:
                 return self._call_once(op, payload or {}, deadline_s)
             except (ConnectionError, socket.timeout, OSError) as exc:
                 self.close()
-                if attempt >= self.retries:
+                if (attempt >= self.retries
+                        or not self._backoff_sleep(attempt, started,
+                                                   deadline_s)):
                     raise
                 logger.debug("retrying after transport failure",
                              extra={"fields": {"op": op, "error": str(exc),
                                                "attempt": attempt}})
             except ServiceOverloaded:
-                if not self.retry_overloaded or attempt >= self.retries:
+                if (not self.retry_overloaded or attempt >= self.retries
+                        or not self._backoff_sleep(attempt, started,
+                                                   deadline_s)):
                     raise
                 logger.debug("retrying after load shed",
                              extra={"fields": {"op": op,
                                                "attempt": attempt}})
-            if self.backoff:
-                time.sleep(self.backoff * (2 ** attempt))
             attempt += 1
+
+    def _backoff_sleep(self, attempt: int, started: float,
+                       deadline_s: Optional[float]) -> bool:
+        """Sleep the full-jitter backoff for ``attempt``; False = give up.
+
+        The delay is uniform in ``[0, min(backoff_cap, backoff *
+        2**attempt))`` (AWS-style full jitter).  With a deadline, the
+        sleep — and the retry after it — must fit in what is left of
+        the deadline budget; when it cannot, no sleep happens and the
+        caller surfaces the pending failure.
+        """
+        if not self.backoff:
+            delay = 0.0
+        else:
+            envelope = min(self.backoff_cap, self.backoff * (2 ** attempt))
+            delay = self._jitter.uniform(0.0, envelope)
+        if deadline_s is not None:
+            remaining = deadline_s - (time.monotonic() - started)
+            if remaining <= delay:
+                return False
+        if delay > 0:
+            time.sleep(delay)
+        return True
 
     def _call_once(self, op: str, payload: Dict[str, Any],
                    deadline_s: Optional[float]) -> Dict[str, Any]:
+        # Fault-injection hook: transport and protocol failures surface
+        # exactly where the real ones would, upstream of the retry loop.
+        for spec in get_injector().fire("service.call"):
+            if spec.kind == "connection-drop":
+                raise ConnectionError("injected connection drop")
+            if spec.kind == "service-timeout":
+                raise socket.timeout("injected service timeout")
+            if spec.kind == "corrupt-response":
+                raise ProtocolError("injected corrupt response")
         self._ensure_connected()
         request = Request(op=op, payload=payload,
                           request_id=next(self._ids),

@@ -62,52 +62,20 @@ PROTOCOL_VERSION = 1
 # ----------------------------------------------------------------------
 # Typed errors
 # ----------------------------------------------------------------------
-class ServiceError(Exception):
-    """Base class for service failures; ``code`` is the wire-level type."""
-
-    code = "internal"
-
-    def __init__(self, message: str = "",
-                 details: Optional[Dict[str, Any]] = None) -> None:
-        super().__init__(message or self.code)
-        self.details: Dict[str, Any] = dict(details or {})
-
-
-class ServiceOverloaded(ServiceError):
-    """The admission queue is full; the request was shed, not queued."""
-
-    code = "overloaded"
-
-
-class DeadlineExceeded(ServiceError):
-    """The request's deadline passed before a result was produced."""
-
-    code = "deadline-exceeded"
-
-
-class RequestRejected(ServiceError):
-    """The request is well-formed JSON but semantically invalid."""
-
-    code = "bad-request"
-
-
-class EstimationRejected(ServiceError):
-    """The chosen estimator is ill-posed for the submitted samples."""
-
-    code = "insufficient-samples"
-
-
-class ProtocolError(ServiceError):
-    """The frame could not be parsed as a protocol message."""
-
-    code = "protocol-error"
-
-
-class RemoteError(ServiceError):
-    """An unexpected failure inside the server."""
-
-    code = "internal"
-
+# The ServiceError family was born in this module and moved to
+# repro.errors in the exception consolidation; these aliases keep
+# ``from repro.service.protocol import ServiceOverloaded`` (and every
+# ``except`` clause written against it) resolving to the same class
+# objects.
+from repro.errors import (  # noqa: E402  (re-export block)
+    DeadlineExceeded,
+    EstimationRejected,
+    ProtocolError,
+    RemoteError,
+    RequestRejected,
+    ServiceError,
+    ServiceOverloaded,
+)
 
 _ERROR_TYPES: Dict[str, type] = {
     cls.code: cls

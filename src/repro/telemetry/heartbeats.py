@@ -18,6 +18,8 @@ import collections
 import dataclasses
 from typing import Deque, Optional
 
+from repro.faults.context import get_injector
+
 
 @dataclasses.dataclass(frozen=True)
 class HeartbeatRecord:
@@ -60,6 +62,11 @@ class HeartbeatMonitor:
             raise ValueError(
                 f"heartbeat time went backwards: {time} < {self._last_time}"
             )
+        if get_injector().active("telemetry.heartbeat", clock=time):
+            # Injected heartbeat stall: the application is running but
+            # its beats never reach the monitor, so the windowed rate
+            # goes stale until the stall clears.
+            return
         self._records.append(HeartbeatRecord(time=time, beats=beats))
         self._last_time = time
         self.total_beats += beats

@@ -16,6 +16,8 @@ from typing import List
 
 import numpy as np
 
+from repro.errors import SensorReadError
+from repro.faults.context import get_injector
 from repro.platform.machine import Machine
 
 
@@ -49,8 +51,22 @@ class _MeterBase:
         raise NotImplementedError
 
     def sample(self) -> PowerSample:
-        """Take one reading of the machine's current draw."""
+        """Take one reading of the machine's current draw.
+
+        Raises :class:`~repro.errors.SensorReadError` when an injected
+        meter dropout eats the reading (the machine itself is
+        unaffected; only this sample is lost).
+        """
         watts = self._true_watts() + self._rng.normal(0.0, self.noise_std)
+        for spec in get_injector().fire("telemetry.meter",
+                                        clock=self.machine.clock):
+            if spec.kind == "meter-dropout":
+                raise SensorReadError("injected meter dropout",
+                                      site="telemetry.meter")
+            if spec.kind == "meter-outlier":
+                watts *= spec.magnitude
+            elif spec.kind == "meter-bias":
+                watts += spec.magnitude
         if self.quantum > 0:
             watts = round(watts / self.quantum) * self.quantum
         watts = max(watts, 0.0)

@@ -1,0 +1,219 @@
+"""Checkpoint/recovery tests: crash-resume must be bit-equal.
+
+The acceptance criterion: a run interrupted at a checkpoint boundary
+and resumed by a *fresh* controller produces a :class:`RunReport` — and
+a machine energy/clock — bit-equal to the uninterrupted run, on a
+fault-free plan.  Plus the CheckpointManager's durability contract:
+atomic writes, CRC-guarded loads, and tolerant skipping of torn or
+corrupt files (including injected partial writes).
+"""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import CheckpointError
+from repro.estimators.leo import LEOEstimator
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, use
+from repro.platform.machine import Machine
+from repro.platform.thermal import ThermalModel
+from repro.platform.topology import PAPER_TOPOLOGY
+from repro.runtime.controller import RuntimeController
+from repro.runtime.persistence import CheckpointManager
+from repro.runtime.phase_detector import PhaseDetector
+from repro.runtime.sampling import RandomSampler
+
+WORK_FRACTION = 0.4
+DEADLINE = 50.0
+
+
+def build_controller(cores_space, cores_dataset, seed=1234):
+    view = cores_dataset.leave_one_out("kmeans")
+    return RuntimeController(
+        machine=Machine(PAPER_TOPOLOGY, seed=seed), space=cores_space,
+        estimator=LEOEstimator(),
+        prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+        sampler=RandomSampler(seed=0), sample_count=6)
+
+
+class _CaptureAt:
+    """A checkpointer that records the payload at one boundary."""
+
+    def __init__(self, at_quantum: int) -> None:
+        self.at = at_quantum
+        self.payload = None
+
+    def maybe_save(self, quantum_index: int, payload_fn) -> bool:
+        if quantum_index == self.at and self.payload is None:
+            # Round-trip through JSON exactly like the real manager, so
+            # the resumed state saw the same serialization the disk
+            # format imposes.
+            self.payload = json.loads(json.dumps(payload_fn()))
+            return True
+        return False
+
+
+def full_and_resumed(cores_space, cores_dataset, kmeans, at_quantum,
+                     adapt=False):
+    """One uninterrupted run and one fresh-controller resume from the
+    ``at_quantum`` boundary of an identically-seeded run."""
+    baseline = build_controller(cores_space, cores_dataset)
+    estimate = baseline.calibrate(kmeans)
+    work = WORK_FRACTION * estimate.rates.max() * DEADLINE
+    full = baseline.run(kmeans, work, DEADLINE, estimate, adapt=adapt)
+
+    crashing = build_controller(cores_space, cores_dataset)
+    estimate2 = crashing.calibrate(kmeans)
+    capture = _CaptureAt(at_quantum)
+    crashing.run(kmeans, work, DEADLINE, estimate2, adapt=adapt,
+                 checkpointer=capture)
+    assert capture.payload is not None, "checkpoint boundary never hit"
+
+    fresh = build_controller(cores_space, cores_dataset)
+    resumed = fresh.resume(capture.payload, kmeans)
+    return full, resumed, baseline, fresh
+
+
+class TestBitEqualResume:
+    @pytest.mark.parametrize("at_quantum", [5, 11])
+    def test_report_bit_equal(self, cores_space, cores_dataset, kmeans,
+                              at_quantum):
+        full, resumed, baseline, fresh = full_and_resumed(
+            cores_space, cores_dataset, kmeans, at_quantum)
+        for field in dataclasses.fields(full):
+            assert getattr(resumed, field.name) == \
+                getattr(full, field.name), field.name
+        assert fresh.machine.total_energy == baseline.machine.total_energy
+        assert fresh.machine.clock == baseline.machine.clock
+        assert fresh.machine.total_heartbeats == \
+            baseline.machine.total_heartbeats
+
+    def test_adaptive_run_bit_equal(self, cores_space, cores_dataset,
+                                    kmeans):
+        # adapt=True carries extra state (the phase detector); it must
+        # survive the round trip too.
+        full, resumed, _, _ = full_and_resumed(
+            cores_space, cores_dataset, kmeans, at_quantum=7, adapt=True)
+        assert resumed == full
+
+    def test_resume_through_real_manager(self, cores_space, cores_dataset,
+                                         kmeans, tmp_path):
+        manager = CheckpointManager(tmp_path / "run.ckpt", every_quanta=4)
+        baseline = build_controller(cores_space, cores_dataset)
+        estimate = baseline.calibrate(kmeans)
+        work = WORK_FRACTION * estimate.rates.max() * DEADLINE
+        full = baseline.run(kmeans, work, DEADLINE, estimate,
+                            checkpointer=manager)
+        assert manager.saves >= 1
+        state = manager.load()
+        assert state is not None
+
+        fresh = build_controller(cores_space, cores_dataset)
+        resumed = fresh.resume(state, kmeans)
+        assert resumed == full
+        assert fresh.machine.total_energy == baseline.machine.total_energy
+
+
+class TestSnapshotValidation:
+    def test_thermal_machines_refuse_checkpointing(self, cores_space,
+                                                   cores_dataset, kmeans):
+        view = cores_dataset.leave_one_out("kmeans")
+        controller = RuntimeController(
+            machine=Machine(PAPER_TOPOLOGY, seed=1,
+                            thermal=ThermalModel()),
+            space=cores_space, estimator=LEOEstimator(),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=0), sample_count=6)
+        estimate = controller.calibrate(kmeans)
+        work = WORK_FRACTION * estimate.rates.max() * DEADLINE
+        with pytest.raises(CheckpointError):
+            controller.run(kmeans, work, DEADLINE, estimate,
+                           checkpointer=CheckpointManager("unused.ckpt"))
+
+    def test_resume_rejects_wrong_profile(self, cores_space, cores_dataset,
+                                          kmeans, swish):
+        controller = build_controller(cores_space, cores_dataset)
+        estimate = controller.calibrate(kmeans)
+        work = WORK_FRACTION * estimate.rates.max() * DEADLINE
+        capture = _CaptureAt(5)
+        controller.run(kmeans, work, DEADLINE, estimate,
+                       checkpointer=capture)
+        fresh = build_controller(cores_space, cores_dataset)
+        with pytest.raises(CheckpointError):
+            fresh.resume(capture.payload, swish)
+
+    def test_resume_rejects_future_schema(self, cores_space, cores_dataset,
+                                          kmeans):
+        controller = build_controller(cores_space, cores_dataset)
+        estimate = controller.calibrate(kmeans)
+        work = WORK_FRACTION * estimate.rates.max() * DEADLINE
+        capture = _CaptureAt(5)
+        controller.run(kmeans, work, DEADLINE, estimate,
+                       checkpointer=capture)
+        state = dict(capture.payload, schema_version=99)
+        fresh = build_controller(cores_space, cores_dataset)
+        with pytest.raises(CheckpointError):
+            fresh.resume(state, kmeans)
+
+
+class TestCheckpointManager:
+    def test_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            CheckpointManager(tmp_path / "x", every_quanta=0)
+
+    def test_due_cadence(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "x", every_quanta=3)
+        assert [i for i in range(10) if manager.due(i)] == [3, 6, 9]
+
+    def test_save_load_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "run.ckpt")
+        payload = {"schema_version": 1, "work": 12.5,
+                   "visited": [1, 2, 3]}
+        manager.save(payload)
+        assert manager.saves == 1
+        assert manager.load() == payload
+
+    def test_missing_file_loads_none(self, tmp_path):
+        assert CheckpointManager(tmp_path / "absent.ckpt").load() is None
+
+    def test_corrupt_file_loads_none(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        manager = CheckpointManager(path)
+        manager.save({"a": 1})
+        path.write_text("{ not json")
+        assert manager.load() is None
+
+    def test_truncated_file_loads_none(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        manager = CheckpointManager(path)
+        manager.save({"a": list(range(100))})
+        path.write_bytes(path.read_bytes()[:30])
+        assert manager.load() is None
+
+    def test_crc_mismatch_loads_none(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        manager = CheckpointManager(path)
+        manager.save({"a": 1})
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["a"] = 2  # silent corruption
+        path.write_text(json.dumps(envelope))
+        assert manager.load() is None
+
+    def test_injected_partial_write_is_detected(self, tmp_path):
+        path = tmp_path / "run.ckpt"
+        manager = CheckpointManager(path)
+        with use(FaultInjector(FaultPlan(name="torn", specs=(
+                FaultSpec("partial-write", probability=1.0,
+                          magnitude=0.5),)))):
+            manager.save({"a": list(range(100))})
+        assert path.exists()
+        assert manager.load() is None
+
+    def test_clear(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "run.ckpt")
+        manager.save({"a": 1})
+        assert manager.clear() is True
+        assert manager.load() is None
+        assert manager.clear() is False

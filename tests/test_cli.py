@@ -76,3 +76,23 @@ class TestReproduce:
     def test_invalid_target_rejected(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "fig99"])
+
+
+class TestChaos:
+    def test_default_plan_reports_survival(self, capsys):
+        code = main(["chaos", "--benchmark", "kmeans", "--space", "cores",
+                     "--windows", "2", "--deadline", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fault plan" in out
+        assert "survived" in out
+        assert "recovered to tier 0" in out
+
+    def test_unknown_plan_rejected(self, capsys):
+        assert main(["chaos", "--plan", "mayhem",
+                     "--space", "cores"]) == 1
+        assert "mayhem" in capsys.readouterr().err
+
+    def test_rejects_bad_utilization(self, capsys):
+        assert main(["chaos", "--utilization", "0",
+                     "--space", "cores"]) == 1

@@ -1,0 +1,134 @@
+"""Tests for the unified exception hierarchy in repro.errors.
+
+Covers the taxonomy relationships the degradation machinery relies on
+(``except ReproError`` catches everything recoverable), the historical
+base classes back-compat demands (``ValueError``, ``LinAlgError``), and
+the deprecation shims: every error that moved into ``repro.errors``
+must still resolve to the *same class object* from its historical
+module, so old imports and old ``except`` clauses keep working.
+"""
+
+import numpy as np
+import pytest
+
+import repro.errors as errors
+from repro.errors import (
+    CheckpointError,
+    ClusterError,
+    ConvergenceError,
+    CovarianceError,
+    EstimationError,
+    FaultPlanError,
+    InfeasibleConstraintError,
+    InsufficientSamplesError,
+    OptimizationError,
+    PersistenceError,
+    ReproError,
+    SensorReadError,
+    ServiceError,
+    TelemetryError,
+    TenantCrashError,
+)
+
+
+class TestHierarchy:
+    def test_every_family_roots_at_repro_error(self):
+        for cls in (EstimationError, OptimizationError, TelemetryError,
+                    PersistenceError, ClusterError, FaultPlanError,
+                    ServiceError):
+            assert issubclass(cls, ReproError)
+
+    def test_all_exported_names_are_repro_errors(self):
+        for name in errors.__all__:
+            assert issubclass(getattr(errors, name), ReproError), name
+
+    def test_leaves_subclass_their_family(self):
+        assert issubclass(InsufficientSamplesError, EstimationError)
+        assert issubclass(ConvergenceError, EstimationError)
+        assert issubclass(CovarianceError, EstimationError)
+        assert issubclass(InfeasibleConstraintError, OptimizationError)
+        assert issubclass(SensorReadError, TelemetryError)
+        assert issubclass(CheckpointError, PersistenceError)
+        assert issubclass(TenantCrashError, ClusterError)
+
+    def test_historical_base_classes_preserved(self):
+        # Callers wrote ``except ValueError`` / ``except LinAlgError``
+        # before the hierarchy existed; those clauses must keep firing.
+        assert issubclass(InsufficientSamplesError, ValueError)
+        assert issubclass(InfeasibleConstraintError, ValueError)
+        assert issubclass(FaultPlanError, ValueError)
+        assert issubclass(CovarianceError, np.linalg.LinAlgError)
+
+    def test_repro_error_does_not_catch_programming_errors(self):
+        with pytest.raises(TypeError):
+            try:
+                raise TypeError("a genuine bug")
+            except ReproError:  # pragma: no cover - must not trigger
+                pytest.fail("ReproError must not catch TypeError")
+
+
+class TestAttributes:
+    def test_infeasible_constraint_carries_capacity(self):
+        exc = InfeasibleConstraintError(required=10.0, max_rate=4.0)
+        assert exc.required == 10.0
+        assert exc.max_rate == 4.0
+        assert "10" in str(exc) and "4" in str(exc)
+
+    def test_convergence_error_carries_iterations(self):
+        exc = ConvergenceError("no", iterations=25, loglik=float("nan"))
+        assert exc.iterations == 25
+        assert np.isnan(exc.loglik)
+
+    def test_sensor_read_error_carries_site(self):
+        exc = SensorReadError("lost", site="machine.measure")
+        assert exc.site == "machine.measure"
+
+    def test_tenant_crash_error_carries_name(self):
+        exc = TenantCrashError("kmeans")
+        assert exc.name == "kmeans"
+        assert "kmeans" in str(exc)
+
+    def test_service_errors_keep_wire_codes(self):
+        assert errors.ServiceOverloaded.code == "overloaded"
+        assert errors.DeadlineExceeded.code == "deadline-exceeded"
+        assert errors.RequestRejected.code == "bad-request"
+        assert errors.EstimationRejected.code == "insufficient-samples"
+        assert errors.ProtocolError.code == "protocol-error"
+        assert errors.RemoteError.code == "internal"
+        exc = errors.ServiceOverloaded(details={"queue": 8})
+        assert exc.details == {"queue": 8}
+
+
+class TestDeprecationShims:
+    """The moved errors stay importable — as the same objects — from
+    the modules that historically owned them."""
+
+    def test_estimators_base_alias(self):
+        from repro.estimators import base
+        assert base.InsufficientSamplesError is InsufficientSamplesError
+        assert base.EstimationError is EstimationError
+        assert "InsufficientSamplesError" in base.__all__
+
+    def test_optimize_lp_alias(self):
+        from repro.optimize import lp
+        assert lp.InfeasibleConstraintError is InfeasibleConstraintError
+        assert "InfeasibleConstraintError" in lp.__all__
+
+    def test_service_protocol_aliases(self):
+        from repro.service import protocol
+        for name in ("ServiceError", "ServiceOverloaded",
+                     "DeadlineExceeded", "RequestRejected",
+                     "EstimationRejected", "ProtocolError", "RemoteError"):
+            assert getattr(protocol, name) is getattr(errors, name), name
+
+    def test_old_except_clauses_still_fire(self):
+        from repro.estimators.base import (
+            InsufficientSamplesError as OldInsufficient,
+        )
+        with pytest.raises(OldInsufficient):
+            raise InsufficientSamplesError("caught via the old import")
+        from repro.optimize.lp import (
+            InfeasibleConstraintError as OldInfeasible,
+        )
+        with pytest.raises(OldInfeasible):
+            raise InfeasibleConstraintError(2.0, 1.0)

@@ -1,0 +1,195 @@
+"""Service-client resilience: deadline-capped backoff and injected faults.
+
+Covers the retry-backoff fix (total retry time is capped against the
+request deadline, delays carry full jitter inside the exponential
+envelope) and the service fault classes from the taxonomy — connection
+drops, timeouts, corrupt responses — injected upstream of the retry
+loop, against a live service thread where a real round trip is needed.
+"""
+
+import socket
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.estimators.base import EstimationProblem
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, use
+from repro.platform.machine import Machine
+from repro.platform.topology import PAPER_TOPOLOGY
+from repro.runtime.controller import RuntimeController
+from repro.runtime.sampling import RandomSampler
+from repro.service import (
+    EstimationService,
+    RemoteEstimator,
+    ServerThread,
+    ServiceClient,
+)
+from repro.service.protocol import ServiceAddress
+
+
+def plan(*specs, seed=0):
+    return FaultPlan(name="test", seed=seed, specs=specs)
+
+
+def make_client(**kwargs):
+    # The address is never dialled in the unit tests below.
+    return ServiceClient(ServiceAddress.parse("127.0.0.1:1"), **kwargs)
+
+
+class TestBackoffDeadlineCap:
+    def test_no_retry_past_the_deadline(self):
+        client = make_client(backoff=5.0, jitter_seed=0)
+        # The deadline budget is already spent: the next backoff sleep
+        # cannot fit, so the client must give up immediately.
+        started = time.monotonic() - 10.0
+        assert client._backoff_sleep(0, started, deadline_s=1.0) is False
+
+    def test_zero_backoff_still_respects_deadline(self):
+        client = make_client(backoff=0.0)
+        started = time.monotonic() - 10.0
+        assert client._backoff_sleep(0, started, deadline_s=1.0) is False
+
+    def test_no_deadline_always_retries(self):
+        client = make_client(backoff=0.0)
+        assert client._backoff_sleep(5, time.monotonic(), None) is True
+
+    def test_exhausted_deadline_fails_fast(self):
+        # A dead address with a generous backoff but a tiny deadline:
+        # the retry loop must surface the failure quickly instead of
+        # sleeping through the full exponential schedule.
+        client = ServiceClient(ServiceAddress.parse("127.0.0.1:1"),
+                               timeout=0.2, retries=5, backoff=30.0,
+                               default_deadline_s=0.3, jitter_seed=1)
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            client.ping()
+        assert time.monotonic() - started < 5.0
+
+    def test_jitter_within_exponential_envelope(self, monkeypatch):
+        client = make_client(backoff=0.05, backoff_cap=0.4, jitter_seed=3)
+        slept = []
+        monkeypatch.setattr(time, "sleep", slept.append)
+        for attempt in range(6):
+            assert client._backoff_sleep(attempt, time.monotonic(), None)
+        # Full jitter: each delay is uniform in [0, envelope) where the
+        # envelope doubles per attempt and saturates at backoff_cap.
+        for attempt, delay in enumerate(slept):
+            envelope = min(0.4, 0.05 * 2 ** attempt)
+            assert 0.0 <= delay < envelope
+
+    def test_jitter_streams_deterministic_by_seed(self, monkeypatch):
+        delays = {}
+        for run in range(2):
+            client = make_client(backoff=0.1, jitter_seed=42)
+            slept = []
+            monkeypatch.setattr(time, "sleep", slept.append)
+            for attempt in range(4):
+                client._backoff_sleep(attempt, time.monotonic(), None)
+            delays[run] = slept
+        assert delays[0] == delays[1]
+
+
+@pytest.fixture(scope="module")
+def service_thread():
+    with ServerThread(EstimationService(), max_pending=8,
+                      max_workers=2) as thread:
+        yield thread
+
+
+def make_problem(cores_space, cores_dataset):
+    view = cores_dataset.leave_one_out("kmeans")
+    indices = np.array([2, 9, 17, 25, 31])
+    return EstimationProblem(
+        features=cores_space.feature_matrix(), prior=view.prior_rates,
+        observed_indices=indices,
+        observed_values=view.prior_rates.mean(axis=0)[indices])
+
+
+class TestInjectedServiceFaults:
+    def test_retries_absorb_injected_drops(self, service_thread,
+                                           cores_space, cores_dataset):
+        problem = make_problem(cores_space, cores_dataset)
+        with ServiceClient(service_thread.bound_address, timeout=60.0,
+                           retries=2, backoff=0.0) as client:
+            injector = FaultInjector(plan(
+                FaultSpec("connection-drop", probability=1.0,
+                          max_events=2)))
+            with use(injector):
+                curve = client.estimate(problem, estimator="offline")
+        assert injector.fired_counts == {"connection-drop": 2}
+        assert np.all(np.isfinite(curve))
+
+    def test_injected_timeout_counts_as_transport_failure(
+            self, service_thread, cores_space, cores_dataset):
+        problem = make_problem(cores_space, cores_dataset)
+        with ServiceClient(service_thread.bound_address, timeout=60.0,
+                           retries=1, backoff=0.0) as client:
+            with use(FaultInjector(plan(
+                    FaultSpec("service-timeout", probability=1.0,
+                              max_events=1)))):
+                curve = client.estimate(problem, estimator="offline")
+        assert np.all(np.isfinite(curve))
+
+    def test_exhausted_retries_surface_the_drop(self, service_thread):
+        with ServiceClient(service_thread.bound_address, timeout=60.0,
+                           retries=1, backoff=0.0) as client:
+            with use(FaultInjector(plan(
+                    FaultSpec("connection-drop", probability=1.0)))):
+                with pytest.raises(ConnectionError):
+                    client.ping()
+
+    def test_corrupt_response_is_not_retried(self, service_thread):
+        # ProtocolError is not a transport failure: retrying a corrupt
+        # frame would resend garbage, so it surfaces immediately.
+        with ServiceClient(service_thread.bound_address, timeout=60.0,
+                           retries=3, backoff=0.0) as client:
+            injector = FaultInjector(plan(
+                FaultSpec("corrupt-response", probability=1.0)))
+            with use(injector):
+                with pytest.raises(ProtocolError):
+                    client.ping()
+        assert injector.fired_counts == {"corrupt-response": 1}
+
+
+class TestRemoteControllerDegradation:
+    def test_dead_service_demotes_remote_estimator(self, cores_space,
+                                                   cores_dataset, kmeans):
+        # A RemoteEstimator whose service is permanently unreachable:
+        # the ladder must absorb the ConnectionError and calibrate with
+        # the local fallback instead of crashing the controller.
+        client = ServiceClient(ServiceAddress.parse("127.0.0.1:1"),
+                               timeout=0.2, retries=0, backoff=0.0)
+        view = cores_dataset.leave_one_out("kmeans")
+        controller = RuntimeController(
+            machine=Machine(PAPER_TOPOLOGY, seed=1234), space=cores_space,
+            estimator=RemoteEstimator(client, estimator="leo"),
+            prior_rates=view.prior_rates, prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=0), sample_count=6)
+        estimate = controller.calibrate(kmeans)
+        assert estimate.estimator_name == "online"
+        assert controller.ladder.degraded
+        assert np.all(np.isfinite(estimate.rates))
+
+    def test_remote_run_survives_injected_drops(self, service_thread,
+                                                cores_space, cores_dataset,
+                                                kmeans):
+        view = cores_dataset.leave_one_out("kmeans")
+        with ServiceClient(service_thread.bound_address, timeout=60.0,
+                           retries=2, backoff=0.0) as client:
+            controller = RuntimeController(
+                machine=Machine(PAPER_TOPOLOGY, seed=1234),
+                space=cores_space,
+                estimator=RemoteEstimator(client, estimator="leo"),
+                prior_rates=view.prior_rates,
+                prior_powers=view.prior_powers,
+                sampler=RandomSampler(seed=0), sample_count=6)
+            with use(FaultInjector(plan(
+                    FaultSpec("connection-drop", probability=0.5,
+                              max_events=3)))):
+                estimate = controller.calibrate(kmeans)
+                work = 0.4 * estimate.rates.max() * 40.0
+                report = controller.run(kmeans, work, 40.0, estimate)
+        assert report.energy > 0
+        assert np.all(np.isfinite(estimate.rates))
