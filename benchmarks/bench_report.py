@@ -1,0 +1,113 @@
+"""Bench reporter: one JSON perf record per PR, at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report.py [--out BENCH_6.json]
+    PYTHONPATH=src python benchmarks/bench_report.py --quick  # skip slow gates
+
+Runs the CI smoke gates (``perf_smoke``, ``service_smoke``,
+``cluster_smoke``, ``obs_smoke``) as subprocesses, times each, and
+lifts the key workload counters out of the obs gate's exported metrics.
+The resulting ``BENCH_N.json`` files form the perf trajectory the
+ROADMAP asks for: one committed record per PR, diffable across the
+stack's growth, instead of anecdotal "feels faster" claims.
+
+The record deliberately carries no timestamp: a re-run on the same tree
+should produce the same file modulo wall-clock fields, so review diffs
+show perf movement, not clock movement.
+
+Kept out of the ``test_*`` namespace on purpose: it is a reporting
+tool, not a figure reproduction.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BENCH_DIR = Path(__file__).resolve().parent
+
+#: Counters worth tracking across PRs (from the obs gate's registry).
+KEY_COUNTERS = (
+    "linalg_posterior_factorizations_total",
+    "em_iterations_total",
+    "harness_cells_completed_total",
+    "harness_worker_cells_total",
+)
+
+#: The smoke gates, in rough order of usefulness when time is short.
+GATES = ("perf_smoke", "service_smoke", "obs_smoke", "cluster_smoke")
+QUICK_GATES = ("service_smoke", "obs_smoke")
+
+
+def run_gate(name: str, extra_args=()) -> dict:
+    """Run one smoke gate as a subprocess; never raises."""
+    script = BENCH_DIR / f"{name}.py"
+    started = time.perf_counter()
+    process = subprocess.run(
+        [sys.executable, str(script), *extra_args],
+        cwd=REPO, capture_output=True, text=True,
+        env=dict(os.environ, PYTHONPATH=str(REPO / "src")))
+    elapsed = time.perf_counter() - started
+    record = {
+        "name": name,
+        "wall_seconds": round(elapsed, 2),
+        "passed": process.returncode == 0,
+    }
+    if process.returncode != 0:
+        record["exit_code"] = process.returncode
+        record["stderr_tail"] = process.stderr.strip().splitlines()[-5:]
+    return record
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=str(REPO / "BENCH_6.json"),
+                        help="where to write the report")
+    parser.add_argument("--quick", action="store_true",
+                        help="run only the fast gates")
+    args = parser.parse_args()
+
+    gates = QUICK_GATES if args.quick else GATES
+    suites = []
+    counters = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        for name in gates:
+            extra = (("--artifacts", tmp) if name == "obs_smoke" else ())
+            record = run_gate(name, extra)
+            suites.append(record)
+            status = "ok" if record["passed"] else "FAIL"
+            print(f"{name:<14} {record['wall_seconds']:7.2f}s  {status}")
+        metrics_path = Path(tmp) / "metrics.json"
+        if metrics_path.exists():
+            exported = json.loads(metrics_path.read_text())
+            counters = {
+                key: exported.get("counters", {}).get(key, 0)
+                for key in KEY_COUNTERS
+            }
+
+    report = {
+        "bench": 6,
+        "generator": "benchmarks/bench_report.py",
+        "quick": bool(args.quick),
+        "suites": suites,
+        "counters": counters,
+        "total_wall_seconds": round(
+            sum(s["wall_seconds"] for s in suites), 2),
+        "all_passed": all(s["passed"] for s in suites),
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report written to {out}")
+    return 0 if report["all_passed"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -44,7 +44,7 @@ SWEEP = {"num_benchmarks": 3, "trials": 2, "sample_count": 20}
 
 
 def run_sweep(workers: int):
-    """Time the mini-sweep; returns (seconds, factorizations, result)."""
+    """Time the mini-sweep; returns (seconds, factorizations, result, ob)."""
     ctx = default_context(space_kind="paper", seed=0)
     names = ctx.benchmark_names[:SWEEP["num_benchmarks"]]
     ob = Observability.recording()
@@ -56,11 +56,23 @@ def run_sweep(workers: int):
     elapsed = time.perf_counter() - started
     counters = ob.metrics.snapshot()["counters"]
     factorizations = counters.get("linalg_posterior_factorizations_total", 0)
-    return elapsed, factorizations, result
+    return elapsed, factorizations, result, ob
+
+
+def dump_artifacts(ob, directory="obs-artifacts") -> None:
+    """Export the sweep's trace and metrics for CI to upload on failure."""
+    from repro.obs import write_trace
+
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    write_trace(directory / "perf_smoke_trace.jsonl", ob.tracer.spans)
+    ob.metrics.write_json(directory / "perf_smoke_metrics.json")
+    print(f"observability artifacts written to {directory}/",
+          file=sys.stderr)
 
 
 def capture(max_slowdown: float) -> int:
-    elapsed, factorizations, _ = run_sweep(workers=1)
+    elapsed, factorizations, _, _ = run_sweep(workers=1)
     payload = {
         "sweep": SWEEP,
         "serial_seconds": round(elapsed, 3),
@@ -83,7 +95,8 @@ def check() -> int:
               file=sys.stderr)
         return 2
 
-    elapsed, factorizations, serial = run_sweep(workers=1)
+    elapsed, factorizations, serial, serial_ob = run_sweep(workers=1)
+    last_ob = serial_ob
     ratio = elapsed / baseline["serial_seconds"]
     print(f"serial sweep: {elapsed:.2f}s "
           f"(baseline {baseline['serial_seconds']:.2f}s, "
@@ -106,7 +119,7 @@ def check() -> int:
 
     workers = default_workers()
     if workers > 1:
-        par_elapsed, _, parallel = run_sweep(workers=workers)
+        par_elapsed, _, parallel, last_ob = run_sweep(workers=workers)
         print(f"parallel sweep ({workers} workers): {par_elapsed:.2f}s "
               f"({elapsed / par_elapsed:.2f}x vs serial)")
         if parallel.perf != serial.perf or parallel.power != serial.power:
@@ -116,6 +129,7 @@ def check() -> int:
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
+        dump_artifacts(last_ob)
         return 1
     print("OK")
     return 0

@@ -16,16 +16,23 @@ Commands:
   docs/SERVICE.md); prints ``SERVING <address>`` once listening.
 * ``request`` — send one operation to a running service and print the
   JSON response.
-* ``obs summarize PATH`` — render a JSONL trace (written with
-  ``--trace``) as a span tree with per-name aggregates.
+* ``obs summarize PATH [PATH ...]`` — render one or more JSONL trace
+  shards (written with ``--trace``, by workers, or by a server) as one
+  merged span tree with per-name aggregates; warns about orphans.
+* ``obs critical-path PATH [PATH ...]`` — the heaviest root-to-leaf
+  chain through the merged trace.
+* ``obs slo PATH [PATH ...]`` — evaluate the default SLOs over one or
+  more metrics JSON files (written with ``--metrics``).
 
 Every command accepts ``--seed`` for reproducibility and ``--space``
 (``paper`` = 1024 configurations, ``cores`` = the Section 2 32-config
-space).  ``estimate``, ``optimize`` and ``reproduce`` also accept
-``--trace PATH`` (record spans to a JSONL file) and ``--metrics PATH``
-(write the metrics snapshot as JSON).  The sweep-shaped ``reproduce``
-targets accept ``--workers N`` to fan cells across processes (see
-docs/PARALLELISM.md); results are identical for any worker count.
+space).  ``estimate``, ``optimize``, ``reproduce``, ``cluster``,
+``chaos`` and ``serve`` also accept ``--trace PATH`` (record spans to
+a JSONL file), ``--metrics PATH`` (write the metrics snapshot as JSON)
+and ``--slo PATH`` (write the SLO report as JSON).  The sweep-shaped
+``reproduce`` targets accept ``--workers N`` to fan cells across
+processes (see docs/PARALLELISM.md); results are identical for any
+worker count, traced or not.
 """
 
 from __future__ import annotations
@@ -50,6 +57,8 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
                         help="record spans to a JSONL trace file")
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write the metrics snapshot as JSON")
+    parser.add_argument("--slo", metavar="PATH", default=None,
+                        help="write the SLO report as JSON")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -182,8 +191,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     obs = sub.add_parser(
         "obs", help="inspect recorded observability artifacts")
-    obs.add_argument("action", choices=("summarize",))
-    obs.add_argument("path", help="JSONL trace file written with --trace")
+    obs.add_argument("action",
+                     choices=("summarize", "critical-path", "slo"))
+    obs.add_argument("path", nargs="+",
+                     help="artifact files: JSONL trace shard(s) for "
+                          "summarize/critical-path, metrics JSON "
+                          "file(s) for slo")
 
     return parser
 
@@ -509,6 +522,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.metrics is not None:
         server.metrics.write_json(args.metrics)
         print(f"metrics -> {args.metrics}", file=sys.stderr)
+    if args.slo is not None:
+        _write_slo_report(observability, args.slo)
     return code
 
 
@@ -543,23 +558,43 @@ def _cmd_request(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_obs_summarize(path: str) -> int:
-    from repro.reporting.span_tree import render_span_tree, summarize_spans
+def _read_span_shards(paths: List[str]):
+    """Merge JSONL trace shards, or ``None`` after printing the error."""
+    from repro.obs import read_shards
     try:
-        spans = read_trace(path)
+        spans = read_shards(paths)
     except (OSError, ValueError) as exc:
         print(exc, file=sys.stderr)
-        return 1
+        return None
     if not spans:
-        print(f"no spans in {path}", file=sys.stderr)
+        print(f"no spans in {', '.join(paths)}", file=sys.stderr)
+        return None
+    return spans
+
+
+def _cmd_obs_summarize(paths: List[str]) -> int:
+    from repro.obs import orphan_spans
+    from repro.reporting.span_tree import render_span_tree, summarize_spans
+    spans = _read_span_shards(paths)
+    if spans is None:
         return 1
     try:
         print(render_span_tree(spans))
         print()
         rows = [[name, int(agg["count"]), agg["total_s"], agg["mean_s"]]
                 for name, agg in summarize_spans(spans).items()]
+        shards = (f"{len(paths)} shards" if len(paths) > 1
+                  else paths[0])
         print(format_table(["span", "count", "total s", "mean s"], rows,
-                           title=f"{len(spans)} spans"))
+                           title=f"{len(spans)} spans ({shards})"))
+        orphans = orphan_spans(spans)
+        if orphans:
+            # A missing shard shows up here, not as silently flatter
+            # trees: every orphan names the parent that never arrived.
+            print(f"warning: {len(orphans)} orphaned spans "
+                  f"(parent outside the merged shards): "
+                  f"{sorted({s.name for s in orphans})}",
+                  file=sys.stderr)
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; not an error.  Redirect
         # stdout to devnull so the interpreter's exit flush stays quiet.
@@ -568,11 +603,90 @@ def _cmd_obs_summarize(path: str) -> int:
     return 0
 
 
+def _cmd_obs_critical_path(paths: List[str]) -> int:
+    from repro.reporting.span_tree import critical_path
+    spans = _read_span_shards(paths)
+    if spans is None:
+        return 1
+    path = critical_path(spans)
+    if not path:
+        print("no rooted spans", file=sys.stderr)
+        return 1
+    total = path[0].duration
+    rows = []
+    for depth, span in enumerate(path):
+        child_time = sum(c.duration for c in path[depth + 1:depth + 2])
+        rows.append(["  " * depth + span.name, span.duration,
+                     span.duration - child_time,
+                     100.0 * span.duration / total if total else 0.0])
+    print(format_table(["span", "total s", "self s", "% of root"], rows,
+                       title=f"critical path ({len(path)} spans, "
+                             f"{total:.3f}s)"))
+    return 0
+
+
+def _cmd_obs_slo(paths: List[str]) -> int:
+    import json
+
+    from repro.obs import MetricsRegistry, SloTracker
+    registry = MetricsRegistry()
+    for path in paths:
+        try:
+            data = json.loads(open(path, encoding="utf-8").read())
+        except (OSError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        if not isinstance(data, dict):
+            print(f"{path}: not a metrics JSON object", file=sys.stderr)
+            return 1
+        # ``--metrics`` files carry raw values under ``raw_histograms``
+        # (the lossless dump); plain ``histograms`` summaries cannot be
+        # merged, so only list-valued entries there are accepted.
+        raw = data.get("raw_histograms",
+                       {name: values
+                        for name, values in
+                        data.get("histograms", {}).items()
+                        if isinstance(values, list)})
+        registry.merge({
+            "counters": data.get("counters", {}),
+            "gauges": data.get("gauges", {}),
+            "histograms": raw,
+        })
+    tracker = SloTracker.from_metrics(registry.dump())
+    report = tracker.report()
+    rows = [[s["name"], s["kind"], s["target"], s["samples"],
+             s["observed"], "yes" if s["met"] else "NO",
+             s["burn_rate_total"], s["budget_remaining"]]
+            for s in report["objectives"]]
+    print(format_table(
+        ["objective", "kind", "target", "samples", "observed", "met",
+         "burn rate", "budget left"], rows,
+        title=f"SLOs over {len(paths)} metrics file(s)"))
+    if report["events"]:
+        print()
+        print(format_table(
+            ["event", "count"], sorted(report["events"].items()),
+            title="resilience events"))
+    return 0 if all(s["met"] for s in report["objectives"]) else 1
+
+
+def _write_slo_report(observability: Observability, path: str) -> None:
+    import json
+    import pathlib
+
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(observability.slo.report(), indent=2,
+                                 default=float) + "\n")
+    print(f"slo -> {path}", file=sys.stderr)
+
+
 def _run_with_observability(command, args: argparse.Namespace) -> int:
-    """Run a command, recording a trace/metrics snapshot when asked."""
+    """Run a command, recording trace/metrics/SLO artifacts when asked."""
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
-    if trace_path is None and metrics_path is None:
+    slo_path = getattr(args, "slo", None)
+    if trace_path is None and metrics_path is None and slo_path is None:
         return command(args)
     observability = Observability.recording()
     with use(observability):
@@ -584,6 +698,8 @@ def _run_with_observability(command, args: argparse.Namespace) -> int:
     if metrics_path is not None:
         observability.metrics.write_json(metrics_path)
         print(f"metrics -> {metrics_path}", file=sys.stderr)
+    if slo_path is not None:
+        _write_slo_report(observability, slo_path)
     return code
 
 
@@ -609,7 +725,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "request":
         return _cmd_request(args)
     if args.command == "obs":
-        return _cmd_obs_summarize(args.path)
+        if args.action == "summarize":
+            return _cmd_obs_summarize(args.path)
+        if args.action == "critical-path":
+            return _cmd_obs_critical_path(args.path)
+        return _cmd_obs_slo(args.path)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

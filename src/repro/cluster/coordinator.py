@@ -65,7 +65,7 @@ from repro.estimators.base import Estimator
 from repro.estimators.registry import create_estimator
 from repro.experiments.parallel import cell_seed
 from repro.faults.context import get_injector
-from repro.obs import Observability, get_observability
+from repro.obs import Observability, get_observability, labeled
 from repro.obs import use as use_observability
 from repro.runtime.resilience import RECOVERABLE_EXCEPTIONS
 from repro.platform.config_space import ConfigurationSpace
@@ -483,6 +483,7 @@ class ClusterCoordinator:
                 ob.metrics.observe("cluster_epoch_peak_watts", peak)
                 if peak > self.cap_watts * (1.0 + 1e-6):
                     ob.metrics.inc("cluster_cap_violations_total")
+                    ob.slo.record_event("cap-violation")
                     logger.warning("power cap exceeded",
                                    extra={"fields": {"epoch": epoch,
                                                      "peak_watts": peak}})
@@ -528,7 +529,7 @@ class ClusterCoordinator:
         for name in sorted(self._departures):
             state = self._states.pop(name, None)
             if state is not None:
-                reports[name] = self._finalize(state)
+                reports[name] = self._finalize(state, ob)
                 changed = True
                 ob.metrics.inc("cluster_departures_total")
         self._departures.clear()
@@ -597,15 +598,28 @@ class ClusterCoordinator:
             requests.append((tenant.name, cores, threads))
         return requests
 
-    def _finalize(self, state: _TenantState) -> TenantReport:
+    def _finalize(self, state: _TenantState, ob=None) -> TenantReport:
         tenant = state.tenant
         work_done = tenant.work - state.remaining_work
+        met = work_done >= 0.99 * tenant.work
+        if ob is None:
+            ob = get_observability()
+        # Per-tenant label dimension on the outcome counters: a
+        # fleet-wide merge can still answer "which tenant burned the
+        # deadline budget" (parse_labeled recovers the tenant name).
+        ob.metrics.inc(labeled("cluster_deadline_met_total"
+                               if met else "cluster_deadline_missed_total",
+                               tenant=tenant.name))
+        ob.metrics.inc(labeled("cluster_tenant_energy_joules_total",
+                               tenant=tenant.name),
+                       state.machine.total_energy if state.machine else 0.0)
+        ob.slo.record_deadline(met)
         return TenantReport(
             name=tenant.name,
             energy=state.machine.total_energy if state.machine else 0.0,
             work_done=work_done, work_target=tenant.work,
             deadline=tenant.deadline,
-            met_deadline=work_done >= 0.99 * tenant.work,
+            met_deadline=met,
             reestimations=state.reestimations,
             calibrations=state.calibrations,
             epochs=state.epochs,
@@ -724,6 +738,10 @@ class ClusterCoordinator:
         budget = granted.budget_watts
         state.budget_trace.append(budget)
         state.epochs += 1
+        ob.metrics.inc(labeled("cluster_tenant_epochs_total",
+                               tenant=state.tenant.name))
+        ob.metrics.observe(labeled("cluster_tenant_budget_watts",
+                                   tenant=state.tenant.name), budget)
         machine = state.machine
         if state.remaining_work <= 1e-9 * max(state.tenant.work, 1.0):
             machine.idle_for(step)

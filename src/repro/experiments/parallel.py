@@ -19,9 +19,19 @@ seeds are fixed up front — across a ``concurrent.futures``
 * **Progress** — the parent process reports through the ambient
   :mod:`repro.obs` metrics registry (``harness_cells_total`` gauge,
   ``harness_cells_completed_total`` counter, ``harness_chunk_seconds``
-  histogram) under a ``harness.parallel_map`` span.  Worker processes
-  run with observability disabled; per-cell spans exist only on the
-  serial path.
+  histogram) under a ``harness.parallel_map`` span.
+* **Distributed observability** — when the parent's bundle is
+  recording, the initializer ships a small spec (trace id, parent span
+  id, which pillars are on) to each worker; every chunk then runs under
+  a private recording bundle whose span ids come from a
+  :func:`~repro.obs.shard_span_base` block keyed by the chunk's first
+  cell index — content-derived, so ids are identical no matter which
+  worker runs the chunk — and returns its span dicts and lossless
+  metrics dump alongside the results.  The parent adopts the spans
+  (each ``harness.cell`` parents under ``harness.parallel_map`` via the
+  remote-parent link) and merges the dumps, so the ambient registry
+  holds fleet-wide truth.  With observability off the spec is ``None``
+  and workers do exactly what they did before.
 * **Fallback** — ``workers=1``, an unavailable ``fork`` *and* ``spawn``
   start method, or a failure to stand the pool up all degrade to the
   in-process serial loop, which runs the exact same task callables.
@@ -37,9 +47,19 @@ import hashlib
 import logging
 import multiprocessing
 import os
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.obs import get_observability, start_timer, stop_timer
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Span,
+    Tracer,
+    get_observability,
+    shard_span_base,
+    start_timer,
+    stop_timer,
+    use,
+)
 
 __all__ = ["ParallelRunner", "cell_seed", "default_workers"]
 
@@ -85,19 +105,83 @@ def cell_seed(base_seed: int, *components: object) -> int:
 # chunk payloads then carry only small per-cell tuples.
 _worker_task: Optional[Task] = None
 _worker_shared: Any = None
+_worker_obs: Optional[Dict[str, Any]] = None
 
 
-def _init_worker(task: Task, shared: Any) -> None:
-    global _worker_task, _worker_shared
+def _init_worker(task: Task, shared: Any,
+                 obs_spec: Optional[Dict[str, Any]] = None) -> None:
+    global _worker_task, _worker_shared, _worker_obs
     _worker_task = task
     _worker_shared = shared
+    _worker_obs = obs_spec
 
 
-def _run_chunk(chunk: Sequence[Tuple[int, Any]]) -> List[Tuple[int, Any]]:
+def _obs_spec(ob: Observability) -> Optional[Dict[str, Any]]:
+    """What a worker needs to reconstruct the parent's recording state.
+
+    ``None`` (the common case: observability off) keeps workers on the
+    exact pre-instrumentation code path.
+    """
+    if not (ob.tracer.is_recording or ob.metrics.is_recording):
+        return None
+    return {
+        "trace_id": (ob.tracer.trace_id
+                     if ob.tracer.is_recording else None),
+        "parent_span_id": (ob.tracer.current_span_id
+                           if ob.tracer.is_recording else None),
+        "metrics": bool(ob.metrics.is_recording),
+    }
+
+
+def _chunk_observability(chunk: Sequence[Tuple[int, Any]]
+                         ) -> Optional[Observability]:
+    """A recording bundle for one chunk, or ``None`` when obs is off.
+
+    The span-id block is keyed by the chunk's *first cell index* — a
+    property of the chunk's content, not of which worker picked it up —
+    so a traced ``workers=k`` run produces identical span ids for every
+    ``k`` and every scheduling order.
+    """
+    spec = _worker_obs
+    if not spec:
+        return None
+    tracer = None
+    if spec.get("trace_id"):
+        tracer = Tracer(
+            trace_id=spec["trace_id"],
+            remote_parent=spec.get("parent_span_id"),
+            span_id_base=shard_span_base(spec["trace_id"],
+                                         f"chunk-{chunk[0][0]}"))
+    metrics = MetricsRegistry() if spec.get("metrics") else None
+    if tracer is None and metrics is None:
+        return None
+    return Observability(tracer=tracer, metrics=metrics)
+
+
+def _run_chunk(chunk: Sequence[Tuple[int, Any]]
+               ) -> Tuple[List[Tuple[int, Any]], List[Dict[str, Any]],
+                          Optional[Dict[str, Any]]]:
+    """Run one chunk; returns ``(results, span_dicts, metrics_dump)``.
+
+    The observability exports ride back through the pool's pickle
+    channel: spans as dicts (rebuilt with :meth:`Span.from_dict` and
+    adopted by the parent tracer), metrics as a lossless registry dump
+    (merged into the parent registry).  Both are empty when off.
+    """
     if _worker_task is None:
         raise RuntimeError("worker initialized without a task")
-    return [(index, _worker_task(_worker_shared, cell))
-            for index, cell in chunk]
+    local = _chunk_observability(chunk)
+    if local is None:
+        return ([(index, _worker_task(_worker_shared, cell))
+                 for index, cell in chunk], [], None)
+    results: List[Tuple[int, Any]] = []
+    with use(local):
+        for index, cell in chunk:
+            with local.tracer.span("harness.cell", index=index):
+                results.append((index, _worker_task(_worker_shared, cell)))
+            local.metrics.inc("harness_worker_cells_total")
+    dump = local.metrics.dump() if local.metrics.is_recording else None
+    return (results, [span.to_dict() for span in local.tracer.spans], dump)
 
 
 class ParallelRunner:
@@ -187,8 +271,12 @@ class ParallelRunner:
                     shared: Any) -> List[Any]:
         ob = get_observability()
         results = []
-        for cell in cells:
-            results.append(task(shared, cell))
+        for index, cell in enumerate(cells):
+            # Same per-cell instrumentation as the worker path, so the
+            # trace tree has one shape whichever backend ran.
+            with ob.tracer.span("harness.cell", index=index):
+                results.append(task(shared, cell))
+            ob.metrics.inc("harness_worker_cells_total")
             ob.metrics.inc("harness_cells_completed_total")
         return results
 
@@ -207,14 +295,18 @@ class ParallelRunner:
                 max_workers=min(self.workers, len(chunks)),
                 mp_context=context,
                 initializer=_init_worker,
-                initargs=(task, shared)) as pool:
+                initargs=(task, shared, _obs_spec(ob))) as pool:
             started = {pool.submit(_run_chunk, chunk): start_timer()
                        for chunk in chunks}
             for future in concurrent.futures.as_completed(started):
-                chunk_results = future.result()
+                chunk_results, span_dicts, dump = future.result()
                 stop_timer("harness_chunk_seconds", started[future])
                 for index, value in chunk_results:
                     results[index] = value
+                if span_dicts:
+                    ob.tracer.adopt(Span.from_dict(d) for d in span_dicts)
+                if dump is not None:
+                    ob.metrics.merge(dump)
                 ob.metrics.inc("harness_cells_completed_total",
                                len(chunk_results))
                 logger.debug("chunk completed",

@@ -126,6 +126,7 @@ class FaultInjector:
         ob = get_observability()
         ob.metrics.inc("fault_injected_total")
         ob.metrics.inc(f"fault_{spec.kind.replace('-', '_')}_total")
+        ob.slo.record_event(f"fault-{spec.kind}")
         if ob.tracer.is_recording:
             with ob.tracer.span("fault.inject", kind=spec.kind, site=site,
                                 position=position, magnitude=spec.magnitude):

@@ -29,15 +29,35 @@ block with::
     write_trace("run.jsonl", ob.tracer.spans)
     ob.metrics.write_json("run-metrics.json")
 
-or from the CLI with ``--trace`` / ``--metrics`` and inspect with
-``python -m repro obs summarize run.jsonl``.
+or from the CLI with ``--trace`` / ``--metrics`` / ``--slo`` and inspect
+with ``python -m repro obs summarize run.jsonl`` (``slo`` and
+``critical-path`` subcommands cover the other artifacts).
+
+Distributed runs (PR 6) add three layers on top, all off by default:
+
+* **Propagation** — :class:`TraceContext` carries ``(trace_id, parent
+  span id, baggage)`` across sockets (the service wire protocol) and
+  process pools (the harness initializer); receiving tracers number
+  spans from disjoint :func:`shard_span_base` blocks, and
+  :func:`merge_spans` / :func:`read_shards` fold the shards back into
+  one tree.
+* **Aggregation** — :meth:`MetricsRegistry.dump` /
+  :meth:`~MetricsRegistry.merge` move whole registries between
+  processes losslessly (counters add, gauges last-write, histograms
+  concatenate raw values); :func:`labeled` encodes per-tenant label
+  dimensions into series names.
+* **SLOs** — :class:`SloTracker` evaluates latency / deadline-hit-rate
+  / energy-overhead objectives with error-budget burn rates over
+  :class:`TimeSeries` ring buffers, and counts resilience events.
 """
 
+from repro.obs.collector import merge_spans, orphan_spans, read_shards
 from repro.obs.context import (
     NULL_OBSERVABILITY,
     Observability,
     get_metrics,
     get_observability,
+    get_slo,
     get_tracer,
     use,
 )
@@ -49,8 +69,25 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetrics,
+    labeled,
+    parse_labeled,
 )
 from repro.obs.profiling import start_timer, stop_timer, timed, timer
+from repro.obs.propagation import (
+    TraceContext,
+    current_trace_context,
+    new_trace_id,
+    shard_span_base,
+)
+from repro.obs.slo import (
+    DEFAULT_OBJECTIVES,
+    NULL_SLO,
+    NullSloTracker,
+    SloObjective,
+    SloStatus,
+    SloTracker,
+)
+from repro.obs.timeseries import TimeSeries
 from repro.obs.tracing import (
     NULL_SPAN,
     NULL_TRACER,
@@ -67,6 +104,7 @@ __all__ = [
     "get_observability",
     "get_tracer",
     "get_metrics",
+    "get_slo",
     "use",
     "Span",
     "Tracer",
@@ -75,12 +113,28 @@ __all__ = [
     "NULL_TRACER",
     "read_trace",
     "write_trace",
+    "TraceContext",
+    "current_trace_context",
+    "new_trace_id",
+    "shard_span_base",
+    "merge_spans",
+    "read_shards",
+    "orphan_spans",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "labeled",
+    "parse_labeled",
+    "TimeSeries",
+    "SloObjective",
+    "SloStatus",
+    "SloTracker",
+    "NullSloTracker",
+    "NULL_SLO",
+    "DEFAULT_OBJECTIVES",
     "start_timer",
     "stop_timer",
     "timer",

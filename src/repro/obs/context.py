@@ -3,10 +3,10 @@
 Instrumentation deep in the stack (the EM engine, the LP solver, the
 estimator base class) cannot have a tracer threaded through every
 constructor without distorting the paper-facing APIs.  Instead, one
-:class:`Observability` bundle — a tracer plus a metrics registry — is
-installed into a :mod:`contextvars` variable, and instrumented code reads
-it through :func:`get_observability` / :func:`get_tracer` /
-:func:`get_metrics`::
+:class:`Observability` bundle — a tracer, a metrics registry, and an
+SLO tracker — is installed into a :mod:`contextvars` variable, and
+instrumented code reads it through :func:`get_observability` /
+:func:`get_tracer` / :func:`get_metrics` / :func:`get_slo`::
 
     from repro.obs import MetricsRegistry, Observability, Tracer, use
 
@@ -27,6 +27,7 @@ import contextvars
 from typing import Any, Iterator, Optional
 
 from repro.obs.metrics import MetricsRegistry, NULL_METRICS
+from repro.obs.slo import NULL_SLO, SloTracker
 from repro.obs.tracing import NULL_TRACER, Tracer
 
 __all__ = [
@@ -35,38 +36,51 @@ __all__ = [
     "get_observability",
     "get_tracer",
     "get_metrics",
+    "get_slo",
     "use",
 ]
 
 
 class Observability:
-    """A tracer and a metrics registry travelling together.
+    """A tracer, a metrics registry, and an SLO tracker travelling
+    together.
 
-    Either half may be omitted; it defaults to the corresponding null
+    Any pillar may be omitted; it defaults to the corresponding null
     implementation, so ``Observability(tracer=Tracer())`` traces without
-    collecting metrics and vice versa.
+    collecting metrics or SLO streams, and vice versa.
     """
 
-    __slots__ = ("tracer", "metrics")
+    __slots__ = ("tracer", "metrics", "slo")
 
     def __init__(self, tracer: Optional[Tracer] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 slo: Optional[SloTracker] = None) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_METRICS
+        self.slo = slo if slo is not None else NULL_SLO
 
     @property
     def enabled(self) -> bool:
-        """True when either pillar is recording."""
-        return self.tracer.is_recording or self.metrics.is_recording
+        """True when any pillar is recording."""
+        return (self.tracer.is_recording or self.metrics.is_recording
+                or self.slo.is_recording)
 
     def span(self, name: str, **attributes: Any):
         """Shorthand for ``self.tracer.span(...)``."""
         return self.tracer.span(name, **attributes)
 
     @classmethod
-    def recording(cls) -> "Observability":
-        """A fresh fully-recording bundle (new tracer + new registry)."""
-        return cls(tracer=Tracer(), metrics=MetricsRegistry())
+    def recording(cls, trace_id: Optional[str] = None) -> "Observability":
+        """A fresh fully-recording bundle.
+
+        The tracer carries a trace id (freshly drawn unless supplied),
+        so spans from this bundle propagate across process and socket
+        boundaries; see :mod:`repro.obs.propagation`.
+        """
+        from repro.obs.propagation import new_trace_id
+
+        return cls(tracer=Tracer(trace_id=trace_id or new_trace_id()),
+                   metrics=MetricsRegistry(), slo=SloTracker())
 
 
 #: The disabled bundle installed by default.
@@ -89,6 +103,11 @@ def get_tracer():
 def get_metrics():
     """The ambient metrics registry (the null registry when disabled)."""
     return _STATE.get().metrics
+
+
+def get_slo():
+    """The ambient SLO tracker (the null tracker when disabled)."""
+    return _STATE.get().slo
 
 
 @contextlib.contextmanager

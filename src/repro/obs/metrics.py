@@ -11,6 +11,20 @@ freezes everything into plain dictionaries for JSON/CSV export (see
 Like tracing, metrics are off by default: the ambient registry is the
 no-op :data:`NULL_METRICS` singleton, so ``metrics.inc(...)`` on an
 uninstrumented run is a single cheap method call.  Stdlib-only.
+
+Cross-process aggregation (PR 6): :meth:`MetricsRegistry.dump` exports
+the *full* registry — histograms as raw observation lists, not
+summaries — and :meth:`MetricsRegistry.merge` folds such a dump into
+another registry: counters add, gauges take the incoming value
+(last-write-wins), histograms concatenate raw values so merged
+percentiles are exact, not approximations stitched from per-process
+summaries.  Workers and the service server dump, the parent merges,
+and one snapshot reports fleet-wide truth.
+
+Label dimensions are encoded in the metric name via :func:`labeled`
+(``cluster_tenant_epochs_total{tenant=kmeans}``), keeping the registry
+a flat name-to-instrument map that dumps, merges, and snapshots without
+special cases.
 """
 
 from __future__ import annotations
@@ -29,7 +43,37 @@ __all__ = [
     "MetricsRegistry",
     "NullMetrics",
     "NULL_METRICS",
+    "labeled",
+    "parse_labeled",
 ]
+
+
+def labeled(name: str, **labels: Any) -> str:
+    """Encode label dimensions into a metric name.
+
+    ``labeled("cluster_tenant_epochs_total", tenant="kmeans")`` →
+    ``"cluster_tenant_epochs_total{tenant=kmeans}"``.  Labels are
+    sorted, so the same dimensions always produce the same series name
+    in every process — which is what makes labeled series merge
+    correctly across registries.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_labeled(series: str) -> "tuple[str, Dict[str, str]]":
+    """Split a :func:`labeled` series name into ``(base, labels)``."""
+    if not series.endswith("}") or "{" not in series:
+        return series, {}
+    base, _, inner = series[:-1].partition("{")
+    labels: Dict[str, str] = {}
+    for part in inner.split(","):
+        key, sep, value = part.partition("=")
+        if sep:
+            labels[key] = value
+    return base, labels
 
 
 class Counter:
@@ -99,17 +143,51 @@ class Histogram:
     def max(self) -> float:
         return max(self._values) if self._values else float("nan")
 
-    def percentile(self, q: float) -> float:
-        """Nearest-rank percentile, ``q`` in [0, 100]."""
+    @property
+    def values(self) -> List[float]:
+        """The raw observations, in arrival order (a copy).
+
+        This is what crosses process boundaries in a registry
+        :meth:`~MetricsRegistry.dump`: merged histograms concatenate
+        raw values, so fleet-wide percentiles are exact.
+        """
+        return list(self._values)
+
+    def extend(self, values) -> None:
+        """Record many observations at once (the merge path)."""
+        self._values.extend(float(v) for v in values)
+
+    def percentile(self, q: float, mode: str = "nearest") -> float:
+        """Percentile of the recorded values, ``q`` in [0, 100].
+
+        ``mode="nearest"`` (default) is the nearest-rank method: always
+        returns an actually-observed value, with ``rank = ceil(q*n/100)``
+        computed multiply-first — ``q/100*n`` rounds up spuriously when
+        ``q/100`` is inexact (e.g. q=55, n=20 gives 11.000000000000002,
+        one rank too high).  ``mode="linear"`` interpolates between the
+        two nearest order statistics (numpy's default), which the SLO
+        tracker uses so a latency objective's observed percentile moves
+        continuously as observations arrive.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if mode not in ("nearest", "linear"):
+            raise ValueError(f"mode must be 'nearest' or 'linear', "
+                             f"got {mode!r}")
         if not self._values:
             return float("nan")
         ordered = sorted(self._values)
+        n = len(ordered)
+        if mode == "linear":
+            position = q * (n - 1) / 100.0
+            lower = int(math.floor(position))
+            upper = min(lower + 1, n - 1)
+            fraction = position - lower
+            return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
         if q == 0:
             return ordered[0]
-        rank = math.ceil(q / 100.0 * len(ordered))
-        return ordered[rank - 1]
+        rank = math.ceil(q * n / 100.0)
+        return ordered[min(rank, n) - 1]
 
     def summary(self) -> Dict[str, float]:
         """The export form: count/sum/min/max/mean and p50/p90/p99."""
@@ -196,11 +274,54 @@ class MetricsRegistry:
                            for n, h in sorted(self._histograms.items())},
         }
 
+    def dump(self) -> Dict[str, Dict[str, Any]]:
+        """The full lossless export, for cross-process aggregation.
+
+        Unlike :meth:`snapshot`, histograms appear as their raw
+        observation lists — the only representation that merges without
+        losing percentile exactness.  The result is JSON- and
+        pickle-ready (plain dicts, lists, floats).
+        """
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {n: h.values
+                           for n, h in sorted(self._histograms.items())},
+        }
+
+    def merge(self, dump: Dict[str, Dict[str, Any]]) -> None:
+        """Fold one :meth:`dump` into this registry.
+
+        Counter values add; gauges take the incoming value (last-write
+        wins — the dump is the more recent observation); histograms
+        concatenate raw values.  Merging a :meth:`snapshot` (summary
+        dicts instead of value lists) is rejected loudly rather than
+        silently recorded as garbage.
+        """
+        for name, value in dump.get("counters", {}).items():
+            self.counter(name).inc(float(value))
+        for name, value in dump.get("gauges", {}).items():
+            self.gauge(name).set(float(value))
+        for name, values in dump.get("histograms", {}).items():
+            if isinstance(values, dict):
+                raise ValueError(
+                    f"histogram {name!r} holds a summary dict; merge() "
+                    f"needs raw values — export with dump(), not snapshot()")
+            self.histogram(name).extend(values)
+
     def write_json(self, path: PathLike) -> pathlib.Path:
-        """Write :meth:`snapshot` as pretty-printed JSON."""
+        """Write :meth:`snapshot` as pretty-printed JSON.
+
+        A ``raw_histograms`` section (the :meth:`dump` representation)
+        rides along so post-hoc tools — ``repro obs slo``, cross-run
+        merges — can rebuild exact percentiles instead of settling for
+        the summary quantiles.
+        """
         path = pathlib.Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.snapshot(), indent=2,
+        payload = dict(self.snapshot(),
+                       raw_histograms=self.dump()["histograms"])
+        path.write_text(json.dumps(payload, indent=2,
                                    allow_nan=True, default=float) + "\n")
         return path
 
@@ -255,6 +376,13 @@ class NullMetrics:
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """An empty snapshot with the standard shape."""
         return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def dump(self) -> Dict[str, Dict[str, Any]]:
+        """An empty dump with the standard shape."""
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def merge(self, dump: Dict[str, Dict[str, Any]]) -> None:
+        """Discard the dump (nothing is recorded while disabled)."""
 
 
 #: The singleton disabled registry (the ambient default).

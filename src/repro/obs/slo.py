@@ -1,0 +1,372 @@
+"""Service-level objectives over the runtime's observability streams.
+
+LEO's contract is an SLO avant la lettre: *meet the performance
+constraint, minimize energy* (PAPER.md Eq. 1).  PRs 3-5 widened the
+failure surface — shed requests, degraded estimators, injected faults —
+and "did the run stay inside its contract?" stopped being readable off
+a single counter.  An :class:`SloTracker` makes it one object:
+
+* **Streams** — bounded :class:`~repro.obs.timeseries.TimeSeries` ring
+  buffers over whatever the runtime feeds it: request/fit latencies,
+  per-window deadline outcomes, energy-overhead ratios, plus free-form
+  named streams (power draw, heartbeat rates) via :meth:`observe`.
+* **Objectives** — declarative :class:`SloObjective` targets: a latency
+  percentile bound, a deadline-hit-rate floor, an energy-overhead
+  ceiling.  :meth:`SloTracker.status` evaluates each over its window
+  using the histogram layer's linear-interpolation percentile.
+* **Error budgets** — each objective implies a budget (the tolerable
+  bad fraction); :class:`SloStatus` reports the burn rate over the
+  objective's window *and* over the full retained history, the
+  two-window form that distinguishes "burning now" from "burned once".
+* **Events** — resilience incidents (circuit-breaker opens, ladder
+  demotions, fault injections) are counted by kind, so an SLO report
+  carries its own likely root causes.
+
+Like the other pillars, the ambient default is the no-op
+:data:`NULL_SLO`; hooks in the controller, coordinator, ladder, and
+fault injector cost one method call when disabled and draw no RNG.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import Histogram, parse_labeled
+from repro.obs.timeseries import TimeSeries
+
+__all__ = [
+    "SloObjective",
+    "SloStatus",
+    "SloTracker",
+    "NullSloTracker",
+    "NULL_SLO",
+    "DEFAULT_OBJECTIVES",
+]
+
+#: Objective kinds and the stream each evaluates.
+KINDS = ("latency", "deadline-hit-rate", "energy-overhead")
+
+
+@dataclasses.dataclass(frozen=True)
+class SloObjective:
+    """One declarative service-level objective.
+
+    Attributes:
+        name: Report label, e.g. ``"fit-latency-p95"``.
+        kind: ``"latency"`` (percentile of the latency stream must stay
+            <= target seconds), ``"deadline-hit-rate"`` (fraction of
+            met deadlines must stay >= target), or
+            ``"energy-overhead"`` (mean overhead ratio must stay <=
+            target).
+        target: The bound, in the kind's unit (seconds, fraction,
+            ratio).
+        percentile: Which latency percentile is bounded (latency only).
+        window_s: Evaluation window in stream-clock seconds; ``None``
+            evaluates over the full retained history.
+    """
+
+    name: str
+    kind: str
+    target: float
+    percentile: float = 95.0
+    window_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"kind must be one of {KINDS}, "
+                             f"got {self.kind!r}")
+        if self.kind == "deadline-hit-rate" and not 0 < self.target <= 1:
+            raise ValueError(f"hit-rate target must be in (0, 1], "
+                             f"got {self.target}")
+        if self.target <= 0 and self.kind != "energy-overhead":
+            raise ValueError(f"target must be positive, got {self.target}")
+        if not 0 < self.percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], "
+                             f"got {self.percentile}")
+
+
+#: Objectives a recording bundle tracks unless told otherwise: generous
+#: enough that a healthy run passes all three, tight enough that the
+#: chaos plans visibly burn budget.
+DEFAULT_OBJECTIVES: Tuple[SloObjective, ...] = (
+    SloObjective(name="latency-p95", kind="latency", target=2.0,
+                 percentile=95.0),
+    SloObjective(name="deadline-hit-rate", kind="deadline-hit-rate",
+                 target=0.95),
+    SloObjective(name="energy-overhead", kind="energy-overhead",
+                 target=0.10),
+)
+
+
+@dataclasses.dataclass
+class SloStatus:
+    """One objective's evaluation.
+
+    Attributes:
+        objective: The objective evaluated.
+        samples: Points the evaluation saw (0 → ``met`` is vacuously
+            true and ``observed`` is NaN).
+        observed: The observed value in the objective's unit.
+        met: Whether the objective holds over its window.
+        burn_rate: Error-budget burn over the objective's window: 1.0
+            means exactly consuming budget at the sustainable rate, >1
+            means the budget is shrinking.
+        burn_rate_total: Same, over the full retained history — the
+            slow window of the classic fast/slow burn-rate alert pair.
+        budget_remaining: ``1 - burn_rate_total``, floored at 0: the
+            fraction of the total error budget still unspent.
+    """
+
+    objective: SloObjective
+    samples: int
+    observed: float
+    met: bool
+    burn_rate: float
+    burn_rate_total: float
+    budget_remaining: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.objective.name,
+            "kind": self.objective.kind,
+            "target": self.objective.target,
+            "percentile": self.objective.percentile,
+            "window_s": self.objective.window_s,
+            "samples": self.samples,
+            "observed": self.observed,
+            "met": self.met,
+            "burn_rate": self.burn_rate,
+            "burn_rate_total": self.burn_rate_total,
+            "budget_remaining": self.budget_remaining,
+        }
+
+
+class SloTracker:
+    """Collects SLO streams and evaluates objectives against them.
+
+    Args:
+        objectives: What to evaluate; defaults to
+            :data:`DEFAULT_OBJECTIVES`.
+        capacity: Ring-buffer capacity per stream.
+        clock: Timestamp source for records that do not bring their own
+            ``now`` (records from simulated components should pass the
+            simulated clock explicitly).
+    """
+
+    is_recording = True
+
+    #: Reserved stream names the typed record_* methods feed.
+    LATENCY = "latency"
+    DEADLINE = "deadline"
+    ENERGY_OVERHEAD = "energy_overhead"
+
+    def __init__(self, objectives: Sequence[SloObjective]
+                 = DEFAULT_OBJECTIVES,
+                 capacity: int = 4096,
+                 clock=time.monotonic) -> None:
+        self.objectives = tuple(objectives)
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._streams: Dict[str, TimeSeries] = {}
+        self.events: Dict[str, int] = {}
+
+    # -- recording ------------------------------------------------------
+    def stream(self, name: str) -> TimeSeries:
+        """The named stream (created on first use)."""
+        if name not in self._streams:
+            self._streams[name] = TimeSeries(capacity=self.capacity)
+        return self._streams[name]
+
+    def observe(self, stream: str, value: float,
+                now: Optional[float] = None) -> None:
+        """Append one point to a named stream (power, heartbeats, ...)."""
+        self.stream(stream).append(
+            self._clock() if now is None else now, float(value))
+
+    def record_latency(self, seconds: float,
+                       now: Optional[float] = None) -> None:
+        """One latency observation (request round trip, fit time)."""
+        self.observe(self.LATENCY, seconds, now)
+
+    def record_deadline(self, met: bool,
+                        now: Optional[float] = None) -> None:
+        """One deadline window's outcome."""
+        self.observe(self.DEADLINE, 1.0 if met else 0.0, now)
+
+    def record_energy_overhead(self, ratio: float,
+                               now: Optional[float] = None) -> None:
+        """One energy-overhead observation (extra/baseline joules)."""
+        self.observe(self.ENERGY_OVERHEAD, ratio, now)
+
+    def record_event(self, kind: str) -> None:
+        """Count one resilience incident (breaker-open, demotion, ...)."""
+        self.events[kind] = self.events.get(kind, 0) + 1
+
+    # -- evaluation -----------------------------------------------------
+    def status(self) -> List[SloStatus]:
+        """Evaluate every objective; stable order (as configured)."""
+        return [self._evaluate(obj) for obj in self.objectives]
+
+    def _evaluate(self, objective: SloObjective) -> SloStatus:
+        stream = {
+            "latency": self.LATENCY,
+            "deadline-hit-rate": self.DEADLINE,
+            "energy-overhead": self.ENERGY_OVERHEAD,
+        }[objective.kind]
+        series = self._streams.get(stream)
+        windowed = (series.values(objective.window_s)
+                    if series is not None else [])
+        everything = series.values(None) if series is not None else []
+        observed = self._observe_values(objective, windowed)
+        met = (not windowed) or self._holds(objective, observed)
+        return SloStatus(
+            objective=objective, samples=len(windowed), observed=observed,
+            met=met,
+            burn_rate=self._burn(objective, windowed),
+            burn_rate_total=self._burn(objective, everything),
+            budget_remaining=max(
+                0.0, 1.0 - self._burn(objective, everything)))
+
+    @staticmethod
+    def _observe_values(objective: SloObjective,
+                        values: List[float]) -> float:
+        if not values:
+            return float("nan")
+        if objective.kind == "latency":
+            histogram = Histogram(objective.name)
+            histogram.extend(values)
+            return histogram.percentile(objective.percentile, mode="linear")
+        return sum(values) / len(values)
+
+    @staticmethod
+    def _holds(objective: SloObjective, observed: float) -> bool:
+        if objective.kind == "deadline-hit-rate":
+            return observed >= objective.target
+        return observed <= objective.target
+
+    @staticmethod
+    def _burn(objective: SloObjective, values: List[float]) -> float:
+        """Error-budget burn rate over one window of values.
+
+        1.0 = consuming budget exactly as fast as the objective allows;
+        0 = spotless; >1 = the budget shrinks while this persists.
+        """
+        if not values:
+            return 0.0
+        n = len(values)
+        if objective.kind == "latency":
+            allowed = max(1.0 - objective.percentile / 100.0, 1e-9)
+            bad = sum(1 for v in values if v > objective.target) / n
+            return bad / allowed
+        if objective.kind == "deadline-hit-rate":
+            allowed = max(1.0 - objective.target, 1e-9)
+            bad = sum(1 for v in values if v < 0.5) / n
+            return bad / allowed
+        mean = sum(values) / n
+        if objective.target <= 0:
+            return float("inf") if mean > 0 else 0.0
+        return max(mean, 0.0) / objective.target
+
+    # -- export ---------------------------------------------------------
+    def report(self) -> Dict[str, Any]:
+        """The JSON-ready SLO report ``repro obs slo`` renders."""
+        return {
+            "objectives": [status.to_dict() for status in self.status()],
+            "events": dict(sorted(self.events.items())),
+            "streams": {
+                name: {"points": len(series),
+                       "last": series.last_value if len(series) else None}
+                for name, series in sorted(self._streams.items())
+            },
+        }
+
+    # -- offline reconstruction -----------------------------------------
+    @classmethod
+    def from_metrics(cls, dump: Dict[str, Any],
+                     objectives: Sequence[SloObjective]
+                     = DEFAULT_OBJECTIVES) -> "SloTracker":
+        """Rebuild a tracker from a registry :meth:`~repro.obs.
+        MetricsRegistry.dump`, for post-hoc ``repro obs slo`` on a
+        metrics file.
+
+        Raw-valued latency histograms (``service_request_seconds``,
+        ``fit_seconds``) feed the latency stream; ``*deadline_met_total``
+        / ``*deadline_missed_total`` counter pairs (summed across label
+        dimensions) rebuild the deadline stream; ``fault_*_total`` and
+        ``resilience_*_total`` counters become events.  Points carry
+        synthetic index timestamps, so windowed objectives degrade to
+        full-history evaluation.
+        """
+        tracker = cls(objectives=objectives)
+        tick = 0
+        for name, values in dump.get("histograms", {}).items():
+            base, _ = parse_labeled(name)
+            if base in ("service_request_seconds", "fit_seconds") \
+                    and isinstance(values, list):
+                for value in values:
+                    tracker.record_latency(float(value), now=tick)
+                    tick += 1
+        met = missed = 0.0
+        for name, value in dump.get("counters", {}).items():
+            base, _ = parse_labeled(name)
+            if base.endswith("deadline_met_total"):
+                met += value
+            elif base.endswith("deadline_missed_total"):
+                missed += value
+            elif base.startswith("fault_") and base.endswith("_total") \
+                    and base != "fault_injected_total":
+                tracker.events[base[len("fault_"):-len("_total")]] = \
+                    int(value)
+            elif base == "resilience_demotions_total" and value:
+                tracker.events["ladder-demotion"] = int(value)
+            elif base == "resilience_promotions_total" and value:
+                tracker.events["ladder-promotion"] = int(value)
+        for _ in range(int(met)):
+            tracker.record_deadline(True, now=tick)
+            tick += 1
+        for _ in range(int(missed)):
+            tracker.record_deadline(False, now=tick)
+            tick += 1
+        overhead = dump.get("gauges", {}).get("slo_energy_overhead")
+        if overhead is not None:
+            tracker.record_energy_overhead(float(overhead), now=tick)
+        return tracker
+
+
+class NullSloTracker:
+    """The disabled SLO tracker: records nothing, reports nothing."""
+
+    is_recording = False
+    events: Dict[str, int] = {}
+
+    def observe(self, stream: str, value: float,
+                now: Optional[float] = None) -> None:
+        pass
+
+    def record_latency(self, seconds: float,
+                       now: Optional[float] = None) -> None:
+        pass
+
+    def record_deadline(self, met: bool,
+                        now: Optional[float] = None) -> None:
+        pass
+
+    def record_energy_overhead(self, ratio: float,
+                               now: Optional[float] = None) -> None:
+        pass
+
+    def record_event(self, kind: str) -> None:
+        pass
+
+    def status(self) -> List[SloStatus]:
+        return []
+
+    def report(self) -> Dict[str, Any]:
+        """An empty report with the standard shape."""
+        return {"objectives": [], "events": {}, "streams": {}}
+
+
+#: The singleton disabled tracker (the ambient default).
+NULL_SLO = NullSloTracker()

@@ -1,0 +1,105 @@
+"""Fixed-capacity time series: the SLO layer's memory.
+
+An :class:`SloTracker` watches streams that are *dense* — one point per
+heartbeat, per quantum, per epoch — over runs that can be arbitrarily
+long.  Keeping every point would make the observability layer the
+biggest allocation in the process; keeping only summaries would make
+windowed queries (the error-budget burn rate over the last N seconds)
+impossible.  A :class:`TimeSeries` is the standard compromise: a ring
+buffer of ``(timestamp, value)`` points with bounded capacity, O(1)
+append, and windowed reads over whatever survives.
+
+Timestamps are whatever clock the caller lives on — the simulated
+machine clock for controller streams, wall time for service streams —
+and must be non-decreasing per series (ring eviction assumes appends
+arrive in order).  Stdlib-only, like the rest of :mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """A bounded ring buffer of ``(timestamp, value)`` points.
+
+    Args:
+        capacity: Maximum retained points; the oldest point is evicted
+            on overflow.  Bounded so an SLO tracker over a million-
+            quantum run stays a few kilobytes.
+    """
+
+    __slots__ = ("capacity", "_times", "_values", "_head", "_size")
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._times: List[float] = [0.0] * self.capacity
+        self._values: List[float] = [0.0] * self.capacity
+        self._head = 0  # next write position
+        self._size = 0
+
+    def append(self, timestamp: float, value: float) -> None:
+        """Record one point; evicts the oldest at capacity.
+
+        Timestamps must be non-decreasing; going backwards would break
+        every windowed query silently, so it fails loudly instead.
+        """
+        timestamp = float(timestamp)
+        if self._size and timestamp < self.last_time:
+            raise ValueError(
+                f"timestamp {timestamp} precedes the last point "
+                f"({self.last_time}); series must be appended in order")
+        self._times[self._head] = timestamp
+        self._values[self._head] = float(value)
+        self._head = (self._head + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    # -- reading --------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        """Points oldest-first."""
+        start = (self._head - self._size) % self.capacity
+        for i in range(self._size):
+            j = (start + i) % self.capacity
+            yield self._times[j], self._values[j]
+
+    @property
+    def last_time(self) -> float:
+        """The newest point's timestamp (ValueError when empty)."""
+        if not self._size:
+            raise ValueError("time series is empty")
+        return self._times[(self._head - 1) % self.capacity]
+
+    @property
+    def last_value(self) -> float:
+        """The newest point's value (ValueError when empty)."""
+        if not self._size:
+            raise ValueError("time series is empty")
+        return self._values[(self._head - 1) % self.capacity]
+
+    def window(self, seconds: Optional[float],
+               now: Optional[float] = None) -> List[Tuple[float, float]]:
+        """Points with ``timestamp >= now - seconds``, oldest-first.
+
+        ``seconds=None`` returns everything retained; ``now`` defaults
+        to the newest timestamp, so a simulated-clock series windows
+        itself without a wall clock.
+        """
+        points = list(self)
+        if seconds is None or not points:
+            return points
+        if now is None:
+            now = points[-1][0]
+        cutoff = now - float(seconds)
+        return [(t, v) for t, v in points if t >= cutoff]
+
+    def values(self, seconds: Optional[float] = None,
+               now: Optional[float] = None) -> List[float]:
+        """Just the values of :meth:`window`."""
+        return [v for _, v in self.window(seconds, now)]

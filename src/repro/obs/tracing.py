@@ -23,6 +23,15 @@ spans (:func:`read_trace`) for rendering or offline analysis.
 
 The tracer is intentionally single-threaded (one span stack); the
 simulated runtime is synchronous.  Everything here is stdlib-only.
+
+Distributed traces (PR 6) extend, without changing, the local story: a
+tracer may carry a ``trace_id``, number its spans from a per-shard
+``span_id_base`` (so concurrent processes never collide), and parent
+its root spans under a ``remote_parent`` span id received from another
+process via :class:`~repro.obs.propagation.TraceContext`.
+:meth:`Tracer.adopt` folds span shards recorded elsewhere (workers,
+service handlers) into this tracer's finished list, and
+:func:`repro.obs.collector.merge_spans` builds the single coherent tree.
 """
 
 from __future__ import annotations
@@ -54,12 +63,13 @@ class Span:
     """
 
     __slots__ = ("name", "span_id", "parent_id", "start", "end",
-                 "attributes", "_tracer")
+                 "attributes", "trace_id", "_tracer")
 
     def __init__(self, name: str, span_id: int,
                  parent_id: Optional[int] = None,
                  start: float = 0.0, end: float = 0.0,
                  attributes: Optional[Dict[str, Any]] = None,
+                 trace_id: Optional[str] = None,
                  _tracer: Optional["Tracer"] = None) -> None:
         if not name:
             raise ValueError("span name must be non-empty")
@@ -69,6 +79,7 @@ class Span:
         self.start = start
         self.end = end
         self.attributes: Dict[str, Any] = attributes if attributes is not None else {}
+        self.trace_id = trace_id
         self._tracer = _tracer
 
     # -- recording ------------------------------------------------------
@@ -95,8 +106,12 @@ class Span:
         return self.end - self.start
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable representation (one JSONL line)."""
-        return {
+        """JSON-serializable representation (one JSONL line).
+
+        ``trace_id`` appears only when set, so single-process traces
+        (and the fixtures asserting on them) keep their PR-1 shape.
+        """
+        payload = {
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -105,6 +120,9 @@ class Span:
             "duration": self.duration,
             "attributes": self.attributes,
         }
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "Span":
@@ -113,7 +131,8 @@ class Span:
                    parent_id=(None if payload.get("parent_id") is None
                               else int(payload["parent_id"])),
                    start=float(payload["start"]), end=float(payload["end"]),
-                   attributes=dict(payload.get("attributes", {})))
+                   attributes=dict(payload.get("attributes", {})),
+                   trace_id=payload.get("trace_id"))
 
     def __repr__(self) -> str:
         return (f"Span({self.name!r}, id={self.span_id}, "
@@ -150,9 +169,16 @@ class NullTracer:
     #: Instrumented code can branch on this to skip attribute building.
     is_recording = False
 
+    #: Mirrors :class:`Tracer` so propagation code needs no isinstance.
+    trace_id: Optional[str] = None
+    current_span_id: Optional[int] = None
+
     def span(self, name: str, **attributes: Any) -> _NullSpan:
         """Return the shared no-op span handle."""
         return NULL_SPAN
+
+    def adopt(self, spans: Iterable[Span]) -> None:
+        """Discard foreign spans (nothing is recorded while disabled)."""
 
     @property
     def spans(self) -> Sequence[Span]:
@@ -170,27 +196,55 @@ class Tracer:
     Args:
         clock: Monotonic time source; ``time.perf_counter`` by default
             (injectable for deterministic tests).
+        trace_id: Optional distributed-trace identity stamped on every
+            recorded span; ``None`` (the default) keeps the tracer
+            purely local and its spans in the PR-1 shape.
+        remote_parent: Span id (from another process's
+            :class:`~repro.obs.propagation.TraceContext`) adopted as
+            the parent of this tracer's root spans, stitching the shard
+            under its caller in the merged tree.
+        span_id_base: First span id minus one; remote shards pass
+            :func:`~repro.obs.propagation.shard_span_base` output so
+            their ids never collide with other processes'.
     """
 
     is_recording = True
 
-    def __init__(self, clock=time.perf_counter) -> None:
+    def __init__(self, clock=time.perf_counter,
+                 trace_id: Optional[str] = None,
+                 remote_parent: Optional[int] = None,
+                 span_id_base: int = 0) -> None:
         self._clock = clock
+        self.trace_id = trace_id
+        self.remote_parent = remote_parent
         self._finished: List[Span] = []
         self._stack: List[Span] = []
-        self._next_id = 1
+        self._next_id = span_id_base + 1
 
     def span(self, name: str, **attributes: Any) -> Span:
         """Create a span; enter it (``with``) to start the clock."""
         span = Span(name=name, span_id=self._next_id,
                     attributes=dict(attributes) if attributes else {},
-                    _tracer=self)
+                    trace_id=self.trace_id, _tracer=self)
         self._next_id += 1
         return span
 
+    @property
+    def current_span_id(self) -> Optional[int]:
+        """The innermost open span's id (what new work parents under).
+
+        Falls back to the remote parent when the local stack is empty,
+        so propagation from a just-entered shard still points at the
+        right ancestor.
+        """
+        if self._stack:
+            return self._stack[-1].span_id
+        return self.remote_parent
+
     # -- span lifecycle (driven by Span.__enter__/__exit__) -------------
     def _enter(self, span: Span) -> None:
-        span.parent_id = self._stack[-1].span_id if self._stack else None
+        span.parent_id = (self._stack[-1].span_id if self._stack
+                          else self.remote_parent)
         span.start = self._clock()
         self._stack.append(span)
 
@@ -218,6 +272,22 @@ class Tracer:
         """Spans finished after a :attr:`num_finished` bookmark."""
         return sorted(self._finished[mark:],
                       key=lambda s: (s.start, s.span_id))
+
+    def adopt(self, spans: Iterable[Span]) -> None:
+        """Fold finished spans recorded elsewhere into this tracer.
+
+        The collection mechanism for distributed traces: workers and
+        service handlers record on their own tracers, ship
+        ``[span.to_dict()]`` back, and the originating tracer adopts the
+        rebuilt spans so one :func:`write_trace` exports the whole tree.
+        Adopted spans keep their ids and parents (shard bases make them
+        collision-free); open local spans are unaffected.
+        """
+        for span in spans:
+            if span.end < span.start:
+                raise ValueError(
+                    f"cannot adopt unfinished span {span.name!r}")
+            self._finished.append(span)
 
     def clear(self) -> None:
         """Drop all finished spans (open spans are unaffected)."""

@@ -9,7 +9,11 @@ from repro.reporting.csv_export import (
     write_table,
 )
 from repro.reporting.experiment_report import load_results, render_markdown
-from repro.reporting.span_tree import render_span_tree, summarize_spans
+from repro.reporting.span_tree import (
+    critical_path,
+    render_span_tree,
+    summarize_spans,
+)
 
 __all__ = [
     "heatmap",
@@ -23,6 +27,7 @@ __all__ = [
     "write_table",
     "load_results",
     "render_markdown",
+    "critical_path",
     "render_span_tree",
     "summarize_spans",
 ]

@@ -8,7 +8,16 @@ views humans want:
   ``repro obs summarize`` output;
 * :func:`summarize_spans` — per-span-name aggregates (count, total and
   mean duration), which is how the Section 6.7 overhead table is read
-  off a trace (sum the ``estimator.fit`` rows).
+  off a trace (sum the ``estimator.fit`` rows);
+* :func:`critical_path` — the heaviest root-to-leaf chain, the
+  ``repro obs critical-path`` output.
+
+Distributed traces arrive here as merged shards (see
+:mod:`repro.obs.collector`), so the renderer must tolerate recorder and
+exporter bugs rather than crash on them: a span whose parent is missing
+is promoted to a root, a span naming *itself* as parent likewise, and
+duplicate span ids render once each without recursing forever.  Repair
+stays the collector's job; rendering only refuses to lie or loop.
 """
 
 from __future__ import annotations
@@ -45,17 +54,17 @@ def render_span_tree(spans: Sequence[Span], max_children: int = 40) -> str:
     records one span per quantum, which would otherwise drown the tree).
     """
     spans = sorted(spans, key=lambda s: (s.start, s.span_id))
-    children: Dict[Optional[str], List[Span]] = {}
-    span_ids = {span.span_id for span in spans}
-    for span in spans:
-        # A parent outside the rendered set (e.g. a filtered trace)
-        # promotes the span to a root rather than dropping it.
-        parent = span.parent_id if span.parent_id in span_ids else None
-        children.setdefault(parent, []).append(span)
-
+    children = _child_index(spans)
     lines: List[str] = []
+    visited: set = set()
 
     def visit(span: Span, depth: int) -> None:
+        # Duplicate span ids share one children list; each span object
+        # still renders at most once, and a parent/child cycle (however
+        # it got recorded) terminates instead of recursing forever.
+        if id(span) in visited:
+            return
+        visited.add(id(span))
         indent = "  " * depth
         lines.append(f"{indent}{span.name}  "
                      f"{_format_duration(span.duration)}"
@@ -69,7 +78,59 @@ def render_span_tree(spans: Sequence[Span], max_children: int = 40) -> str:
 
     for root in children.get(None, []):
         visit(root, 0)
+    # Spans only reachable through a cycle never got visited; surface
+    # them as roots so nothing silently disappears from the rendering.
+    for span in spans:
+        if id(span) not in visited:
+            visit(span, 0)
     return "\n".join(lines)
+
+
+def _child_index(spans: Sequence[Span]) -> Dict[Optional[int], List[Span]]:
+    """Group spans by parent, promoting unparentable spans to roots.
+
+    A parent outside the set (e.g. a filtered trace, a shard that never
+    arrived) and a span naming itself as its own parent both become
+    roots rather than being dropped.
+    """
+    children: Dict[Optional[int], List[Span]] = {}
+    span_ids = {span.span_id for span in spans}
+    for span in spans:
+        parent = span.parent_id
+        if parent == span.span_id or parent not in span_ids:
+            parent = None
+        children.setdefault(parent, []).append(span)
+    return children
+
+
+def critical_path(spans: Sequence[Span]) -> List[Span]:
+    """The heaviest root-to-leaf chain through the span tree.
+
+    Starts at the longest root and repeatedly descends into the child
+    with the largest duration — the chain a latency optimization should
+    attack first.  In a merged distributed trace this walks straight
+    across process boundaries (harness → worker cell → service handler),
+    which is the point of stitching the shards together.  Returns the
+    spans along the path, root first; empty for an empty trace.
+    """
+    spans = sorted(spans, key=lambda s: (s.start, s.span_id))
+    if not spans:
+        return []
+    children = _child_index(spans)
+    # A rootless trace (every span inside a parent cycle) still yields
+    # a path: start from the longest span, like the renderer's
+    # nothing-disappears rule.
+    roots = children.get(None, []) or spans
+    path: List[Span] = []
+    seen: set = set()
+    node: Optional[Span] = max(roots, key=lambda s: s.duration)
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        path.append(node)
+        kids = [child for child in children.get(node.span_id, [])
+                if id(child) not in seen]
+        node = max(kids, key=lambda s: s.duration) if kids else None
+    return path
 
 
 def summarize_spans(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:

@@ -182,10 +182,14 @@ class DegradationLadder:
         previous = self.tiers[self.tier_index].name
         self.tier_index = index
         self.demotions += 1
+        was_open = self.breaker.state == CircuitBreaker.OPEN
         self.breaker.record_failure()
         ob = get_observability()
         ob.metrics.inc("resilience_demotions_total")
         ob.metrics.set_gauge("resilience_tier", float(index))
+        ob.slo.record_event("ladder-demotion")
+        if not was_open and self.breaker.state == CircuitBreaker.OPEN:
+            ob.slo.record_event("breaker-open")
         if ob.tracer.is_recording:
             with ob.tracer.span("resilience.demote", from_tier=previous,
                                 to_tier=self.current.name, reason=reason):
@@ -221,6 +225,7 @@ class DegradationLadder:
         ob = get_observability()
         ob.metrics.inc("resilience_promotions_total")
         ob.metrics.set_gauge("resilience_tier", float(achieved_index))
+        ob.slo.record_event("ladder-promotion")
         if ob.tracer.is_recording:
             with ob.tracer.span("resilience.promote",
                                 to_tier=self.current.name):

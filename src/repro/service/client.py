@@ -37,6 +37,7 @@ from repro.estimators.base import (
     InsufficientSamplesError,
 )
 from repro.faults.context import get_injector
+from repro.obs import current_trace_context, get_tracer
 from repro.service.protocol import (
     EstimationRejected,
     ProtocolError,
@@ -151,27 +152,36 @@ class ServiceClient:
             deadline_s = self.default_deadline_s
         started = time.monotonic()
         attempt = 0
-        while True:
-            try:
-                return self._call_once(op, payload or {}, deadline_s)
-            except (ConnectionError, socket.timeout, OSError) as exc:
-                self.close()
-                if (attempt >= self.retries
-                        or not self._backoff_sleep(attempt, started,
-                                                   deadline_s)):
-                    raise
-                logger.debug("retrying after transport failure",
-                             extra={"fields": {"op": op, "error": str(exc),
-                                               "attempt": attempt}})
-            except ServiceOverloaded:
-                if (not self.retry_overloaded or attempt >= self.retries
-                        or not self._backoff_sleep(attempt, started,
-                                                   deadline_s)):
-                    raise
-                logger.debug("retrying after load shed",
-                             extra={"fields": {"op": op,
-                                               "attempt": attempt}})
-            attempt += 1
+        tracer = get_tracer()
+        # The ``client.call`` span covers the whole retry loop, so its
+        # duration is what the caller actually waited; each attempt's
+        # wire frame carries the ambient trace context (captured inside
+        # the span, so server-side spans parent under it).
+        with tracer.span("client.call", op=op, address=str(self.address)):
+            while True:
+                try:
+                    return self._call_once(op, payload or {}, deadline_s)
+                except (ConnectionError, socket.timeout, OSError) as exc:
+                    self.close()
+                    if (attempt >= self.retries
+                            or not self._backoff_sleep(attempt, started,
+                                                       deadline_s)):
+                        raise
+                    logger.debug("retrying after transport failure",
+                                 extra={"fields": {
+                                     "op": op, "error": str(exc),
+                                     "attempt": attempt,
+                                     "trace_id": tracer.trace_id}})
+                except ServiceOverloaded:
+                    if (not self.retry_overloaded or attempt >= self.retries
+                            or not self._backoff_sleep(attempt, started,
+                                                       deadline_s)):
+                        raise
+                    logger.debug("retrying after load shed",
+                                 extra={"fields": {
+                                     "op": op, "attempt": attempt,
+                                     "trace_id": tracer.trace_id}})
+                attempt += 1
 
     def _backoff_sleep(self, attempt: int, started: float,
                        deadline_s: Optional[float]) -> bool:
@@ -208,9 +218,11 @@ class ServiceClient:
             if spec.kind == "corrupt-response":
                 raise ProtocolError("injected corrupt response")
         self._ensure_connected()
+        ctx = current_trace_context()
         request = Request(op=op, payload=payload,
                           request_id=next(self._ids),
-                          deadline_s=deadline_s)
+                          deadline_s=deadline_s,
+                          trace=ctx.to_wire() if ctx is not None else None)
         self._sock.sendall(encode_frame(request.to_wire()))
         # Responses on a pipelined connection may arrive out of order;
         # drain frames until ours shows up.  (This client issues calls

@@ -139,12 +139,18 @@ class Request:
         request_id: Client-chosen correlation id, echoed in the response.
         deadline_s: Seconds the client is willing to wait, measured from
             server receipt; ``None`` uses the server's default.
+        trace: Optional trace-context dict
+            (:meth:`repro.obs.propagation.TraceContext.to_wire`); absent
+            from the frame when ``None``, so untraced runs pay zero wire
+            bytes.  Malformed contexts are dropped server-side rather
+            than failing the request.
     """
 
     op: str
     payload: Dict[str, Any] = dataclasses.field(default_factory=dict)
     request_id: int = 0
     deadline_s: Optional[float] = None
+    trace: Optional[Dict[str, Any]] = None
 
     def to_wire(self) -> Dict[str, Any]:
         frame: Dict[str, Any] = {"v": PROTOCOL_VERSION,
@@ -152,6 +158,8 @@ class Request:
                                  "payload": self.payload}
         if self.deadline_s is not None:
             frame["deadline_s"] = self.deadline_s
+        if self.trace is not None:
+            frame["trace"] = self.trace
         return frame
 
     @classmethod
@@ -176,8 +184,12 @@ class Request:
             if deadline <= 0:
                 raise ProtocolError(
                     f"'deadline_s' must be positive, got {deadline}")
+        trace = frame.get("trace")
+        if not isinstance(trace, dict):
+            trace = None
         return cls(op=op, payload=payload,
-                   request_id=frame.get("id", 0), deadline_s=deadline)
+                   request_id=frame.get("id", 0), deadline_s=deadline,
+                   trace=trace)
 
 
 @dataclasses.dataclass
@@ -195,8 +207,8 @@ class Response:
         return cls(request_id=request_id, ok=True, payload=payload)
 
     @classmethod
-    def failure(cls, request_id: Optional[int],
-                exc: Exception) -> "Response":
+    def failure(cls, request_id: Optional[int], exc: Exception,
+                trace_id: Optional[str] = None) -> "Response":
         if isinstance(exc, ServiceError):
             error = {"type": exc.code, "message": str(exc),
                      "details": exc.details}
@@ -204,6 +216,11 @@ class Response:
             error = {"type": RemoteError.code,
                      "message": f"{type(exc).__name__}: {exc}",
                      "details": {}}
+        # Stamp the trace id into the error payload so a client log line
+        # or a rehydrated exception can be joined against the merged
+        # trace tree.  Details set by the handler win.
+        if trace_id is not None and "trace_id" not in error["details"]:
+            error["details"] = dict(error["details"], trace_id=trace_id)
         return cls(request_id=request_id, ok=False, error=error)
 
     def result(self) -> Dict[str, Any]:

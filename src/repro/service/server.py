@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import itertools
 import logging
 import os
 import threading
@@ -56,7 +57,15 @@ from repro.experiments.harness import (
     random_indices,
     sample_target,
 )
-from repro.obs import MetricsRegistry, Observability, Span, Tracer, use
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Span,
+    TraceContext,
+    Tracer,
+    shard_span_base,
+    use,
+)
 from repro.optimize.lp import EnergyMinimizer
 from repro.runtime.controller import TradeoffEstimate
 from repro.service.protocol import (
@@ -298,6 +307,11 @@ class ServiceServer:
         self.observability = observability
         self.metrics = observability.metrics
         self._request_spans: List[Span] = []
+        # Per-request shard counter: each traced request numbers its
+        # spans from a distinct shard_span_base block, so concurrent
+        # handler threads never collide.  itertools.count is atomic
+        # under the GIL, so worker threads may draw from it directly.
+        self._request_seq = itertools.count(1)
         self._admitted = 0
         self._inflight: Dict[str, "asyncio.Future"] = {}
         self._bound: Optional[ServiceAddress] = None
@@ -409,6 +423,9 @@ class ServiceServer:
     async def _handle_request(self, request: Request,
                               writer: asyncio.StreamWriter,
                               received: float) -> None:
+        ctx = (TraceContext.from_wire(request.trace)
+               if request.trace is not None else None)
+        trace_id = ctx.trace_id if ctx is not None else None
         if request.op == "shutdown":
             await self._send(writer, Response.success(request.request_id,
                                                       {"stopping": True}))
@@ -422,7 +439,8 @@ class ServiceServer:
                     request.request_id, payload))
             except Exception as exc:
                 await self._send(writer, Response.failure(
-                    request.request_id, map_exception(exc)))
+                    request.request_id, map_exception(exc),
+                    trace_id=trace_id))
             return
 
         # Coalescing first: a request identical to an in-flight one adds
@@ -439,12 +457,14 @@ class ServiceServer:
             # shed here, synchronously, without touching the thread pool.
             if self._admitted >= self.max_pending:
                 self.metrics.inc("service_shed_total")
+                self.observability.slo.record_event("service-shed")
                 exc = ServiceOverloaded(
                     f"{self._admitted} requests already admitted "
                     f"(bound {self.max_pending}); retry later",
                     details={"max_pending": self.max_pending})
                 await self._send(writer,
-                                 Response.failure(request.request_id, exc))
+                                 Response.failure(request.request_id, exc,
+                                                  trace_id=trace_id))
                 return
             self._admitted += 1
             self.metrics.set_gauge("service_pending", self._admitted)
@@ -464,20 +484,26 @@ class ServiceServer:
                                              timeout=remaining)
         except asyncio.TimeoutError:
             self.metrics.inc("service_deadline_exceeded_total")
+            self.observability.slo.record_event("service-deadline-exceeded")
+            self.observability.slo.record_deadline(False)
             await self._send(writer, Response.failure(
                 request.request_id,
                 DeadlineExceeded(
                     f"deadline of {deadline:.3f}s exceeded for "
                     f"op {request.op!r}",
-                    details={"deadline_s": deadline, "op": request.op})))
+                    details={"deadline_s": deadline, "op": request.op}),
+                trace_id=trace_id))
             return
         except Exception as exc:
             self.metrics.inc("service_errors_total")
             await self._send(writer, Response.failure(request.request_id,
-                                                      map_exception(exc)))
+                                                      map_exception(exc),
+                                                      trace_id=trace_id))
             return
-        self.metrics.observe("service_request_seconds",
-                             self._loop.time() - received)
+        elapsed = self._loop.time() - received
+        self.metrics.observe("service_request_seconds", elapsed)
+        self.observability.slo.record_latency(elapsed)
+        self.observability.slo.record_deadline(True)
         await self._send(writer,
                          Response.success(request.request_id, payload))
 
@@ -495,7 +521,11 @@ class ServiceServer:
     def _inline(self, request: Request) -> Dict[str, Any]:
         """Loop-thread operations; must stay cheap and non-blocking."""
         if request.op == "metrics":
+            # ``registry`` is the lossless export (raw histogram values)
+            # a client merges into its own registry for fleet-wide
+            # aggregation; ``metrics`` stays the human-facing summary.
             return {"metrics": self.metrics.snapshot(),
+                    "registry": self.metrics.dump(),
                     "admission": {"admitted": self._admitted,
                                   "max_pending": self.max_pending,
                                   "workers": self.max_workers}}
@@ -526,12 +556,33 @@ class ServiceServer:
         installs its own observability scope: a fresh per-request
         tracer (the shared tracer's span stack is not concurrency-safe)
         over the shared metrics registry.
+
+        A request carrying a trace context gets traced even when the
+        server's own tracer is off — the client's sampling decision
+        propagates, as in every distributed-tracing system — and the
+        per-request tracer adopts the caller's trace id and parents its
+        root span under the caller's span.  Span ids come from a
+        per-request :func:`shard_span_base` block, so concurrent
+        handlers (and the remote caller) can never collide.
         """
-        if self.observability.tracer.is_recording:
-            local = Observability(tracer=Tracer(),
-                                  metrics=self.observability.metrics)
+        ctx = (TraceContext.from_wire(request.trace)
+               if request.trace is not None else None)
+        if ctx is not None or self.observability.tracer.is_recording:
+            trace_id = (ctx.trace_id if ctx is not None
+                        else self.observability.tracer.trace_id)
+            base = (shard_span_base(
+                        trace_id, f"server-req-{next(self._request_seq)}")
+                    if trace_id is not None else 0)
+            tracer = Tracer(
+                trace_id=trace_id,
+                remote_parent=ctx.span_id if ctx is not None else None,
+                span_id_base=base)
+            local = Observability(tracer=tracer,
+                                  metrics=self.observability.metrics,
+                                  slo=self.observability.slo)
         else:
-            local = Observability(metrics=self.observability.metrics)
+            local = Observability(metrics=self.observability.metrics,
+                                  slo=self.observability.slo)
         try:
             with use(local):
                 with local.tracer.span("service.request", op=request.op,

@@ -1,0 +1,243 @@
+"""Tests for the SLO layer: objectives, burn rates, offline rebuild.
+
+Streams carry explicit ``now`` timestamps throughout so every assertion
+is deterministic — the wall clock never positions a point.
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_OBJECTIVES,
+    NULL_SLO,
+    MetricsRegistry,
+    NullSloTracker,
+    Observability,
+    SloObjective,
+    SloTracker,
+    get_slo,
+    labeled,
+)
+
+
+def _tracker(*objectives):
+    return SloTracker(objectives=objectives)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            SloObjective(name="x", kind="throughput", target=1.0)
+
+    def test_hit_rate_target_must_be_a_fraction(self):
+        with pytest.raises(ValueError, match="hit-rate"):
+            SloObjective(name="x", kind="deadline-hit-rate", target=1.5)
+
+    def test_latency_target_must_be_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            SloObjective(name="x", kind="latency", target=0.0)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError, match="percentile"):
+            SloObjective(name="x", kind="latency", target=1.0,
+                         percentile=0.0)
+
+    def test_defaults_pass_their_own_validation(self):
+        assert len(DEFAULT_OBJECTIVES) == 3
+
+
+class TestLatencyObjective:
+    OBJ = SloObjective(name="lat-p95", kind="latency", target=1.0,
+                       percentile=95.0)
+
+    def test_vacuously_met_with_no_data(self):
+        status, = _tracker(self.OBJ).status()
+        assert status.met
+        assert status.samples == 0
+        assert math.isnan(status.observed)
+        assert status.burn_rate == 0.0
+        assert status.budget_remaining == 1.0
+
+    def test_met_when_percentile_inside_target(self):
+        tracker = _tracker(self.OBJ)
+        for i in range(100):
+            tracker.record_latency(0.1, now=float(i))
+        status, = tracker.status()
+        assert status.met
+        assert status.samples == 100
+        assert status.observed == pytest.approx(0.1)
+        assert status.burn_rate == 0.0
+
+    def test_burn_rate_is_bad_fraction_over_allowed(self):
+        # 2 bad out of 20 = 10% bad against a 5% allowance: burning at
+        # 2x the sustainable rate, and the total budget is gone.
+        tracker = _tracker(self.OBJ)
+        for i in range(18):
+            tracker.record_latency(0.1, now=float(i))
+        for i in range(18, 20):
+            tracker.record_latency(5.0, now=float(i))
+        status, = tracker.status()
+        assert status.burn_rate == pytest.approx(2.0)
+        assert status.burn_rate_total == pytest.approx(2.0)
+        assert status.budget_remaining == 0.0
+        assert not status.met
+
+    def test_windowed_objective_forgets_old_badness(self):
+        windowed = SloObjective(name="lat-p95", kind="latency",
+                                target=1.0, percentile=95.0,
+                                window_s=10.0)
+        tracker = _tracker(windowed)
+        for i in range(20):  # ancient bad points, t = 0..19
+            tracker.record_latency(5.0, now=float(i))
+        for i in range(100, 200):  # a long healthy stretch
+            tracker.record_latency(0.1, now=float(i))
+        status, = tracker.status()
+        assert status.met, "window should only see the healthy tail"
+        assert status.burn_rate == 0.0
+        assert status.burn_rate_total > 0.0  # history remembers
+
+
+class TestDeadlineObjective:
+    OBJ = SloObjective(name="deadlines", kind="deadline-hit-rate",
+                       target=0.95)
+
+    def test_hit_rate_at_target_is_met(self):
+        tracker = _tracker(self.OBJ)
+        for i in range(19):
+            tracker.record_deadline(True, now=float(i))
+        tracker.record_deadline(False, now=19.0)
+        status, = tracker.status()
+        assert status.observed == pytest.approx(0.95)
+        assert status.met
+        assert status.burn_rate == pytest.approx(1.0)
+
+    def test_hit_rate_below_target_misses(self):
+        tracker = _tracker(self.OBJ)
+        for i in range(18):
+            tracker.record_deadline(True, now=float(i))
+        for i in range(18, 20):
+            tracker.record_deadline(False, now=float(i))
+        status, = tracker.status()
+        assert status.observed == pytest.approx(0.9)
+        assert not status.met
+        assert status.burn_rate == pytest.approx(2.0)
+
+
+class TestEnergyOverheadObjective:
+    OBJ = SloObjective(name="overhead", kind="energy-overhead",
+                       target=0.10)
+
+    def test_mean_ratio_evaluated(self):
+        tracker = _tracker(self.OBJ)
+        for i, ratio in enumerate((0.05, 0.15)):
+            tracker.record_energy_overhead(ratio, now=float(i))
+        status, = tracker.status()
+        assert status.observed == pytest.approx(0.10)
+        assert status.met
+        assert status.burn_rate == pytest.approx(1.0)
+
+    def test_over_budget(self):
+        tracker = _tracker(self.OBJ)
+        tracker.record_energy_overhead(0.30, now=0.0)
+        status, = tracker.status()
+        assert not status.met
+        assert status.burn_rate == pytest.approx(3.0)
+
+
+class TestEventsAndReport:
+    def test_events_count_by_kind(self):
+        tracker = SloTracker()
+        tracker.record_event("breaker-open")
+        tracker.record_event("ladder-demotion")
+        tracker.record_event("ladder-demotion")
+        assert tracker.events == {"breaker-open": 1,
+                                  "ladder-demotion": 2}
+
+    def test_report_shape(self):
+        tracker = SloTracker()
+        tracker.record_latency(0.2, now=0.0)
+        tracker.record_event("cap-violation")
+        report = tracker.report()
+        assert set(report) == {"objectives", "events", "streams"}
+        assert [o["name"] for o in report["objectives"]] == \
+            [o.name for o in DEFAULT_OBJECTIVES]
+        assert report["events"] == {"cap-violation": 1}
+        assert report["streams"]["latency"] == {"points": 1, "last": 0.2}
+
+    def test_status_order_is_configured_order(self):
+        objs = (SloObjective(name="b", kind="latency", target=1.0),
+                SloObjective(name="a", kind="latency", target=2.0))
+        assert [s.objective.name for s in _tracker(*objs).status()] \
+            == ["b", "a"]
+
+    def test_named_streams_via_observe(self):
+        tracker = SloTracker()
+        tracker.observe("power_watts", 42.0, now=1.0)
+        assert tracker.stream("power_watts").last_value == 42.0
+
+
+class TestFromMetrics:
+    def _dump(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 3.0):
+            registry.observe("service_request_seconds", value)
+        registry.inc(labeled("cluster_deadline_met_total",
+                             tenant="kmeans"), 3)
+        registry.inc(labeled("cluster_deadline_missed_total",
+                             tenant="blackscholes"), 1)
+        registry.inc("fault_injected_total", 5)
+        registry.inc("fault_power_spike_total", 2)
+        registry.inc("resilience_demotions_total", 1)
+        registry.set_gauge("slo_energy_overhead", 0.04)
+        return registry.dump()
+
+    def test_streams_and_events_rebuilt(self):
+        tracker = SloTracker.from_metrics(self._dump())
+        assert len(tracker.stream(SloTracker.LATENCY)) == 3
+        assert tracker.stream(SloTracker.DEADLINE).values() == \
+            [1.0, 1.0, 1.0, 0.0]
+        assert tracker.stream(SloTracker.ENERGY_OVERHEAD).last_value \
+            == pytest.approx(0.04)
+        # fault_injected_total is the per-kind counters' sum, not a kind.
+        assert tracker.events == {"power_spike": 2, "ladder-demotion": 1}
+
+    def test_objectives_evaluate_over_rebuilt_streams(self):
+        statuses = {s.objective.name: s
+                    for s in SloTracker.from_metrics(self._dump()).status()}
+        assert statuses["latency-p95"].samples == 3
+        assert statuses["deadline-hit-rate"].observed == pytest.approx(0.75)
+        assert statuses["energy-overhead"].met
+
+    def test_tolerates_summary_shaped_histograms(self):
+        # A snapshot()-shaped dump carries summary dicts, not raw
+        # values; reconstruction must skip them rather than crash.
+        dump = {"histograms": {"service_request_seconds":
+                               {"count": 3, "p50": 0.2}},
+                "counters": {}, "gauges": {}}
+        tracker = SloTracker.from_metrics(dump)
+        assert len(tracker.stream(SloTracker.LATENCY)) == 0
+
+    def test_empty_dump(self):
+        tracker = SloTracker.from_metrics({})
+        assert all(s.met for s in tracker.status())
+
+
+class TestNullTracker:
+    def test_ambient_default_is_null(self):
+        assert get_slo() is NULL_SLO
+        assert not NULL_SLO.is_recording
+
+    def test_recording_bundle_has_live_tracker(self):
+        assert Observability.recording().slo.is_recording
+
+    def test_null_records_nothing(self):
+        null = NullSloTracker()
+        null.record_latency(1.0)
+        null.record_deadline(False)
+        null.record_energy_overhead(9.0)
+        null.record_event("breaker-open")
+        null.observe("power", 1.0)
+        assert null.status() == []
+        assert null.report() == {"objectives": [], "events": {},
+                                 "streams": {}}
