@@ -2,12 +2,16 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_report.py [--out BENCH_6.json]
+    PYTHONPATH=src python benchmarks/bench_report.py [--out BENCH_7.json]
     PYTHONPATH=src python benchmarks/bench_report.py --quick  # skip slow gates
 
 Runs the CI smoke gates (``perf_smoke``, ``service_smoke``,
-``cluster_smoke``, ``obs_smoke``) as subprocesses, times each, and
-lifts the key workload counters out of the obs gate's exported metrics.
+``cluster_smoke``, ``obs_smoke``, ``hetero_smoke``) as subprocesses,
+times each, and lifts the key workload counters out of the obs gate's
+exported metrics.  Also times the heterogeneous estimate path directly
+(one transfer-prior calibration and one LEO fit on the enlarged
+big.LITTLE configuration space), since that path's latency governs the
+hetero sweep's cost.
 The resulting ``BENCH_N.json`` files form the perf trajectory the
 ROADMAP asks for: one committed record per PR, diffable across the
 stack's growth, instead of anecdotal "feels faster" claims.
@@ -43,8 +47,62 @@ KEY_COUNTERS = (
 )
 
 #: The smoke gates, in rough order of usefulness when time is short.
-GATES = ("perf_smoke", "service_smoke", "obs_smoke", "cluster_smoke")
+GATES = ("perf_smoke", "service_smoke", "obs_smoke", "cluster_smoke",
+         "hetero_smoke")
 QUICK_GATES = ("service_smoke", "obs_smoke")
+
+
+def hetero_timings() -> dict:
+    """Latency of the hetero estimate path on the enlarged space.
+
+    Times the pieces the hetero sweep pays per cell: building the
+    transfer prior (alignment of the 1024-config Xeon tables onto the
+    big.LITTLE space) and one transfer-aware LEO fit over that space.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    import numpy as np
+
+    from repro.core.transfer import TransferPrior
+    from repro.estimators import (
+        EstimationProblem,
+        TransferAwareLEO,
+        normalize_problem,
+    )
+    from repro.experiments.harness import default_context, random_indices
+    from repro.experiments.hetero_energy import DEFAULT_SPEED_INDICES
+    from repro.platform.hetero import BIG_LITTLE, HeteroMachine, hetero_space
+    from repro.platform.topology import PAPER_TOPOLOGY
+
+    space = hetero_space(BIG_LITTLE, DEFAULT_SPEED_INDICES)
+    ctx = default_context(space_kind="paper", seed=0)
+    view = ctx.dataset.leave_one_out("kmeans")
+
+    started = time.perf_counter()
+    transfer = TransferPrior()
+    transfer.add_platform(PAPER_TOPOLOGY, ctx.space,
+                          view.prior_rates, view.prior_powers)
+    transferred = transfer.build(BIG_LITTLE, space)
+    calibrate_seconds = time.perf_counter() - started
+
+    machine = HeteroMachine(BIG_LITTLE, seed=0)
+    profile = ctx.profile("kmeans")
+    truth, _ = machine.sweep(profile, space, noisy=False)
+    indices = random_indices(len(space), 48, 7)
+    problem = EstimationProblem(
+        features=space.feature_matrix(), prior=transferred.rates,
+        observed_indices=indices, observed_values=truth[indices])
+    normalized, scale = normalize_problem(problem)
+    started = time.perf_counter()
+    estimate = TransferAwareLEO(
+        blocks=transferred.blocks).estimate(normalized) * scale
+    estimate_seconds = time.perf_counter() - started
+    error = float(np.mean(np.abs(estimate - truth) / truth))
+    return {
+        "space_configs": len(space),
+        "transfer_calibrate_seconds": round(calibrate_seconds, 3),
+        "estimate_seconds": round(estimate_seconds, 3),
+        "estimate_mean_relative_error": round(error, 4),
+    }
 
 
 def run_gate(name: str, extra_args=()) -> dict:
@@ -69,7 +127,7 @@ def run_gate(name: str, extra_args=()) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO / "BENCH_6.json"),
+    parser.add_argument("--out", default=str(REPO / "BENCH_7.json"),
                         help="where to write the report")
     parser.add_argument("--quick", action="store_true",
                         help="run only the fast gates")
@@ -94,11 +152,12 @@ def main() -> int:
             }
 
     report = {
-        "bench": 6,
+        "bench": 7,
         "generator": "benchmarks/bench_report.py",
         "quick": bool(args.quick),
         "suites": suites,
         "counters": counters,
+        "hetero": hetero_timings(),
         "total_wall_seconds": round(
             sum(s["wall_seconds"] for s in suites), 2),
         "all_passed": all(s["passed"] for s in suites),

@@ -12,6 +12,11 @@ Commands:
 * ``cluster`` — co-schedule several benchmarks on one node under a
   global power cap and compare the joint allocator against the
   per-app-static-cap and race-to-idle baselines (docs/CLUSTER.md).
+* ``hetero`` — run the suite on an asymmetric big.LITTLE node with an
+  offload device and compare the hetero-aware pipeline (transfer
+  priors, full per-cluster space) against a homogeneous-ignorant
+  baseline; ``--allocation`` water-fills a power cap across
+  per-cluster tenants instead (docs/PLATFORMS.md).
 * ``serve`` — run the multi-tenant estimation service (see
   docs/SERVICE.md); prints ``SERVING <address>`` once listening.
 * ``request`` — send one operation to a running service and print the
@@ -134,6 +139,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="processes for the cap x policy cells; results are "
              "identical for any worker count")
     _add_obs_arguments(cluster)
+
+    hetero = sub.add_parser(
+        "hetero",
+        help="hetero-aware vs homogeneous-ignorant energy on an "
+             "asymmetric node (docs/PLATFORMS.md)")
+    hetero.add_argument(
+        "--benchmarks", default=None, metavar="A,B,C",
+        help="comma-separated benchmarks (default: the full suite)")
+    hetero.add_argument("--deadline", type=float, default=None,
+                        help="deadline window in seconds (default: 30)")
+    hetero.add_argument("--utilization", type=float, default=None,
+                        help="demanded fraction of the baseline "
+                             "subspace's capacity (default: 0.7)")
+    hetero.add_argument("--samples", type=int, default=None,
+                        help="calibration samples per cell (default: 48)")
+    hetero.add_argument("--seed", type=int, default=0)
+    hetero.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="processes for the benchmark x mode cells; results are "
+             "identical for any worker count")
+    hetero.add_argument(
+        "--allocation", action="store_true",
+        help="water-fill a power cap across per-cluster tenants "
+             "instead of the energy sweep")
+    hetero.add_argument(
+        "--caps", default=None, metavar="W1,W2",
+        help="comma-separated caps for --allocation "
+             "(default: 170,150,130)")
+    _add_obs_arguments(hetero)
 
     chaos = sub.add_parser(
         "chaos",
@@ -433,6 +467,54 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_hetero(args: argparse.Namespace) -> int:
+    import repro.experiments.hetero_energy as hx
+
+    if args.allocation:
+        caps = (tuple(float(p) for p in args.caps.split(",") if p)
+                if args.caps else (170.0, 150.0, 130.0))
+        try:
+            rows = [[r.cap_watts, r.joint_watts, r.joint_feasible,
+                     r.joint_mode, r.static_watts, r.static_feasible]
+                    for r in hx.hetero_cap_allocation(caps=caps,
+                                                      seed=args.seed)]
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 1
+        print(format_table(
+            ["cap (W)", "joint (W)", "joint ok", "mode",
+             "static (W)", "static ok"],
+            rows, title="per-cluster tenants under a global cap"))
+        return 0
+
+    benchmarks = (tuple(p for p in args.benchmarks.split(",") if p)
+                  if args.benchmarks else None)
+    kwargs = {}
+    if args.deadline is not None:
+        kwargs["deadline"] = args.deadline
+    if args.utilization is not None:
+        kwargs["utilization"] = args.utilization
+    if args.samples is not None:
+        kwargs["samples"] = args.samples
+    try:
+        runs = hx.hetero_energy_experiment(
+            benchmarks=benchmarks, seed=args.seed,
+            workers=args.workers, **kwargs)
+    except (KeyError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    savings = hx.savings_summary(runs)
+    print(format_table(
+        ["benchmark", "hetero (J)", "homogeneous (J)", "savings (%)",
+         "hetero met", "baseline met"],
+        hx.summarize_runs(runs),
+        title="energy per completed demand, hetero vs homogeneous"))
+    if savings:
+        mean = float(np.mean(list(savings.values())))
+        print(f"mean savings: {100.0 * mean:.1f}%")
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     if not 0 < args.utilization <= 1:
         print("--utilization must be in (0, 1]", file=sys.stderr)
@@ -718,6 +800,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_with_observability(_cmd_reproduce, args)
     if args.command == "cluster":
         return _run_with_observability(_cmd_cluster, args)
+    if args.command == "hetero":
+        return _run_with_observability(_cmd_hetero, args)
     if args.command == "chaos":
         return _run_with_observability(_cmd_chaos, args)
     if args.command == "serve":

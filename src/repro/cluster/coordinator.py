@@ -558,12 +558,11 @@ class ClusterCoordinator:
             state.tspace = self.node.space_for(name)
             if state.admit_clock is None:
                 state.admit_clock = state.machine.clock
-            base = state.tspace.base_indices
             tenant = state.tenant
-            state.prior_rates_t = (tenant.prior_rates[:, base]
+            state.prior_rates_t = (state.tspace.slice_table(tenant.prior_rates)
                                    if tenant.prior_rates is not None
                                    else None)
-            state.prior_powers_t = (tenant.prior_powers[:, base]
+            state.prior_powers_t = (state.tspace.slice_table(tenant.prior_powers)
                                     if tenant.prior_powers is not None
                                     else None)
             # The partition, floor share, and co-runners all changed:
@@ -720,8 +719,7 @@ class ClusterCoordinator:
             mask = np.zeros(estimate.powers.size, dtype=bool)
             mask[int(np.argmin(estimate.powers))] = True
         idx = np.flatnonzero(mask)
-        fspace = ConfigurationSpace(
-            [state.tspace.space[int(i)] for i in idx], self.topology)
+        fspace = state.tspace.space.subspace([int(i) for i in idx])
         festimate = TradeoffEstimate(
             rates=estimate.rates[idx], powers=estimate.powers[idx],
             estimator_name=estimate.estimator_name)

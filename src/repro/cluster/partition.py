@@ -147,26 +147,76 @@ class TenantSpace:
     def __len__(self) -> int:
         return len(self.space)
 
+    def slice_table(self, table: np.ndarray) -> np.ndarray:
+        """Project a node-wide table onto this tenant's configurations.
+
+        ``table`` is laid out over the full node space along its last
+        axis (prior rate/power tables, truth curves).  Works for any
+        base-index subset, contiguous or not; raises ``ValueError``
+        when the table's last axis does not match the node space the
+        indices were cut from.
+        """
+        table = np.asarray(table)
+        if table.ndim < 1:
+            raise ValueError("table must have at least one axis")
+        limit = int(self.base_indices.max()) if len(self.base_indices) else 0
+        if table.shape[-1] <= limit:
+            raise ValueError(
+                f"table covers {table.shape[-1]} node configurations but "
+                f"the tenant references base index {limit}; slice tables "
+                f"over the node-wide space, not an already-sliced one")
+        return table[..., self.base_indices]
+
 
 def partition_space(space: ConfigurationSpace,
-                    partition: CorePartition) -> TenantSpace:
+                    partition: CorePartition,
+                    indices: Optional[Sequence[int]] = None) -> TenantSpace:
     """Project a node-wide configuration space onto one partition.
 
-    Keeps every configuration whose core and thread demands fit inside
-    the partition.  Raises ``ValueError`` naming the partition when
-    nothing fits (the partition is too small for the space's smallest
-    configuration).
+    By default keeps every configuration whose core and thread demands
+    fit inside the partition.  ``indices`` overrides the filter with an
+    explicit base-index subset — heterogeneous partitions (one per core
+    cluster) produce non-contiguous subsets like this, since a
+    cluster's configurations interleave with the other clusters' in the
+    node-wide ordering.  Explicit subsets are validated: in range,
+    strictly increasing (so prior-table slices stay aligned with the
+    node-space order), and still within the partition's core/thread
+    budget.
+
+    Raises ``ValueError`` naming the partition when nothing fits.
     """
-    indices = [i for i, config in enumerate(space)
-               if config.cores <= partition.cores
-               and config.threads <= partition.threads]
-    if not indices:
+    if indices is None:
+        kept = [i for i, config in enumerate(space)
+                if config.cores <= partition.cores
+                and config.threads <= partition.threads]
+    else:
+        kept = [int(i) for i in indices]
+        for pos, i in enumerate(kept):
+            if not 0 <= i < len(space):
+                raise ValueError(
+                    f"partition {partition.name!r}: base index {i} out of "
+                    f"range [0, {len(space)})")
+            if pos > 0 and i <= kept[pos - 1]:
+                raise ValueError(
+                    f"partition {partition.name!r}: base indices must be "
+                    f"strictly increasing to preserve node-space order, "
+                    f"got {kept[pos - 1]} before {i}")
+            config = space[i]
+            if config.cores > partition.cores \
+                    or config.threads > partition.threads:
+                raise ValueError(
+                    f"partition {partition.name!r}: configuration at base "
+                    f"index {i} (cores={config.cores}, "
+                    f"threads={config.threads}) exceeds the partition "
+                    f"(cores={partition.cores}, "
+                    f"threads={partition.threads})")
+    if not kept:
         raise ValueError(
             f"no configuration fits partition {partition.name!r} "
             f"(cores={partition.cores}, threads={partition.threads})"
         )
-    sub = ConfigurationSpace([space[i] for i in indices], space.topology)
-    return TenantSpace(space=sub, base_indices=np.asarray(indices, dtype=int))
+    sub = space.subspace(kept)
+    return TenantSpace(space=sub, base_indices=np.asarray(kept, dtype=int))
 
 
 class PartitionedMachine:

@@ -11,6 +11,7 @@ from repro.estimators.knn import KNNEstimator
 from repro.estimators.leo import LEOEstimator
 from repro.estimators.offline import OfflineEstimator
 from repro.estimators.online import OnlineEstimator
+from repro.estimators.transfer import TransferAwareLEO
 from repro.estimators.registry import (
     available_estimators,
     create_estimator,
@@ -29,6 +30,7 @@ __all__ = [
     "LEOEstimator",
     "OfflineEstimator",
     "OnlineEstimator",
+    "TransferAwareLEO",
     "available_estimators",
     "create_estimator",
     "register",

@@ -94,9 +94,19 @@ class LEOEstimator(Estimator):
         else:
             init_mu = self._rng.standard_normal(problem.num_configs)
 
-        self.last_fit = self.model.fit(observations, init_mu=init_mu)
+        model = self._model_for(std_prior)
+        self.last_fit = model.fit(observations, init_mu=init_mu)
         standardized_curve = self.last_fit.target_curve()
         return standardized_curve * pooled_std + center
+
+    def _model_for(self, std_prior: np.ndarray) -> HierarchicalBayesianModel:
+        """The model used for this fit.
+
+        The base estimator always fits the model built at construction
+        time; transfer-aware subclasses derive a per-fit hyperprior from
+        the standardized prior table (whose scale is only known here).
+        """
+        return self.model
 
     @property
     def iterations(self) -> int:

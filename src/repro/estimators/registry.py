@@ -24,10 +24,12 @@ from repro.estimators.knn import KNNEstimator
 from repro.estimators.leo import LEOEstimator
 from repro.estimators.offline import OfflineEstimator
 from repro.estimators.online import OnlineEstimator
+from repro.estimators.transfer import TransferAwareLEO
 
 _FACTORIES: Dict[str, Callable[[], Estimator]] = {
     "knn": KNNEstimator,
     "leo": LEOEstimator,
+    "leo-transfer": TransferAwareLEO,
     "offline": OfflineEstimator,
     "online": OnlineEstimator,
 }

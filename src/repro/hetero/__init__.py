@@ -1,0 +1,63 @@
+"""Heterogeneous-platform support: one import surface.
+
+Re-exports the asymmetric platform layer
+(:mod:`repro.platform.hetero`), the cross-platform transfer-prior math
+(:mod:`repro.core.transfer`), and the transfer-aware estimator
+(:mod:`repro.estimators.transfer`) so heterogeneous experiments need a
+single import:
+
+    from repro.hetero import BIG_LITTLE, HeteroMachine, TransferPrior
+
+See docs/PLATFORMS.md for the topology model, the transfer priors, and
+the degeneracy guarantee.
+"""
+
+from repro.core.transfer import (
+    PlatformBlock,
+    PlatformSignature,
+    TransferPrior,
+    TransferredPrior,
+    alignment_features,
+    block_psi,
+    map_indices,
+    platform_distance,
+    platform_similarity,
+    signature_of,
+)
+from repro.estimators.transfer import TransferAwareLEO
+from repro.platform.hetero import (
+    BIG_LITTLE,
+    CoreCluster,
+    HeteroConfiguration,
+    HeteroMachine,
+    HeteroPerformanceModel,
+    HeteroPowerModel,
+    HeteroTopology,
+    OffloadDevice,
+    cluster_indices,
+    hetero_space,
+)
+
+__all__ = [
+    "PlatformBlock",
+    "PlatformSignature",
+    "TransferPrior",
+    "TransferredPrior",
+    "alignment_features",
+    "block_psi",
+    "map_indices",
+    "platform_distance",
+    "platform_similarity",
+    "signature_of",
+    "TransferAwareLEO",
+    "BIG_LITTLE",
+    "CoreCluster",
+    "HeteroConfiguration",
+    "HeteroMachine",
+    "HeteroPerformanceModel",
+    "HeteroPowerModel",
+    "HeteroTopology",
+    "OffloadDevice",
+    "cluster_indices",
+    "hetero_space",
+]

@@ -186,7 +186,9 @@ class Histogram:
             return ordered[lower] + (ordered[upper] - ordered[lower]) * fraction
         if q == 0:
             return ordered[0]
-        rank = math.ceil(q * n / 100.0)
+        # Clamp below: q*n/100 underflows to 0.0 for subnormal q, and
+        # ceil(0.0) would index ordered[-1] (the max) instead of the min.
+        rank = max(1, math.ceil(q * n / 100.0))
         return ordered[min(rank, n) - 1]
 
     def summary(self) -> Dict[str, float]:

@@ -16,6 +16,18 @@ from repro.platform.dvfs import (
     speed_ladder,
     voltage_at,
 )
+from repro.platform.hetero import (
+    BIG_LITTLE,
+    CoreCluster,
+    HeteroConfiguration,
+    HeteroMachine,
+    HeteroPerformanceModel,
+    HeteroPowerModel,
+    HeteroTopology,
+    OffloadDevice,
+    cluster_indices,
+    hetero_space,
+)
 from repro.platform.machine import Machine, Measurement
 from repro.platform.performance_model import PerformanceModel
 from repro.platform.power_model import PowerConstants, PowerModel
@@ -33,6 +45,16 @@ __all__ = [
     "dynamic_power_scale",
     "speed_ladder",
     "voltage_at",
+    "BIG_LITTLE",
+    "CoreCluster",
+    "HeteroConfiguration",
+    "HeteroMachine",
+    "HeteroPerformanceModel",
+    "HeteroPowerModel",
+    "HeteroTopology",
+    "OffloadDevice",
+    "cluster_indices",
+    "hetero_space",
     "Machine",
     "Measurement",
     "PerformanceModel",

@@ -80,6 +80,17 @@ class Configuration:
             dtype=float,
         )
 
+    def lookup_key(self):
+        """Hashable identity used by :class:`ConfigurationSpace`'s index.
+
+        Subclasses with extra knobs (per-cluster allocations on
+        heterogeneous platforms) must extend this key, otherwise
+        configurations sharing aggregate knob values would collide in
+        the dict-backed lookup.
+        """
+        return (self.cores, self.threads, self.memory_controllers,
+                self.speed.index)
+
 
 class ConfigurationSpace:
     """An ordered, indexable collection of configurations.
@@ -100,8 +111,7 @@ class ConfigurationSpace:
 
     @staticmethod
     def _key(config: Configuration):
-        return (config.cores, config.threads, config.memory_controllers,
-                config.speed.index)
+        return config.lookup_key()
 
     def __len__(self) -> int:
         return len(self._configs)
@@ -120,8 +130,24 @@ class ConfigurationSpace:
         return self._key(config) in self._index
 
     def feature_matrix(self) -> np.ndarray:
-        """Stacked feature vectors, shape ``(len(self), 4)``."""
+        """Stacked feature vectors, shape ``(len(self), d)``.
+
+        ``d`` is 4 for plain configurations; heterogeneous spaces append
+        per-cluster knobs (every member of a space shares one type, so
+        rows always stack).
+        """
         return np.stack([c.feature_vector() for c in self._configs])
+
+    def subspace(self, indices: Sequence[int]) -> "ConfigurationSpace":
+        """A new space holding ``self[i]`` for each ``i`` in ``indices``.
+
+        Accepts any (possibly non-contiguous) index subset, preserving
+        order; the configuration objects are shared, not copied.  This
+        is the single code path for partition slicing and the
+        allocator's budget filtering.
+        """
+        configs = [self._configs[i] for i in indices]
+        return ConfigurationSpace(configs, self.topology)
 
     @classmethod
     def paper_space(cls, topology: Topology = PAPER_TOPOLOGY) -> "ConfigurationSpace":

@@ -179,3 +179,72 @@ class TestTenantMachineDirect:
         measurement = view.run_for(1.0)
         assert measurement.heartbeats > 0
         assert measurement.system_power > view.idle_power()
+
+
+class TestExplicitIndices:
+    """partition_space(..., indices=) with non-contiguous subsets.
+
+    Heterogeneous nodes carve one tenant per core cluster, and a
+    cluster's configurations interleave with the other clusters' in the
+    node-wide ordering — the subset is non-contiguous by construction.
+    """
+
+    @pytest.fixture()
+    def partition(self):
+        return PAPER_TOPOLOGY.split([("b", 5), ("rest", 11)])[0]
+
+    @pytest.fixture()
+    def sparse(self, cores_space, partition):
+        fitting = [i for i, c in enumerate(cores_space)
+                   if c.cores <= partition.cores
+                   and c.threads <= partition.threads]
+        return fitting[::2]  # every other one: gaps guaranteed
+
+    def test_non_contiguous_subset_round_trips(self, cores_space,
+                                               partition, sparse):
+        assert any(b - a > 1 for a, b in zip(sparse, sparse[1:]))
+        tspace = partition_space(cores_space, partition, indices=sparse)
+        assert list(tspace.base_indices) == sparse
+        for local, base in enumerate(tspace.base_indices):
+            assert tspace.space[local] == cores_space[int(base)]
+
+    def test_out_of_range_index_rejected(self, cores_space, partition):
+        with pytest.raises(ValueError, match="out of range"):
+            partition_space(cores_space, partition,
+                            indices=[0, len(cores_space)])
+
+    def test_non_increasing_indices_rejected(self, cores_space,
+                                             partition, sparse):
+        shuffled = [sparse[1], sparse[0]] + sparse[2:]
+        with pytest.raises(ValueError, match="strictly increasing"):
+            partition_space(cores_space, partition, indices=shuffled)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            partition_space(cores_space, partition,
+                            indices=[sparse[0], sparse[0]])
+
+    def test_oversized_config_in_subset_rejected(self, cores_space,
+                                                 partition):
+        too_big = next(i for i, c in enumerate(cores_space)
+                       if c.cores > partition.cores)
+        with pytest.raises(ValueError, match="exceeds the partition"):
+            partition_space(cores_space, partition, indices=[too_big])
+
+    def test_slice_table_follows_sparse_indices(self, cores_space,
+                                                partition, sparse):
+        tspace = partition_space(cores_space, partition, indices=sparse)
+        table = np.arange(3 * len(cores_space), dtype=float).reshape(
+            3, len(cores_space))
+        sliced = tspace.slice_table(table)
+        assert sliced.shape == (3, len(sparse))
+        assert np.array_equal(sliced, table[:, sparse])
+        flat = tspace.slice_table(table[0])
+        assert np.array_equal(flat, table[0, sparse])
+
+    def test_slice_table_rejects_already_sliced_table(self, cores_space,
+                                                      partition, sparse):
+        tspace = partition_space(cores_space, partition, indices=sparse)
+        short = np.zeros(max(sparse))  # one column too few
+        with pytest.raises(ValueError, match="node-wide"):
+            tspace.slice_table(short)
+        with pytest.raises(ValueError, match="at least one axis"):
+            tspace.slice_table(np.float64(1.0))

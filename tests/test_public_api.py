@@ -56,7 +56,8 @@ class TestSubpackageNamespaces:
     def test_estimator_registry_matches_exports(self):
         from repro.estimators import available_estimators
         names = available_estimators()
-        assert set(names) == {"knn", "leo", "offline", "online"}
+        assert set(names) == {"knn", "leo", "leo-transfer", "offline",
+                              "online"}
 
 
 class TestQuickstartContract:

@@ -137,3 +137,59 @@ class TestSplit:
         (part,) = PAPER_TOPOLOGY.split([spec])
         assert (part.name, part.cores, part.threads) == ("a", 3, 6)
         assert part.first_core == 0
+
+
+class TestSplitEdgeCases:
+    """The corners the hetero layer leans on (split_by_cluster)."""
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            PAPER_TOPOLOGY.split([("", 4)])
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            PAPER_TOPOLOGY.split([(7, 4)])
+
+    def test_single_core_remainders(self):
+        parts = PAPER_TOPOLOGY.split(
+            [("bulk", 14), ("tail0", 1), ("tail1", 1)])
+        assert [p.cores for p in parts] == [14, 1, 1]
+        assert [p.first_core for p in parts] == [0, 14, 15]
+        # A 1-core partition still owns both hyperthread siblings.
+        assert parts[1].threads == 2
+
+    def test_all_singleton_partitions(self):
+        parts = PAPER_TOPOLOGY.split(
+            [(f"c{i}", 1) for i in range(PAPER_TOPOLOGY.total_cores)])
+        assert len(parts) == PAPER_TOPOLOGY.total_cores
+        assert [p.first_core for p in parts] == list(
+            range(PAPER_TOPOLOGY.total_cores))
+
+    def test_asymmetric_explicit_threads_keep_offsets(self):
+        parts = PAPER_TOPOLOGY.split(
+            [("big", 10, 10), ("little", 6, 12)])
+        assert [(p.first_core, p.last_core) for p in parts] == \
+            [(0, 10), (10, 16)]
+        assert [p.threads for p in parts] == [10, 12]
+
+    def test_partial_split_leaves_cores_unowned(self):
+        parts = PAPER_TOPOLOGY.split([("only", 3)])
+        assert len(parts) == 1
+        assert parts[0].last_core == 3  # remaining 13 cores unassigned
+
+    def test_no_hyperthreading_topology(self):
+        flat = Topology(sockets=1, cores_per_socket=8,
+                        threads_per_core=1, memory_controllers=1)
+        (part,) = flat.split([("a", 4)])
+        assert part.threads == 4
+        with pytest.raises(ValueError, match="hyperthread"):
+            flat.split([("a", 4, 5)])
+
+    def test_validation_precedes_packing(self):
+        # The offending request fails before earlier ones are packed
+        # into partitions, so no partial result escapes.
+        with pytest.raises(ValueError):
+            PAPER_TOPOLOGY.split([("ok", 4), ("bad", 0), ("late", 4)])
+
+    def test_empty_request_list_is_empty_split(self):
+        assert PAPER_TOPOLOGY.split([]) == []
