@@ -2,11 +2,12 @@
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_report.py [--out BENCH_7.json]
+    PYTHONPATH=src python benchmarks/bench_report.py [--out BENCH_8.json]
     PYTHONPATH=src python benchmarks/bench_report.py --quick  # skip slow gates
 
 Runs the CI smoke gates (``perf_smoke``, ``service_smoke``,
-``cluster_smoke``, ``obs_smoke``, ``hetero_smoke``) as subprocesses,
+``cluster_smoke``, ``obs_smoke``, ``hetero_smoke``, ``shard_smoke``)
+as subprocesses,
 times each, and lifts the key workload counters out of the obs gate's
 exported metrics.  Also times the heterogeneous estimate path directly
 (one transfer-prior calibration and one LEO fit on the enlarged
@@ -48,7 +49,7 @@ KEY_COUNTERS = (
 
 #: The smoke gates, in rough order of usefulness when time is short.
 GATES = ("perf_smoke", "service_smoke", "obs_smoke", "cluster_smoke",
-         "hetero_smoke")
+         "hetero_smoke", "shard_smoke")
 QUICK_GATES = ("service_smoke", "obs_smoke")
 
 
@@ -105,6 +106,31 @@ def hetero_timings() -> dict:
     }
 
 
+def shard_timings() -> dict:
+    """Throughput of a small sharded run on both wire protocols.
+
+    A deliberately modest load (2 shards x 2 clients x 50 requests) so
+    the record tracks wire and routing overhead across PRs without
+    re-paying the full acceptance run the shard gate already does.
+    """
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.experiments.service_throughput import (
+        sharded_throughput_experiment,
+    )
+
+    record = {}
+    for wire in ("json", "binary"):
+        result = sharded_throughput_experiment(
+            shards=2, clients=2, requests_per_client=50, tenants=8,
+            wire=wire, workers=2)
+        record[wire] = {
+            "requests": result.completed,
+            "requests_per_second": round(result.requests_per_second, 1),
+            "latency_p99_seconds": round(result.latency["p99"], 4),
+        }
+    return record
+
+
 def run_gate(name: str, extra_args=()) -> dict:
     """Run one smoke gate as a subprocess; never raises."""
     script = BENCH_DIR / f"{name}.py"
@@ -127,7 +153,7 @@ def run_gate(name: str, extra_args=()) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO / "BENCH_7.json"),
+    parser.add_argument("--out", default=str(REPO / "BENCH_8.json"),
                         help="where to write the report")
     parser.add_argument("--quick", action="store_true",
                         help="run only the fast gates")
@@ -152,12 +178,13 @@ def main() -> int:
             }
 
     report = {
-        "bench": 7,
+        "bench": 8,
         "generator": "benchmarks/bench_report.py",
         "quick": bool(args.quick),
         "suites": suites,
         "counters": counters,
         "hetero": hetero_timings(),
+        "shard": shard_timings(),
         "total_wall_seconds": round(
             sum(s["wall_seconds"] for s in suites), 2),
         "all_passed": all(s["passed"] for s in suites),

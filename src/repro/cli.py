@@ -21,6 +21,9 @@ Commands:
   docs/SERVICE.md); prints ``SERVING <address>`` once listening.
 * ``request`` — send one operation to a running service and print the
   JSON response.
+* ``shard`` — spin up an N-shard fleet (docs/SHARDING.md), route demo
+  requests by tenant key over the negotiated wire, and dump per-shard
+  routing and metrics as JSON.
 * ``obs summarize PATH [PATH ...]`` — render one or more JSONL trace
   shards (written with ``--trace``, by workers, or by a server) as one
   merged span tree with per-name aggregates; warns about orphans.
@@ -176,7 +179,7 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--plan", default="default",
         help="shipped fault plan name (none, default, sensors, "
-             "estimation, service, cluster)")
+             "estimation, service, cluster, shard-loss)")
     chaos.add_argument("--windows", type=int, default=4,
                        help="back-to-back deadline windows per pass")
     chaos.add_argument("--utilization", type=float, default=0.5)
@@ -222,6 +225,26 @@ def _build_parser() -> argparse.ArgumentParser:
     request.add_argument("--retries", type=int, default=2)
     request.add_argument("--retry-overloaded", action="store_true",
                          help="retry with backoff when the request is shed")
+
+    shard = sub.add_parser(
+        "shard",
+        help="run an N-shard fleet demo and dump per-shard metrics "
+             "(docs/SHARDING.md)")
+    shard.add_argument("--shards", type=int, default=3, metavar="N",
+                       help="broker count in the fleet")
+    shard.add_argument("--replicas", type=int, default=1, metavar="R",
+                       help="registry read replicas per shard")
+    shard.add_argument("--tenants", type=int, default=8, metavar="T",
+                       help="distinct tenant keys to route")
+    shard.add_argument("--requests", type=int, default=4, metavar="K",
+                       help="ping requests per tenant")
+    shard.add_argument("--wire", choices=("auto", "json", "binary"),
+                       default="auto",
+                       help="wire protocol: auto negotiates binary "
+                            "frames, json forces the v1 protocol")
+    shard.add_argument("--max-pending", type=int, default=32, metavar="K",
+                       help="per-shard admission bound")
+    shard.add_argument("--seed", type=int, default=0)
 
     obs = sub.add_parser(
         "obs", help="inspect recorded observability artifacts")
@@ -640,6 +663,52 @@ def _cmd_request(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ShardUnavailable
+    from repro.shard import ShardFleet, ShardedServiceClient
+    if args.shards < 1:
+        print("--shards must be >= 1", file=sys.stderr)
+        return 1
+    rng = np.random.default_rng(args.seed)
+    with ShardFleet(num_shards=args.shards,
+                    replicas_per_shard=args.replicas,
+                    max_pending=args.max_pending) as fleet:
+        with ShardedServiceClient(fleet.addresses,
+                                  wire=args.wire) as client:
+            routed: dict = {shard_id: 0 for shard_id in fleet.shard_ids}
+            shed = 0
+            for index in range(args.tenants):
+                tenant = f"tenant-{index}"
+                shard_id = client.router.owner(tenant)
+                for _ in range(args.requests):
+                    try:
+                        client.ping(echo=int(rng.integers(1 << 16)),
+                                    tenant_key=tenant)
+                        routed[shard_id] += 1
+                    except ShardUnavailable:
+                        shed += 1
+            report = {
+                "shards": {
+                    shard_id: {
+                        "address": str(address),
+                        "healthy": client.router.is_up(shard_id),
+                        "requests": routed[shard_id],
+                    }
+                    for shard_id, address in fleet.addresses.items()
+                },
+                "wire": {shard_id: shard_client.wire_mode
+                         for shard_id, shard_client
+                         in client._pool.items()},
+                "shed": shed,
+                "replication_lag_s": fleet.replication_lag(),
+                "metrics": client.metrics(),
+            }
+    print(json.dumps(report, indent=2, default=float))
+    return 0 if shed == 0 else 1
+
+
 def _read_span_shards(paths: List[str]):
     """Merge JSONL trace shards, or ``None`` after printing the error."""
     from repro.obs import read_shards
@@ -808,6 +877,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "request":
         return _cmd_request(args)
+    if args.command == "shard":
+        return _cmd_shard(args)
     if args.command == "obs":
         if args.action == "summarize":
             return _cmd_obs_summarize(args.path)

@@ -55,7 +55,9 @@ __all__ = [
     "RequestRejected",
     "EstimationRejected",
     "ProtocolError",
+    "FrameError",
     "RemoteError",
+    "ShardUnavailable",
 ]
 
 
@@ -244,7 +246,34 @@ class ProtocolError(ServiceError):
     code = "protocol-error"
 
 
+class FrameError(ProtocolError):
+    """A binary wire frame is truncated, corrupt, or from an unknown
+    protocol version.
+
+    Subclasses :class:`ProtocolError` so transports that already treat
+    unparseable input as a protocol failure handle binary framing
+    failures identically, while new callers can distinguish the framed
+    codec (checksum mismatch, bad magic, truncation) from JSON-lines
+    parse errors.
+    """
+
+    code = "frame-error"
+
+
 class RemoteError(ServiceError):
     """An unexpected failure inside the server."""
 
     code = "internal"
+
+
+class ShardUnavailable(ServiceError):
+    """The tenant's owning shard is down; the rest of the fleet serves on.
+
+    Raised by the shard router (and the sharded client) when the
+    consistent-hash owner of a tenant key is marked unhealthy.  The
+    error is scoped to the lost shard's tenants by construction — other
+    tenants hash to healthy shards and never see it — which is the
+    fleet's load-shedding contract under partial failure.
+    """
+
+    code = "shard-unavailable"

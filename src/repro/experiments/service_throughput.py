@@ -16,6 +16,13 @@ path and ``workers=k`` genuinely overlaps client traffic.  Unlike the
 figure sweeps, the *measurements* here are wall-clock and therefore not
 bit-stable across runs; the structural outputs (request counts, shed
 and coalesce totals for a given mix) are deterministic.
+
+:func:`sharded_throughput_experiment` is the fleet-scale variant: the
+same client loops, but ~100x the request volume against a
+:class:`~repro.shard.ShardFleet`, routed per tenant key over the binary
+wire, with the p99 latency reported through an
+:class:`~repro.obs.slo.SloTracker` objective — the acceptance number
+for the sharding PR.
 """
 
 from __future__ import annotations
@@ -29,14 +36,21 @@ import numpy as np
 from repro.estimators.base import EstimationProblem
 from repro.experiments.parallel import ParallelRunner, cell_seed
 from repro.obs.metrics import Histogram
+from repro.obs.slo import SloObjective, SloTracker
 from repro.service import (
     EstimationService,
     ServerThread,
     ServiceClient,
     ServiceOverloaded,
+    ShardUnavailable,
 )
 
-__all__ = ["ThroughputResult", "throughput_experiment"]
+__all__ = [
+    "ThroughputResult",
+    "ShardedThroughputResult",
+    "throughput_experiment",
+    "sharded_throughput_experiment",
+]
 
 
 @dataclasses.dataclass
@@ -160,3 +174,180 @@ def throughput_experiment(clients: int = 4,
                  for key in ("count", "mean", "p50", "p90", "p99")},
         server_counters={name: value for name, value in counters.items()
                         if name.startswith("service_")})
+
+
+# ----------------------------------------------------------------------
+# The sharded fleet at scale
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ShardedThroughputResult:
+    """What one fleet-scale load run observed.
+
+    ``slo`` is the :class:`~repro.obs.slo.SloTracker` report whose
+    ``latency-p99`` objective carries the acceptance number: the p99
+    request latency over every completed request in the run.
+    """
+
+    shards: int
+    clients: int
+    requests_per_client: int
+    completed: int
+    shed: int
+    unavailable: int
+    wall_seconds: float
+    wire_mode: str
+    latency: Dict[str, float]
+    per_shard_requests: Dict[str, int]
+    slo: Dict[str, Any]
+
+    @property
+    def total_requests(self) -> int:
+        return self.clients * self.requests_per_client
+
+    @property
+    def requests_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.completed / self.wall_seconds
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = dataclasses.asdict(self)
+        payload["total_requests"] = self.total_requests
+        payload["requests_per_second"] = self.requests_per_second
+        return payload
+
+
+def _sharded_client_cell(shared: Tuple[Dict[str, str], int, int, int, int,
+                                       str],
+                         cell: Tuple[int, int]) -> Dict[str, Any]:
+    """One client's request loop against the fleet (pickles by name).
+
+    ``shared`` is (address map as text, requests per client,
+    num_configs, distinct problem count, tenant count, wire mode);
+    ``cell`` is (client index, base seed).  Each request routes as one
+    of ``tenants`` tenant keys, so traffic spreads over every shard the
+    way a real multi-tenant population would.
+    """
+    from repro.service import ServiceAddress
+    from repro.shard import ShardedServiceClient
+
+    addresses_text, requests, num_configs, distinct, tenants, wire = shared
+    client_index, base_seed = cell
+    addresses = {shard: ServiceAddress.parse(text)
+                 for shard, text in addresses_text.items()}
+    latencies: List[float] = []
+    shed = unavailable = 0
+    rng = np.random.default_rng(cell_seed(base_seed, "order", client_index))
+    with ShardedServiceClient(addresses, wire=wire,
+                              timeout=120.0) as client:
+        for _ in range(requests):
+            problem = _make_problem(
+                cell_seed(base_seed, "problem",
+                          int(rng.integers(distinct))),
+                num_configs)
+            tenant = f"tenant-{int(rng.integers(tenants))}"
+            started = time.perf_counter()
+            try:
+                client.estimate(problem, estimator="offline",
+                                deadline_s=60.0, tenant_key=tenant)
+            except ServiceOverloaded:
+                shed += 1
+                continue
+            except ShardUnavailable:
+                unavailable += 1
+                continue
+            latencies.append(time.perf_counter() - started)
+    return {"client": client_index, "latencies": latencies,
+            "shed": shed, "unavailable": unavailable}
+
+
+def sharded_throughput_experiment(shards: int = 4,
+                                  clients: int = 8,
+                                  requests_per_client: int = 400,
+                                  num_configs: int = 32,
+                                  distinct_problems: int = 3,
+                                  tenants: int = 24,
+                                  max_pending: int = 32,
+                                  max_workers: int = 2,
+                                  replicas_per_shard: int = 1,
+                                  seed: int = 0,
+                                  wire: str = "auto",
+                                  latency_target_s: float = 2.0,
+                                  workers: Optional[int] = None
+                                  ) -> ShardedThroughputResult:
+    """Drive a shard fleet at ~100x the single-broker experiment.
+
+    The defaults issue ``8 x 400 = 3200`` requests — 100x the
+    single-broker run's ``4 x 8 = 32`` — across a 4-shard fleet, with
+    every completed latency fed to an :class:`SloTracker` whose p99
+    objective (``latency_target_s``) is the acceptance bound the bench
+    gate checks.
+
+    Args:
+        shards: Fleet width.
+        clients: Concurrent client loops.
+        requests_per_client: ``estimate`` calls each client issues.
+        num_configs: Configuration-space size of the synthetic problems.
+        distinct_problems: Shared problem pool size (coalescing fodder).
+        tenants: Distinct tenant keys the traffic routes as.
+        max_pending: Per-shard admission bound.
+        max_workers: Per-shard handler threads.
+        replicas_per_shard: Registry read replicas per shard.
+        seed: Base seed for problems, tenants, and request order.
+        wire: Wire mode for the clients (``"auto"`` negotiates binary).
+        latency_target_s: The p99 objective bound in the SLO report.
+        workers: Client-side parallelism (``None`` reads
+            ``REPRO_WORKERS``).
+    """
+    from repro.shard import ShardFleet
+
+    with ShardFleet(num_shards=shards, max_pending=max_pending,
+                    max_workers=max_workers,
+                    replicas_per_shard=replicas_per_shard) as fleet:
+        addresses_text = {shard: str(address)
+                          for shard, address in fleet.addresses.items()}
+        shared = (addresses_text, requests_per_client, num_configs,
+                  max(1, distinct_problems), max(1, tenants), wire)
+        cells = [(i, seed) for i in range(clients)]
+        runner = ParallelRunner(workers=workers)
+        started = time.perf_counter()
+        outcomes = runner.map(_sharded_client_cell, cells, shared=shared)
+        wall = time.perf_counter() - started
+        per_shard: Dict[str, int] = {}
+        wire_mode = "unknown"
+        for shard, address in fleet.addresses.items():
+            with ServiceClient(address, wire=wire) as probe:
+                counters = probe.metrics()["metrics"]["counters"]
+                if probe.wire_mode is not None:
+                    wire_mode = probe.wire_mode
+            per_shard[shard] = int(
+                counters.get("service_requests_total", 0))
+
+    histogram = Histogram("sharded_client_latency_seconds")
+    slo = SloTracker(objectives=(
+        SloObjective(name="latency-p99", kind="latency",
+                     target=latency_target_s, percentile=99.0),),
+        capacity=clients * requests_per_client)
+    shed = unavailable = 0
+    tick = 0
+    for outcome in outcomes:
+        shed += outcome["shed"]
+        unavailable += outcome["unavailable"]
+        for value in outcome["latencies"]:
+            histogram.observe(value)
+            slo.record_latency(value, now=tick)
+            tick += 1
+    snapshot = histogram.summary()
+    return ShardedThroughputResult(
+        shards=shards,
+        clients=clients,
+        requests_per_client=requests_per_client,
+        completed=int(snapshot["count"]),
+        shed=shed,
+        unavailable=unavailable,
+        wall_seconds=wall,
+        wire_mode=wire_mode,
+        latency={key: snapshot[key]
+                 for key in ("count", "mean", "p50", "p90", "p99")},
+        per_shard_requests=per_shard,
+        slo=slo.report())

@@ -47,6 +47,15 @@ kind                      site                   effect when fired
                                                  the epoch boundary
 ``cap-transient``         ``cluster.cap``        cap scaled by ``magnitude``
                                                  while the window is active
+``broker-crash``          ``shard.route``        routed shard's broker is
+                                                 gone: transport failure →
+                                                 health accounting →
+                                                 :class:`ShardUnavailable`
+``slow-shard``            ``shard.call``         ``magnitude`` seconds of
+                                                 added latency on the call
+``partitioned-replica``   ``registry.sync``      replica cannot reach the
+                                                 leader; reads serve stale
+                                                 within the staleness bound
 ========================  =====================  =============================
 """
 
@@ -86,6 +95,9 @@ KIND_SITES: Dict[str, str] = {
     "partial-write": "persistence.write",
     "tenant-crash": "cluster.tenant",
     "cap-transient": "cluster.cap",
+    "broker-crash": "shard.route",
+    "slow-shard": "shard.call",
+    "partitioned-replica": "registry.sync",
 }
 
 KINDS: Tuple[str, ...] = tuple(sorted(KIND_SITES))

@@ -67,6 +67,19 @@ def _cluster(seed: int = 0) -> FaultPlan:
     ))
 
 
+def _shard_loss(seed: int = 0) -> FaultPlan:
+    """Partial fleet failure: a crashed broker, a slow shard, and a
+    replica cut off from the leader.  The chaos gate asserts the
+    crashed shard's tenants shed with :class:`ShardUnavailable` while
+    every other shard keeps answering."""
+    return FaultPlan(name="shard-loss", seed=seed, specs=(
+        FaultSpec("broker-crash", probability=1.0, max_events=4),
+        FaultSpec("slow-shard", probability=0.5, max_events=3,
+                  magnitude=0.05),
+        FaultSpec("partitioned-replica", probability=1.0, max_events=3),
+    ))
+
+
 def default_plan(seed: int = 0) -> FaultPlan:
     """The shipped acceptance plan: every fault class, then recovery.
 
@@ -101,6 +114,12 @@ def default_plan(seed: int = 0) -> FaultPlan:
         # Cluster
         FaultSpec("tenant-crash", start=5.0, max_events=1),
         FaultSpec("cap-transient", start=5.0, end=15.0, magnitude=0.7),
+        # Sharded fleet (appended — spec order seeds per-spec streams,
+        # so earlier entries must keep their positions)
+        FaultSpec("broker-crash", probability=0.5, max_events=2),
+        FaultSpec("slow-shard", probability=0.3, max_events=2,
+                  magnitude=0.05),
+        FaultSpec("partitioned-replica", probability=0.5, max_events=2),
     ))
 
 
@@ -111,6 +130,7 @@ _FACTORIES = {
     "estimation": _estimation,
     "service": _service,
     "cluster": _cluster,
+    "shard-loss": _shard_loss,
 }
 
 

@@ -10,9 +10,12 @@ estimates to any number of tenants.
 
 Layers (see docs/SERVICE.md for the protocol and operational reference):
 
-* :mod:`repro.service.protocol` — the JSON-lines wire protocol, typed
-  error hierarchy (:class:`ServiceOverloaded`, :class:`DeadlineExceeded`,
-  ...), and :class:`ServiceAddress`.
+* :mod:`repro.service.protocol` — the JSON-lines wire protocol (v1),
+  typed error hierarchy (:class:`ServiceOverloaded`,
+  :class:`DeadlineExceeded`, ...), and :class:`ServiceAddress`.
+* :mod:`repro.service.frames` — the length-prefixed binary wire
+  protocol (v2): bit-exact float64 frames, CRC-checked, negotiated
+  per connection so v1 clients keep working (see docs/SHARDING.md).
 * :mod:`repro.service.registry` — :class:`ModelRegistry`, a versioned,
   schema-checked model store layered on
   :class:`repro.runtime.persistence.EstimateStore`.
@@ -38,13 +41,19 @@ Quickstart::
         estimate = controller.calibrate(profile)
 
 or from the shell: ``python -m repro serve`` and ``python -m repro
-request ping``.
+request ping``.  For the horizontally scaled deployment — N brokers, a
+consistent-hash router, registry replication — see :mod:`repro.shard`.
 """
 
 from repro.service.client import RemoteEstimator, ServiceClient
+from repro.service.frames import (
+    decode_binary_frame,
+    encode_binary_frame,
+)
 from repro.service.protocol import (
     DeadlineExceeded,
     EstimationRejected,
+    FrameError,
     ProtocolError,
     RemoteError,
     Request,
@@ -53,6 +62,7 @@ from repro.service.protocol import (
     ServiceAddress,
     ServiceError,
     ServiceOverloaded,
+    ShardUnavailable,
     problem_from_payload,
     problem_to_payload,
 )
@@ -63,6 +73,7 @@ __all__ = [
     "DeadlineExceeded",
     "EstimationRejected",
     "EstimationService",
+    "FrameError",
     "ModelRecord",
     "ModelRegistry",
     "PriorPool",
@@ -78,6 +89,9 @@ __all__ = [
     "ServiceError",
     "ServiceOverloaded",
     "ServiceServer",
+    "ShardUnavailable",
+    "decode_binary_frame",
+    "encode_binary_frame",
     "problem_from_payload",
     "problem_to_payload",
 ]

@@ -1,8 +1,14 @@
 """The service client and the :class:`RemoteEstimator` adapter.
 
-:class:`ServiceClient` speaks the JSON-lines protocol over one
-connection, with automatic reconnect-and-retry (exponential backoff)
-for transport failures and — optionally — for load sheds.
+:class:`ServiceClient` speaks the wire protocol over one connection,
+with automatic reconnect-and-retry (exponential backoff) for transport
+failures and — optionally — for load sheds.  The wire encoding is
+JSON-lines (protocol v1) by default; ``wire="auto"`` negotiates the
+binary protocol v2 per server — the client probes with one binary ping
+and falls back to JSON-lines when the server answers in JSON — so a
+binary-preferring client against an old broker degrades transparently.
+Both encodings round-trip float64 bit-exactly, so the choice is a
+transport detail, never a numerics one.
 
 :class:`RemoteEstimator` implements the
 :class:`~repro.estimators.base.Estimator` protocol over a client, so a
@@ -38,7 +44,15 @@ from repro.estimators.base import (
 )
 from repro.faults.context import get_injector
 from repro.obs import current_trace_context, get_tracer
+from repro.service.frames import (
+    MAGIC,
+    FrameError,
+    decode_binary_frame,
+    encode_binary_frame,
+    read_binary_frame,
+)
 from repro.service.protocol import (
+    DeadlineExceeded,
     EstimationRejected,
     ProtocolError,
     Request,
@@ -53,6 +67,12 @@ from repro.service.protocol import (
 )
 
 logger = logging.getLogger(__name__)
+
+#: Slack added to the per-attempt socket timeout beyond the remaining
+#: deadline budget — enough for the server's own DeadlineExceeded
+#: response to travel back, small enough that a hung server cannot pin
+#: the caller meaningfully past its deadline.
+DEADLINE_GRACE_S = 0.25
 
 
 class ServiceClient:
@@ -82,6 +102,16 @@ class ServiceClient:
             the point where the caller has stopped waiting.
         jitter_seed: Seed for the jitter stream (deterministic tests);
             ``None`` uses OS entropy.
+        wire: Wire encoding.  ``"json"`` (default) is protocol v1,
+            compatible with every broker ever shipped.  ``"auto"``
+            probes each new server with one binary ping and downgrades
+            to JSON-lines when the answer comes back as JSON (the
+            binary frame's trailing newline guarantees a v1 broker
+            *answers* the probe instead of waiting for a line that
+            never ends); the result is cached across reconnects and
+            readable from :attr:`wire_mode`.  ``"binary"`` forces
+            protocol v2 without probing.  The sharded client defaults
+            to ``"auto"`` — the fleet is always binary-capable.
     """
 
     def __init__(self, address: ServiceAddress, timeout: float = 60.0,
@@ -89,7 +119,8 @@ class ServiceClient:
                  backoff_cap: float = 2.0,
                  retry_overloaded: bool = False,
                  default_deadline_s: Optional[float] = None,
-                 jitter_seed: Optional[int] = None) -> None:
+                 jitter_seed: Optional[int] = None,
+                 wire: str = "json") -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff < 0:
@@ -97,6 +128,9 @@ class ServiceClient:
         if backoff_cap <= 0:
             raise ValueError(f"backoff_cap must be positive, "
                              f"got {backoff_cap}")
+        if wire not in ("auto", "json", "binary"):
+            raise ValueError(f"wire must be 'auto', 'json', or 'binary', "
+                             f"got {wire!r}")
         self.address = address
         self.timeout = timeout
         self.retries = retries
@@ -104,16 +138,55 @@ class ServiceClient:
         self.backoff_cap = backoff_cap
         self.retry_overloaded = retry_overloaded
         self.default_deadline_s = default_deadline_s
+        self.wire = wire
         self._jitter = random.Random(jitter_seed)
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = None
         self._file = None
+        self._negotiated: Optional[str] = None if wire == "auto" else wire
 
     # -- connection management ------------------------------------------
+    @property
+    def wire_mode(self) -> Optional[str]:
+        """The encoding in use: ``"json"``, ``"binary"``, or ``None``
+        before the first ``auto`` connection negotiates."""
+        return self._negotiated
+
     def _ensure_connected(self) -> None:
         if self._sock is None:
             self._sock = self.address.connect(timeout=self.timeout)
             self._file = self._sock.makefile("rb")
+            if self._negotiated is None:
+                self._negotiate()
+
+    def _negotiate(self) -> None:
+        """One binary ping probe; a JSON answer downgrades to v1.
+
+        A protocol-v2 broker answers the probe in binary — done.  A
+        pre-binary broker answers with a JSON-lines protocol error (or
+        hangs up on the unparseable bytes); either way the client caches
+        ``"json"`` and reopens a clean connection, so existing servers
+        keep working without a flag anywhere.
+        """
+        request = Request(op="ping", payload={"echo": "wire-probe"},
+                          request_id=next(self._ids))
+        try:
+            self._sock.sendall(encode_binary_frame(request.to_wire()))
+            first = self._file.read(1)
+            if first == MAGIC:
+                # Drain (and validate) the binary pong.
+                decode_binary_frame(read_binary_frame(self._file,
+                                                      first=first))
+                self._negotiated = "binary"
+                return
+        except (ConnectionError, OSError, FrameError):
+            pass
+        self._negotiated = "json"
+        logger.debug("wire negotiation fell back to JSON-lines",
+                     extra={"fields": {"address": str(self.address)}})
+        self.close()
+        self._sock = self.address.connect(timeout=self.timeout)
+        self._file = self._sock.makefile("rb")
 
     def close(self) -> None:
         """Drop the connection (the next call reconnects)."""
@@ -143,10 +216,13 @@ class ServiceClient:
 
         Raises the rehydrated typed :class:`~repro.service.protocol.
         ServiceError` on a failure response, after exhausting any
-        applicable retries.  Total retry time is capped by the call's
-        deadline: when the remaining deadline budget cannot cover the
-        next backoff sleep, the pending failure is raised instead of
-        retrying into a window the caller has already abandoned.
+        applicable retries.  The call's deadline bounds its *total*
+        wall time, retries included: each retry sends the server the
+        *remaining* budget (not a fresh full deadline), each attempt's
+        socket timeout is capped at that budget plus a small grace, and
+        a backoff sleep that would not fit in the budget surfaces the
+        pending failure instead of retrying into a window the caller
+        has already abandoned.
         """
         if deadline_s is None:
             deadline_s = self.default_deadline_s
@@ -159,8 +235,21 @@ class ServiceClient:
         # the span, so server-side spans parent under it).
         with tracer.span("client.call", op=op, address=str(self.address)):
             while True:
+                remaining: Optional[float] = None
+                if deadline_s is not None:
+                    remaining = deadline_s - (time.monotonic() - started)
+                    if remaining <= 0:
+                        raise DeadlineExceeded(
+                            f"deadline of {deadline_s:.3f}s exhausted "
+                            f"after {attempt} attempt(s) for op {op!r}",
+                            details={"deadline_s": deadline_s, "op": op,
+                                     "attempts": attempt})
+                # The first attempt carries the caller's deadline
+                # verbatim; retries carry only what is left of it.
+                wire_deadline = deadline_s if attempt == 0 else remaining
                 try:
-                    return self._call_once(op, payload or {}, deadline_s)
+                    return self._call_once(op, payload or {},
+                                           wire_deadline, remaining)
                 except (ConnectionError, socket.timeout, OSError) as exc:
                     self.close()
                     if (attempt >= self.retries
@@ -207,7 +296,8 @@ class ServiceClient:
         return True
 
     def _call_once(self, op: str, payload: Dict[str, Any],
-                   deadline_s: Optional[float]) -> Dict[str, Any]:
+                   deadline_s: Optional[float],
+                   budget_s: Optional[float] = None) -> Dict[str, Any]:
         # Fault-injection hook: transport and protocol failures surface
         # exactly where the real ones would, upstream of the retry loop.
         for spec in get_injector().fire("service.call"):
@@ -218,21 +308,30 @@ class ServiceClient:
             if spec.kind == "corrupt-response":
                 raise ProtocolError("injected corrupt response")
         self._ensure_connected()
+        # A hung server must not pin this attempt past the caller's
+        # remaining deadline budget: the socket gives up at the budget
+        # (plus the grace that lets the server's own deadline response
+        # arrive), even when ``timeout`` is much larger.
+        if budget_s is not None:
+            self._sock.settimeout(min(self.timeout,
+                                      budget_s + DEADLINE_GRACE_S))
+        else:
+            self._sock.settimeout(self.timeout)
         ctx = current_trace_context()
         request = Request(op=op, payload=payload,
                           request_id=next(self._ids),
                           deadline_s=deadline_s,
                           trace=ctx.to_wire() if ctx is not None else None)
-        self._sock.sendall(encode_frame(request.to_wire()))
+        wire = request.to_wire()
+        self._sock.sendall(encode_binary_frame(wire)
+                           if self._negotiated == "binary"
+                           else encode_frame(wire))
         # Responses on a pipelined connection may arrive out of order;
         # drain frames until ours shows up.  (This client issues calls
         # serially, so "out of order" only means responses to requests
         # an earlier timed-out attempt abandoned.)
         while True:
-            line = self._file.readline()
-            if not line:
-                raise ConnectionError("service closed the connection")
-            response = Response.from_wire(decode_frame(line))
+            response = Response.from_wire(self._read_frame())
             if response.request_id == request.request_id:
                 return response.result()
             if response.request_id is None:
@@ -242,6 +341,16 @@ class ServiceClient:
                 raise ProtocolError("server rejected the frame")
             logger.debug("discarding stale response",
                          extra={"fields": {"id": response.request_id}})
+
+    def _read_frame(self) -> Dict[str, Any]:
+        """Read one response frame, sniffing its encoding by first byte."""
+        first = self._file.read(1)
+        if not first:
+            raise ConnectionError("service closed the connection")
+        if first == MAGIC:
+            return decode_binary_frame(
+                read_binary_frame(self._file, first=first))
+        return decode_frame(first + self._file.readline())
 
     # -- op conveniences ------------------------------------------------
     def ping(self, echo: Any = None) -> Dict[str, Any]:

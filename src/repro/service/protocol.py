@@ -40,7 +40,9 @@ __all__ = [
     "RequestRejected",
     "EstimationRejected",
     "ProtocolError",
+    "FrameError",
     "RemoteError",
+    "ShardUnavailable",
     "exception_for",
     "Request",
     "Response",
@@ -70,17 +72,20 @@ PROTOCOL_VERSION = 1
 from repro.errors import (  # noqa: E402  (re-export block)
     DeadlineExceeded,
     EstimationRejected,
+    FrameError,
     ProtocolError,
     RemoteError,
     RequestRejected,
     ServiceError,
     ServiceOverloaded,
+    ShardUnavailable,
 )
 
 _ERROR_TYPES: Dict[str, type] = {
     cls.code: cls
     for cls in (ServiceOverloaded, DeadlineExceeded, RequestRejected,
-                EstimationRejected, ProtocolError, RemoteError)
+                EstimationRejected, ProtocolError, FrameError,
+                RemoteError, ShardUnavailable)
 }
 
 

@@ -85,6 +85,14 @@ from repro.service.protocol import (
     fingerprint,
     problem_from_payload,
 )
+from repro.service.frames import (
+    MAGIC,
+    PREFIX_SIZE,
+    FrameError,
+    decode_binary_frame,
+    encode_binary_frame,
+    parse_prefix,
+)
 from repro.service.registry import ModelRegistry
 
 logger = logging.getLogger(__name__)
@@ -285,12 +293,25 @@ class ServiceServer:
             creates a private recording :class:`MetricsRegistry` (the
             ``metrics`` op should always have something to report) and
             no tracer.  A recording tracer enables per-request spans.
+        accept_binary: Whether protocol-v2 binary frames are served.
+            ``False`` emulates a pre-binary broker — a binary frame is
+            answered with a JSON-lines :class:`ProtocolError` and the
+            connection closed — which is what the client's ``auto``
+            negotiation probes against (see
+            :class:`repro.service.client.ServiceClient`).
+
+    Each connection may interleave JSON-lines (protocol v1) and binary
+    (v2) frames; the broker sniffs the first byte of every frame
+    (``0xAB`` is not ``{``) and answers in the encoding the request
+    arrived in, so a mixed fleet of old and new clients shares one
+    port.
     """
 
     def __init__(self, service: EstimationService, address: ServiceAddress,
                  max_pending: int = 8, default_deadline_s: float = 30.0,
                  max_workers: Optional[int] = None,
-                 observability: Optional[Observability] = None) -> None:
+                 observability: Optional[Observability] = None,
+                 accept_binary: bool = True) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
         if default_deadline_s <= 0:
@@ -300,6 +321,7 @@ class ServiceServer:
         self.address = address
         self.max_pending = max_pending
         self.default_deadline_s = default_deadline_s
+        self.accept_binary = accept_binary
         self.max_workers = (max_workers if max_workers is not None
                             else min(os.cpu_count() or 1, 8))
         if observability is None:
@@ -384,16 +406,41 @@ class ServiceServer:
         try:
             while not self._stop.is_set():
                 try:
-                    line = await reader.readline()
-                except (ConnectionError, OSError):
+                    first = await reader.read(1)
+                    if not first:
+                        break
+                    if first == MAGIC:
+                        if not self.accept_binary:
+                            # Emulate a pre-binary broker: a typed JSON
+                            # protocol error, then hang up so the probe
+                            # fails over cleanly.
+                            self.metrics.inc("service_protocol_errors_total")
+                            await self._send(writer, Response.failure(
+                                None, ProtocolError(
+                                    "binary frames are not accepted by "
+                                    "this server; use JSON-lines "
+                                    "protocol v1")), binary=False)
+                            break
+                        frame, binary = await self._read_binary(reader,
+                                                                first)
+                    else:
+                        frame = first + await reader.readline()
+                        binary = False
+                except FrameError as exc:
+                    # A mangled prefix poisons the whole byte stream —
+                    # answer typed, then hang up rather than guess at
+                    # resynchronisation.
+                    self.metrics.inc("service_protocol_errors_total")
+                    await self._send(writer, Response.failure(None, exc),
+                                     binary=self.accept_binary)
                     break
-                if not line:
+                except (ConnectionError, OSError, asyncio.IncompleteReadError):
                     break
                 # One task per frame: pipelined requests on a single
                 # connection proceed concurrently, so a slow fit does
                 # not head-of-line-block a later ping.
                 task = asyncio.ensure_future(
-                    self._handle_line(line, writer))
+                    self._handle_line(frame, writer, binary))
                 pending.add(task)
                 task.add_done_callback(pending.discard)
         finally:
@@ -401,34 +448,54 @@ class ServiceServer:
             with contextlib.suppress(Exception):
                 writer.close()
 
+    async def _read_binary(self, reader: asyncio.StreamReader,
+                           first: bytes) -> "tuple":
+        """Read the remainder of one binary frame after its magic byte."""
+        try:
+            prefix = first + await reader.readexactly(PREFIX_SIZE - 1)
+            _, length = parse_prefix(prefix)
+            body = await reader.readexactly(length + 5)
+        except asyncio.IncompleteReadError as exc:
+            raise FrameError(
+                f"truncated binary frame: connection closed after "
+                f"{len(exc.partial)} bytes") from exc
+        self.metrics.inc("service_binary_frames_total")
+        return prefix + body, True
+
     # -- request handling -----------------------------------------------
     async def _handle_line(self, line: bytes,
-                           writer: asyncio.StreamWriter) -> None:
+                           writer: asyncio.StreamWriter,
+                           binary: bool = False) -> None:
         received = self._loop.time()
         try:
-            request = Request.from_wire(decode_frame(line))
+            wire = decode_binary_frame(line) if binary else decode_frame(line)
+            request = Request.from_wire(wire)
         except ProtocolError as exc:
             self.metrics.inc("service_protocol_errors_total")
-            await self._send(writer, Response.failure(None, exc))
+            await self._send(writer, Response.failure(None, exc),
+                             binary=binary)
             return
         self.metrics.inc("service_requests_total")
         try:
-            await self._handle_request(request, writer, received)
+            await self._handle_request(request, writer, received, binary)
         except Exception as exc:  # last-resort: never drop a response
             logger.exception("unhandled broker failure")
             await self._send(writer,
                              Response.failure(request.request_id,
-                                              map_exception(exc)))
+                                              map_exception(exc)),
+                             binary=binary)
 
     async def _handle_request(self, request: Request,
                               writer: asyncio.StreamWriter,
-                              received: float) -> None:
+                              received: float,
+                              binary: bool = False) -> None:
         ctx = (TraceContext.from_wire(request.trace)
                if request.trace is not None else None)
         trace_id = ctx.trace_id if ctx is not None else None
         if request.op == "shutdown":
             await self._send(writer, Response.success(request.request_id,
-                                                      {"stopping": True}))
+                                                      {"stopping": True}),
+                             binary=binary)
             # Let the response drain before tearing the transport down.
             self._loop.call_later(0.05, self._stop.set)
             return
@@ -436,11 +503,11 @@ class ServiceServer:
             try:
                 payload = self._inline(request)
                 await self._send(writer, Response.success(
-                    request.request_id, payload))
+                    request.request_id, payload), binary=binary)
             except Exception as exc:
                 await self._send(writer, Response.failure(
                     request.request_id, map_exception(exc),
-                    trace_id=trace_id))
+                    trace_id=trace_id), binary=binary)
             return
 
         # Coalescing first: a request identical to an in-flight one adds
@@ -464,7 +531,8 @@ class ServiceServer:
                     details={"max_pending": self.max_pending})
                 await self._send(writer,
                                  Response.failure(request.request_id, exc,
-                                                  trace_id=trace_id))
+                                                  trace_id=trace_id),
+                                 binary=binary)
                 return
             self._admitted += 1
             self.metrics.set_gauge("service_pending", self._admitted)
@@ -492,28 +560,33 @@ class ServiceServer:
                     f"deadline of {deadline:.3f}s exceeded for "
                     f"op {request.op!r}",
                     details={"deadline_s": deadline, "op": request.op}),
-                trace_id=trace_id))
+                trace_id=trace_id), binary=binary)
             return
         except Exception as exc:
             self.metrics.inc("service_errors_total")
             await self._send(writer, Response.failure(request.request_id,
                                                       map_exception(exc),
-                                                      trace_id=trace_id))
+                                                      trace_id=trace_id),
+                             binary=binary)
             return
         elapsed = self._loop.time() - received
         self.metrics.observe("service_request_seconds", elapsed)
         self.observability.slo.record_latency(elapsed)
         self.observability.slo.record_deadline(True)
         await self._send(writer,
-                         Response.success(request.request_id, payload))
+                         Response.success(request.request_id, payload),
+                         binary=binary)
 
     async def _send(self, writer: asyncio.StreamWriter,
-                    response: Response) -> None:
-        """Write one response frame; a vanished client is not an error."""
+                    response: Response, binary: bool = False) -> None:
+        """Write one response frame, in the encoding the request used;
+        a vanished client is not an error."""
         if writer.is_closing():
             return
         try:
-            writer.write(encode_frame(response.to_wire()))
+            wire = response.to_wire()
+            writer.write(encode_binary_frame(wire) if binary
+                         else encode_frame(wire))
             await writer.drain()
         except (ConnectionError, RuntimeError, OSError):
             logger.debug("client went away before response delivery")

@@ -1,0 +1,38 @@
+"""Horizontal scale for the estimation service: ``repro.shard``.
+
+The single asyncio broker from the service layer is the unit; this
+package composes N of them into a fleet:
+
+* :class:`~repro.shard.router.ShardRouter` — consistent-hash tenant
+  assignment with per-shard health; a down shard sheds its own tenants
+  (typed :class:`~repro.errors.ShardUnavailable`), never the fleet.
+* :class:`~repro.shard.replication.RegistryReplica` /
+  :class:`~repro.shard.replication.ReplicatedRegistry` — leader-append
+  model publishes, staleness-bounded replica reads, built on the
+  registry's immutable version files.
+* :class:`~repro.shard.fleet.ShardFleet` — N brokers over one
+  replicated registry, with :meth:`~repro.shard.fleet.ShardFleet.
+  stop_shard` as the chaos primitive.
+* :class:`~repro.shard.client.ShardedServiceClient` — routing plus
+  connection pooling behind the single-broker client's call surface,
+  so ``RemoteEstimator`` works against a fleet unchanged.
+
+See ``docs/SHARDING.md`` for the design walk-through and
+``benchmarks/shard_smoke.py`` for the CI gate over all of it.
+"""
+
+from repro.errors import ShardUnavailable
+from repro.shard.client import ShardedServiceClient
+from repro.shard.fleet import ShardFleet
+from repro.shard.replication import RegistryReplica, ReplicatedRegistry
+from repro.shard.router import DEFAULT_VNODES, ShardRouter
+
+__all__ = [
+    "DEFAULT_VNODES",
+    "RegistryReplica",
+    "ReplicatedRegistry",
+    "ShardFleet",
+    "ShardRouter",
+    "ShardUnavailable",
+    "ShardedServiceClient",
+]

@@ -1,0 +1,155 @@
+"""Consistent-hash routing of tenant keys onto service shards.
+
+The router owns two facts about the fleet: *who owns which tenant*
+(a consistent-hash ring) and *who is currently healthy* (per-shard
+failure accounting).  Both are deliberately simple and deterministic:
+
+* The ring hashes ``"{shard_id}#{vnode}"`` with SHA-256 — stable across
+  processes, platforms, and ``PYTHONHASHSEED`` — so every client in the
+  fleet computes the same owner for the same tenant without any
+  coordination.  Virtual nodes smooth the key distribution; removing a
+  shard remaps only the keys it owned (the consistent-hashing minimal
+  disruption property, asserted by ``tests/test_shard_router.py``).
+* Health is an explicit mark: ``record_failure`` counts consecutive
+  transport failures per shard and trips ``mark_down`` at the
+  threshold; ``record_success`` resets the count.
+
+When a tenant's owner is down, :meth:`route` raises the typed
+:class:`~repro.errors.ShardUnavailable` — it does **not** fail over to
+the next shard.  That is the load-shedding contract from the ROADMAP:
+a lost shard sheds *its own* tenants while the rest of the fleet serves
+on, rather than dogpiling the survivors with the dead shard's traffic
+(the cascade the admission controller would then shed anyway, but from
+every tenant instead of the unlucky ones).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.errors import ShardUnavailable
+
+__all__ = ["ShardRouter", "DEFAULT_VNODES"]
+
+#: Virtual nodes per shard; enough that a 4-shard ring keeps per-shard
+#: load within a few percent of uniform.
+DEFAULT_VNODES = 64
+
+
+def _ring_hash(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class ShardRouter:
+    """Deterministic tenant-to-shard assignment with health tracking.
+
+    Args:
+        shard_ids: The fleet members.  Order does not matter — the ring
+            is a pure function of the id *set* — but ids must be unique.
+        vnodes: Virtual nodes per shard on the ring.
+        failure_threshold: Consecutive :meth:`record_failure` calls that
+            trip a shard to down.
+    """
+
+    def __init__(self, shard_ids: Sequence[str],
+                 vnodes: int = DEFAULT_VNODES,
+                 failure_threshold: int = 3) -> None:
+        ids = list(shard_ids)
+        if not ids:
+            raise ValueError("a router needs at least one shard")
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"duplicate shard ids in {ids}")
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, "
+                             f"got {failure_threshold}")
+        self.shard_ids: Tuple[str, ...] = tuple(sorted(ids))
+        self.vnodes = vnodes
+        self.failure_threshold = failure_threshold
+        points: List[Tuple[int, str]] = []
+        for shard in self.shard_ids:
+            for vnode in range(vnodes):
+                points.append((_ring_hash(f"{shard}#{vnode}"), shard))
+        points.sort()
+        self._hashes = [point[0] for point in points]
+        self._owners = [point[1] for point in points]
+        self._down: set = set()
+        self._failures: Dict[str, int] = {shard: 0
+                                          for shard in self.shard_ids}
+
+    # -- ownership ------------------------------------------------------
+    def owner(self, tenant_key: str) -> str:
+        """The shard that owns ``tenant_key``, health ignored."""
+        index = bisect.bisect_right(self._hashes, _ring_hash(tenant_key))
+        if index == len(self._hashes):
+            index = 0  # wrap: the ring is circular
+        return self._owners[index]
+
+    def route(self, tenant_key: str) -> str:
+        """The healthy owner of ``tenant_key``.
+
+        Raises :class:`ShardUnavailable` when the owner is marked down —
+        deliberately without failover, so a lost shard sheds exactly its
+        own tenants.
+        """
+        shard = self.owner(tenant_key)
+        if shard in self._down:
+            raise ShardUnavailable(
+                f"shard {shard!r} owning tenant {tenant_key!r} is down; "
+                f"{len(self.healthy)} of {len(self.shard_ids)} shards "
+                f"remain up",
+                details={"shard": shard, "tenant": tenant_key,
+                         "healthy": list(self.healthy)})
+        return shard
+
+    def assignments(self, tenant_keys: Iterable[str]) -> Dict[str, str]:
+        """Owner per tenant key (health ignored), for capacity planning."""
+        return {key: self.owner(key) for key in tenant_keys}
+
+    # -- health ---------------------------------------------------------
+    @property
+    def healthy(self) -> Tuple[str, ...]:
+        return tuple(shard for shard in self.shard_ids
+                     if shard not in self._down)
+
+    @property
+    def down(self) -> Tuple[str, ...]:
+        return tuple(shard for shard in self.shard_ids
+                     if shard in self._down)
+
+    def is_up(self, shard_id: str) -> bool:
+        self._check_member(shard_id)
+        return shard_id not in self._down
+
+    def mark_down(self, shard_id: str) -> None:
+        self._check_member(shard_id)
+        self._down.add(shard_id)
+
+    def mark_up(self, shard_id: str) -> None:
+        """Readmit a shard (health-check recovery); resets its count."""
+        self._check_member(shard_id)
+        self._down.discard(shard_id)
+        self._failures[shard_id] = 0
+
+    def record_failure(self, shard_id: str) -> bool:
+        """Count one transport failure; returns True when the shard
+        trips to down (at ``failure_threshold`` consecutive failures)."""
+        self._check_member(shard_id)
+        self._failures[shard_id] += 1
+        if self._failures[shard_id] >= self.failure_threshold:
+            self._down.add(shard_id)
+            return True
+        return False
+
+    def record_success(self, shard_id: str) -> None:
+        self._check_member(shard_id)
+        self._failures[shard_id] = 0
+
+    def _check_member(self, shard_id: str) -> None:
+        if shard_id not in self._failures:
+            raise ValueError(f"unknown shard {shard_id!r} "
+                             f"(fleet: {list(self.shard_ids)})")

@@ -95,8 +95,25 @@ class TestAttributes:
         assert errors.EstimationRejected.code == "insufficient-samples"
         assert errors.ProtocolError.code == "protocol-error"
         assert errors.RemoteError.code == "internal"
+        assert errors.FrameError.code == "frame-error"
+        assert errors.ShardUnavailable.code == "shard-unavailable"
         exc = errors.ServiceOverloaded(details={"queue": 8})
         assert exc.details == {"queue": 8}
+
+    def test_frame_error_is_a_protocol_error(self):
+        # Transports shed corrupt binary frames with the same typed
+        # machinery as unparseable JSON.
+        assert issubclass(errors.FrameError, errors.ProtocolError)
+
+    def test_shard_unavailable_round_trips_the_wire(self):
+        from repro.service.protocol import Response
+        exc = errors.ShardUnavailable(
+            "shard-1 is down", details={"shard": "shard-1"})
+        wire = Response.failure(7, exc).to_wire()
+        back = Response.from_wire(wire)
+        with pytest.raises(errors.ShardUnavailable) as err:
+            back.result()
+        assert err.value.details == {"shard": "shard-1"}
 
 
 class TestDeprecationShims:

@@ -1,14 +1,16 @@
-"""Tests for repro.service.client (retries, RemoteEstimator)."""
+"""Tests for repro.service.client (retries, deadlines, RemoteEstimator)."""
 
 import json
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.estimators.base import EstimationProblem, InsufficientSamplesError
 from repro.service import (
+    DeadlineExceeded,
     EstimationService,
     RemoteEstimator,
     ServerThread,
@@ -16,6 +18,7 @@ from repro.service import (
     ServiceClient,
     ServiceOverloaded,
 )
+from repro.service.client import DEADLINE_GRACE_S
 from repro.service.protocol import encode_frame
 
 
@@ -130,6 +133,118 @@ class TestRetries:
                                retries=1, backoff=0.01, timeout=2.0)
         with pytest.raises(OSError):
             client.ping()
+
+
+class _DeadlineRecordingServer:
+    """Scripted like :class:`_FlakyServer`, but records the wire
+    ``deadline_s`` of every request it actually reads — the oracle for
+    the remaining-budget-on-retry contract."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.deadlines = []
+        self._sock = socket.create_server(("127.0.0.1", 0))
+        self.address = ServiceAddress(
+            host="127.0.0.1", port=self._sock.getsockname()[1])
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        for behaviour in self.script:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            if behaviour == "drop":
+                conn.close()
+                continue
+            with conn:
+                for line in conn.makefile("rb"):
+                    frame = json.loads(line)
+                    self.deadlines.append(frame.get("deadline_s"))
+                    conn.sendall(encode_frame(
+                        {"v": 1, "id": frame.get("id"), "ok": True,
+                         "payload": {"pong": True, "echo": None}}))
+
+    def close(self):
+        self._sock.close()
+
+
+class TestDeadlineBudget:
+    """The deadline bounds the call's *total* wall time (satellite of
+    the sharding PR): exhausted budgets fail client-side, retries carry
+    the remaining budget, and a hung server cannot pin an attempt past
+    the budget even under a much larger socket timeout."""
+
+    def test_exhausted_deadline_raises_before_any_attempt(self):
+        server = _DeadlineRecordingServer(["ok"])
+        try:
+            client = ServiceClient(server.address, retries=2)
+            with pytest.raises(DeadlineExceeded) as err:
+                client.call("ping", {}, deadline_s=0.0)
+            assert err.value.details["attempts"] == 0
+            assert server.deadlines == []  # nothing reached the wire
+            client.close()
+        finally:
+            server.close()
+
+    def test_first_attempt_carries_the_deadline_verbatim(self):
+        server = _DeadlineRecordingServer(["ok"])
+        try:
+            client = ServiceClient(server.address, retries=0)
+            client.call("ping", {}, deadline_s=7.5)
+            assert server.deadlines == [7.5]
+            client.close()
+        finally:
+            server.close()
+
+    def test_retry_carries_only_the_remaining_budget(self):
+        server = _DeadlineRecordingServer(["drop", "ok"])
+        try:
+            client = ServiceClient(server.address, retries=2, backoff=0.05)
+            client.call("ping", {}, deadline_s=30.0)
+            # The dropped first attempt never reached the wire reader;
+            # the retry must ask for strictly less than the original.
+            assert len(server.deadlines) == 1
+            assert 0.0 < server.deadlines[0] < 30.0
+            client.close()
+        finally:
+            server.close()
+
+    def test_hung_server_fails_at_the_budget_not_the_timeout(self):
+        # A listener that accepts and then never answers: the classic
+        # hang.  The per-attempt socket timeout must be capped at the
+        # remaining budget (plus grace), not the 30s transport timeout.
+        sock = socket.create_server(("127.0.0.1", 0))
+        held = []
+        thread = threading.Thread(
+            target=lambda: held.append(sock.accept()), daemon=True)
+        thread.start()
+        try:
+            address = ServiceAddress(host="127.0.0.1",
+                                     port=sock.getsockname()[1])
+            client = ServiceClient(address, timeout=30.0, retries=0)
+            started = time.monotonic()
+            with pytest.raises(OSError):  # socket.timeout is an OSError
+                client.call("ping", {}, deadline_s=0.4)
+            elapsed = time.monotonic() - started
+            assert elapsed < 0.4 + DEADLINE_GRACE_S + 2.0, elapsed
+            client.close()
+        finally:
+            sock.close()
+
+    def test_overloaded_retries_stop_at_the_deadline(self):
+        server = _FlakyServer(["overloaded"])
+        try:
+            client = ServiceClient(server.address, retries=10_000,
+                                   backoff=0.01, retry_overloaded=True)
+            started = time.monotonic()
+            with pytest.raises((DeadlineExceeded, ServiceOverloaded)):
+                client.call("ping", {}, deadline_s=0.3)
+            assert time.monotonic() - started < 3.0
+            client.close()
+        finally:
+            server.close()
 
 
 class TestRemoteEstimator:

@@ -1,0 +1,156 @@
+"""Tests for repro.shard.replication (leader-append, bounded staleness).
+
+The invariants under test: publishes append to one leader only (a
+single monotone version sequence), replicas pull immutable version
+files and serve reads at worst ``staleness_s`` behind, and a
+partitioned replica (the ``partitioned-replica`` fault) degrades to
+stale-but-valid answers — or to leader read-through if it never synced
+— rather than corrupt or empty ones.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults.context import use as use_injector
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.runtime.controller import TradeoffEstimate
+from repro.service.registry import ModelRegistry
+from repro.shard import RegistryReplica, ReplicatedRegistry
+
+
+def _estimate(n=8, fill=1.0, name="leo"):
+    return TradeoffEstimate(rates=np.full(n, fill),
+                            powers=np.full(n, fill * 10.0),
+                            estimator_name=name,
+                            sampling_time=3.0, sampling_energy=500.0)
+
+
+class _Clock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+@pytest.fixture()
+def leader(tmp_path):
+    return ModelRegistry(tmp_path / "leader")
+
+
+def _partition_injector():
+    return FaultInjector(FaultPlan(name="cut", specs=(
+        FaultSpec("partitioned-replica", probability=1.0),)))
+
+
+class TestRegistryReplica:
+    def test_sync_pulls_missing_version_files(self, tmp_path, leader):
+        leader.publish("kmeans", _estimate(fill=1.0))
+        leader.publish("kmeans", _estimate(fill=2.0))
+        replica = RegistryReplica(leader, tmp_path / "replica")
+        assert replica.sync() == 2
+        assert replica.sync() == 0  # idempotent: nothing new to pull
+        assert replica.registry.versions("kmeans", 8, "leo") == [1, 2]
+        assert replica.pulled_files == 2
+
+    def test_replica_read_matches_leader_bit_for_bit(self, tmp_path,
+                                                     leader):
+        published = leader.publish("kmeans", _estimate(fill=3.5))
+        replica = RegistryReplica(leader, tmp_path / "replica",
+                                  staleness_s=0.0)
+        record = replica.latest("kmeans", 8, "leo")
+        assert record.version == published.version
+        np.testing.assert_array_equal(record.rates, published.rates)
+        np.testing.assert_array_equal(record.powers, published.powers)
+
+    def test_fresh_replica_skips_resync(self, tmp_path, leader):
+        clock = _Clock()
+        leader.publish("kmeans", _estimate(fill=1.0))
+        replica = RegistryReplica(leader, tmp_path / "replica",
+                                  staleness_s=10.0, clock=clock)
+        replica.sync()
+        leader.publish("kmeans", _estimate(fill=2.0))
+        clock.now = 5.0  # inside the staleness bound: no re-sync
+        assert replica.latest("kmeans", 8, "leo").version == 1
+        clock.now = 20.0  # past the bound: the read re-syncs first
+        assert replica.latest("kmeans", 8, "leo").version == 2
+
+    def test_warm_estimate_from_version_history(self, tmp_path, leader):
+        leader.publish("kmeans", _estimate(fill=4.0))
+        replica = RegistryReplica(leader, tmp_path / "replica",
+                                  staleness_s=0.0)
+        warm = replica.warm_estimate("kmeans", 8, "leo")
+        assert warm is not None
+        np.testing.assert_array_equal(warm.rates, np.full(8, 4.0))
+
+    def test_partitioned_replica_serves_stale(self, tmp_path, leader):
+        clock = _Clock()
+        leader.publish("kmeans", _estimate(fill=1.0))
+        replica = RegistryReplica(leader, tmp_path / "replica",
+                                  staleness_s=1.0, clock=clock)
+        replica.sync()
+        leader.publish("kmeans", _estimate(fill=2.0))
+        clock.now = 100.0  # stale, but the leader is unreachable now
+        with use_injector(_partition_injector()):
+            record = replica.latest("kmeans", 8, "leo")
+        assert record.version == 1  # stale-but-valid, not empty
+        # After the partition heals, the next stale read catches up.
+        assert replica.latest("kmeans", 8, "leo").version == 2
+
+    def test_never_synced_replica_reads_through_to_leader(self, tmp_path,
+                                                          leader):
+        leader.publish("kmeans", _estimate(fill=7.0))
+        replica = RegistryReplica(leader, tmp_path / "replica")
+        with use_injector(_partition_injector()):
+            record = replica.latest("kmeans", 8, "leo")
+        assert record is not None and record.version == 1
+
+    def test_bad_staleness_rejected(self, tmp_path, leader):
+        with pytest.raises(ValueError, match="staleness_s"):
+            RegistryReplica(leader, tmp_path / "replica", staleness_s=-1.0)
+
+
+class TestReplicatedRegistry:
+    def test_publishes_append_to_the_leader_only(self, tmp_path, leader):
+        replicas = [RegistryReplica(leader, tmp_path / f"r{i}")
+                    for i in range(2)]
+        registry = ReplicatedRegistry(leader, replicas)
+        first = registry.publish("kmeans", _estimate(fill=1.0))
+        second = registry.publish("kmeans", _estimate(fill=2.0))
+        assert (first.version, second.version) == (1, 2)
+        assert leader.versions("kmeans", 8, "leo") == [1, 2]
+        # Replicas hold nothing until they sync; writes never fan out.
+        for replica in replicas:
+            assert replica.registry.versions("kmeans", 8, "leo") == []
+        assert registry.sync_all() == 4  # 2 versions x 2 replicas
+
+    def test_warm_reads_round_robin_over_replicas(self, tmp_path, leader):
+        leader.publish("kmeans", _estimate(fill=2.0))
+        replicas = [RegistryReplica(leader, tmp_path / f"r{i}",
+                                    staleness_s=0.0)
+                    for i in range(3)]
+        registry = ReplicatedRegistry(leader, replicas)
+        for _ in range(6):
+            warm = registry.warm_estimate("kmeans", 8, "leo")
+            np.testing.assert_array_equal(warm.rates, np.full(8, 2.0))
+        # Two full rotations: every replica served (and synced) twice.
+        assert all(r.pulled_files == 1 for r in replicas)
+
+    def test_zero_replicas_degrades_to_leader_reads(self, leader):
+        registry = ReplicatedRegistry(leader)
+        leader.publish("kmeans", _estimate(fill=9.0))
+        warm = registry.warm_estimate("kmeans", 8, "leo")
+        np.testing.assert_array_equal(warm.rates, np.full(8, 9.0))
+
+    def test_strong_reads_come_from_the_leader(self, tmp_path, leader):
+        replica = RegistryReplica(leader, tmp_path / "r0",
+                                  staleness_s=float("inf"))
+        registry = ReplicatedRegistry(leader, [replica])
+        registry.publish("kmeans", _estimate(fill=1.0))
+        registry.publish("kmeans", _estimate(fill=2.0))
+        assert registry.latest("kmeans", 8, "leo").version == 2
+        assert [r.version for r in registry.history("kmeans", 8, "leo")] \
+            == [1, 2]
+        assert registry.versions("kmeans", 8, "leo") == [1, 2]
+        assert len(registry.known_models()) == 1

@@ -1,0 +1,122 @@
+"""Tests for repro.shard.router (consistent hashing + health).
+
+The two contracts that make a fleet of independent clients coherent:
+every router instance computes the *same* owner for the same tenant
+(determinism — no coordination, no ``PYTHONHASHSEED`` dependence), and
+removing a shard remaps *only* the tenants it owned (minimal
+disruption).  Health is the shedding contract: a down owner raises the
+typed :class:`ShardUnavailable` instead of failing over.
+"""
+
+import pytest
+
+from repro.errors import ShardUnavailable
+from repro.shard import DEFAULT_VNODES, ShardRouter
+
+SHARDS = ("shard-0", "shard-1", "shard-2", "shard-3")
+TENANTS = [f"tenant-{i}" for i in range(400)]
+
+
+class TestOwnership:
+    def test_deterministic_across_instances(self):
+        first = ShardRouter(SHARDS).assignments(TENANTS)
+        second = ShardRouter(SHARDS).assignments(TENANTS)
+        assert first == second
+
+    def test_order_of_shard_ids_is_irrelevant(self):
+        forward = ShardRouter(SHARDS).assignments(TENANTS)
+        backward = ShardRouter(tuple(reversed(SHARDS))).assignments(TENANTS)
+        assert forward == backward
+
+    def test_every_shard_gets_a_reasonable_share(self):
+        counts = {shard: 0 for shard in SHARDS}
+        for owner in ShardRouter(SHARDS).assignments(TENANTS).values():
+            counts[owner] += 1
+        expected = len(TENANTS) / len(SHARDS)
+        for shard, count in counts.items():
+            assert 0.5 * expected <= count <= 1.6 * expected, counts
+
+    def test_removal_remaps_only_the_lost_shards_tenants(self):
+        before = ShardRouter(SHARDS).assignments(TENANTS)
+        after = ShardRouter(
+            tuple(s for s in SHARDS if s != "shard-2")).assignments(TENANTS)
+        for tenant, owner in before.items():
+            if owner == "shard-2":
+                assert after[tenant] != "shard-2"
+            else:
+                assert after[tenant] == owner, tenant
+
+    def test_addition_steals_only_for_the_new_shard(self):
+        before = ShardRouter(SHARDS).assignments(TENANTS)
+        grown = ShardRouter(SHARDS + ("shard-4",)).assignments(TENANTS)
+        moved = [t for t in TENANTS if grown[t] != before[t]]
+        assert moved, "a new shard must take some tenants"
+        assert all(grown[t] == "shard-4" for t in moved)
+
+    def test_single_shard_owns_everything(self):
+        router = ShardRouter(["only"])
+        assert set(router.assignments(TENANTS).values()) == {"only"}
+
+    def test_vnodes_change_the_ring(self):
+        coarse = ShardRouter(SHARDS, vnodes=1).assignments(TENANTS)
+        fine = ShardRouter(SHARDS,
+                           vnodes=DEFAULT_VNODES).assignments(TENANTS)
+        assert coarse != fine  # different rings, both valid
+
+
+class TestHealth:
+    def test_route_sheds_a_down_owner_without_failover(self):
+        router = ShardRouter(SHARDS)
+        tenant = next(t for t in TENANTS
+                      if router.owner(t) == "shard-1")
+        router.mark_down("shard-1")
+        with pytest.raises(ShardUnavailable) as err:
+            router.route(tenant)
+        assert err.value.details["shard"] == "shard-1"
+        assert "shard-1" not in err.value.details["healthy"]
+        # Tenants of healthy shards route exactly as before.
+        other = next(t for t in TENANTS if router.owner(t) != "shard-1")
+        assert router.route(other) == router.owner(other)
+
+    def test_consecutive_failures_trip_the_threshold(self):
+        router = ShardRouter(SHARDS, failure_threshold=3)
+        assert router.record_failure("shard-0") is False
+        assert router.record_failure("shard-0") is False
+        assert router.record_failure("shard-0") is True
+        assert not router.is_up("shard-0")
+
+    def test_success_resets_the_failure_count(self):
+        router = ShardRouter(SHARDS, failure_threshold=2)
+        router.record_failure("shard-0")
+        router.record_success("shard-0")
+        assert router.record_failure("shard-0") is False
+        assert router.is_up("shard-0")
+
+    def test_mark_up_readmits_and_resets(self):
+        router = ShardRouter(SHARDS, failure_threshold=1)
+        router.record_failure("shard-3")
+        assert router.down == ("shard-3",)
+        router.mark_up("shard-3")
+        assert router.healthy == router.shard_ids
+        assert router.record_failure("shard-3") is True  # fresh count
+
+    def test_unknown_shard_is_rejected(self):
+        router = ShardRouter(SHARDS)
+        with pytest.raises(ValueError, match="unknown shard"):
+            router.mark_down("shard-9")
+
+
+class TestValidation:
+    def test_empty_fleet_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ShardRouter([])
+
+    def test_duplicate_ids_are_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            ShardRouter(["a", "a"])
+
+    def test_bad_vnodes_and_threshold(self):
+        with pytest.raises(ValueError, match="vnodes"):
+            ShardRouter(["a"], vnodes=0)
+        with pytest.raises(ValueError, match="failure_threshold"):
+            ShardRouter(["a"], failure_threshold=0)
