@@ -6,8 +6,8 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_report.py --quick  # skip slow gates
 
 Runs the CI smoke gates (``perf_smoke``, ``service_smoke``,
-``cluster_smoke``, ``obs_smoke``, ``hetero_smoke``, ``shard_smoke``)
-as subprocesses,
+``cluster_smoke``, ``obs_smoke``, ``hetero_smoke``, ``shard_smoke``,
+``chaos_smoke``, ``soak_smoke``) as subprocesses,
 times each, and lifts the key workload counters out of the obs gate's
 exported metrics.  Also times the heterogeneous estimate path directly
 (one transfer-prior calibration and one LEO fit on the enlarged
@@ -49,7 +49,7 @@ KEY_COUNTERS = (
 
 #: The smoke gates, in rough order of usefulness when time is short.
 GATES = ("perf_smoke", "service_smoke", "obs_smoke", "cluster_smoke",
-         "hetero_smoke", "shard_smoke")
+         "hetero_smoke", "shard_smoke", "chaos_smoke", "soak_smoke")
 QUICK_GATES = ("service_smoke", "obs_smoke")
 
 
@@ -131,6 +131,36 @@ def shard_timings() -> dict:
     return record
 
 
+def soak_timings() -> dict:
+    """Time compression of a short soak on the virtual clock.
+
+    Runs half a simulated day of the default phased incident plan
+    (16 tenants) and records simulated-seconds per wall-second — the
+    number that makes multi-day soaks affordable in CI.  The report
+    fingerprint is wall-free, so this field is the record's only
+    nondeterminism.
+    """
+    import logging
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.soak import SoakConfig, soak_run
+
+    logging.disable(logging.WARNING)
+    try:
+        report = soak_run(SoakConfig(horizon_s=0.5 * 86400.0))
+    finally:
+        logging.disable(logging.NOTSET)
+    return {
+        "simulated_seconds": round(report.simulated_s, 1),
+        "wall_seconds": round(report.wall_s, 2),
+        "simulated_per_wall": round(report.sim_per_wall, 1),
+        "segments": report.segments_run,
+        "passed": report.passed,
+        "availability": round(report.availability, 4),
+        "fingerprint": report.fingerprint,
+    }
+
+
 def run_gate(name: str, extra_args=()) -> dict:
     """Run one smoke gate as a subprocess; never raises."""
     script = BENCH_DIR / f"{name}.py"
@@ -153,7 +183,7 @@ def run_gate(name: str, extra_args=()) -> dict:
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", default=str(REPO / "BENCH_8.json"),
+    parser.add_argument("--out", default=str(REPO / "BENCH_9.json"),
                         help="where to write the report")
     parser.add_argument("--quick", action="store_true",
                         help="run only the fast gates")
@@ -178,13 +208,14 @@ def main() -> int:
             }
 
     report = {
-        "bench": 8,
+        "bench": 9,
         "generator": "benchmarks/bench_report.py",
         "quick": bool(args.quick),
         "suites": suites,
         "counters": counters,
         "hetero": hetero_timings(),
         "shard": shard_timings(),
+        "soak": soak_timings(),
         "total_wall_seconds": round(
             sum(s["wall_seconds"] for s in suites), 2),
         "all_passed": all(s["passed"] for s in suites),

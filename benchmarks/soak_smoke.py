@@ -1,0 +1,109 @@
+"""CI smoke check for the soak harness (docs/SOAK.md).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/soak_smoke.py
+
+Runs the full acceptance soak — two simulated days, 16 tenants, the
+``default`` phased incident plan, fixed seed — and checks the soak
+work's acceptance criteria end to end:
+
+* **every invariant holds** — cap-never-exceeded, typed-errors-only,
+  crash-resume-bit-equal, breaker-recloses, bounded-memory,
+  soak-survives (the report's violation list is empty);
+* **real chaos** — the plan actually injected faults, demoted the
+  canary at least once, and the ladder climbed back to LEO;
+* **every incident recovers** — each scheduled incident is followed by
+  a fully healthy segment (finite MTTR);
+* **time compression** — two simulated days complete in under a minute
+  of wall time;
+* **determinism** — a second run of the same config produces a
+  bit-identical fingerprint (the report hash excludes wall-derived
+  fields, so this is exact).
+
+On failure the full report is written to ``obs-artifacts/`` for the CI
+tab.  Kept out of the ``test_*`` namespace on purpose: it is a CI gate
+over the whole soak loop, not a figure reproduction.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.soak import SoakConfig, soak_run  # noqa: E402
+
+MAX_WALL_S = 60.0
+MIN_AVAILABILITY = 0.90
+
+
+def _dump(report, name: str) -> None:
+    target = REPO / "obs-artifacts" / name
+    target.parent.mkdir(parents=True, exist_ok=True)
+    payload = report.to_dict()
+    payload["fingerprint"] = report.fingerprint
+    target.write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    print(f"report -> {target}", file=sys.stderr)
+
+
+def main() -> int:
+    logging.disable(logging.WARNING)  # the soak *injects* failures
+    config = SoakConfig()  # 2 simulated days, 16 tenants, default plan
+
+    report = soak_run(config)
+    print(f"default soak: passed={report.passed} "
+          f"segments={report.segments_run} "
+          f"simulated={report.simulated_s / 86400.0:.2f}d "
+          f"wall={report.wall_s:.1f}s ({report.sim_per_wall:.0f}x) "
+          f"hit={report.deadline_hit_rate:.3f} "
+          f"avail={report.availability:.3f} "
+          f"demotions={report.canary_demotions} "
+          f"promotions={report.canary_promotions} "
+          f"tier={report.canary_final_tier}")
+    print(f"faults: {report.fault_counts}")
+
+    try:
+        assert report.passed, (
+            f"invariant violations: "
+            f"{[v.to_dict() for v in report.violations]}")
+        assert report.simulated_s >= 2 * 86400.0, (
+            f"soak covered only {report.simulated_s:.0f} simulated "
+            f"seconds")
+        assert report.wall_s < MAX_WALL_S, (
+            f"soak took {report.wall_s:.1f}s wall "
+            f"(budget {MAX_WALL_S:.0f}s)")
+        assert report.fault_counts, "the default plan injected nothing"
+        assert report.canary_demotions >= 1, (
+            "the estimator storms should force at least one demotion")
+        assert report.canary_final_tier == "leo", (
+            f"canary ended degraded at {report.canary_final_tier!r}")
+        assert report.availability >= MIN_AVAILABILITY, (
+            f"availability {report.availability:.3f} below "
+            f"{MIN_AVAILABILITY}")
+        assert report.incidents, "the default plan scheduled no incidents"
+        unrecovered = [i.name for i in report.incidents if not i.recovered]
+        assert not unrecovered, (
+            f"incidents never recovered: {unrecovered}")
+        assert report.resume_probes >= 1, "no crash-resume probe ran"
+
+        repeat = soak_run(config)
+        assert repeat.fingerprint == report.fingerprint, (
+            f"fixed-seed soak not bit-identical: "
+            f"{report.fingerprint} != {repeat.fingerprint}")
+    except AssertionError:
+        _dump(report, "soak_smoke_failure.json")
+        raise
+
+    print(f"fingerprint: {report.fingerprint}")
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

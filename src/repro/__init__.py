@@ -19,6 +19,13 @@ See README.md for the architecture overview and DESIGN.md for the
 system inventory and per-experiment index.
 """
 
+from repro.clock import (
+    Clock,
+    VirtualClock,
+    WallClock,
+    get_clock,
+)
+from repro.clock import use as use_clock
 from repro.cluster import (
     ClusterCoordinator,
     ClusterReport,
@@ -86,6 +93,11 @@ from repro.workloads import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "Clock",
+    "VirtualClock",
+    "WallClock",
+    "get_clock",
+    "use_clock",
     "ClusterCoordinator",
     "ClusterReport",
     "PartitionedMachine",

@@ -191,6 +191,29 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--seed", type=int, default=0)
     _add_obs_arguments(chaos)
 
+    soak = sub.add_parser(
+        "soak",
+        help="long-horizon chaos soak on the virtual clock "
+             "(docs/SOAK.md)")
+    soak.add_argument(
+        "--plan", default="default",
+        help="soak profile (none, quiet, default, heavy)")
+    soak.add_argument(
+        "--horizon", default="2d", metavar="SPAN",
+        help="simulated length: seconds, or days with a 'd' suffix "
+             "(default 2d)")
+    soak.add_argument("--tenants", type=int, default=16,
+                      help="cluster tenants per burst")
+    soak.add_argument("--seed", type=int, default=0)
+    soak.add_argument("--cap", type=float, default=None, metavar="W",
+                      help="node power cap for the cluster bursts")
+    soak.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the full soak report (with fingerprint) as JSON")
+    soak.add_argument(
+        "--slo", default=None, metavar="PATH",
+        help="write the soak's SLO report as JSON")
+
     serve = sub.add_parser(
         "serve", help="run the estimation service (docs/SERVICE.md)")
     serve.add_argument(
@@ -581,6 +604,95 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.survived else 1
 
 
+def _parse_horizon(text: str) -> float:
+    if text.endswith(("d", "D")):
+        return float(text[:-1]) * 86400.0
+    return float(text)
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.errors import FaultPlanError
+    from repro.soak import SoakConfig, soak_run
+
+    try:
+        horizon = _parse_horizon(args.horizon)
+    except ValueError:
+        print(f"--horizon must be seconds or '<days>d', "
+              f"got {args.horizon!r}", file=sys.stderr)
+        return 1
+    overrides = {"plan": args.plan, "horizon_s": horizon,
+                 "tenants": args.tenants, "seed": args.seed}
+    if args.cap is not None:
+        overrides["cap_watts"] = args.cap
+    try:
+        report = soak_run(SoakConfig(**overrides))
+    except (FaultPlanError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    rows = [
+        ["passed", report.passed],
+        ["segments", report.segments_run],
+        ["simulated", f"{report.simulated_s / 86400.0:.2f} days "
+                      f"in {report.wall_s:.1f}s wall "
+                      f"({report.sim_per_wall:.0f}x)"],
+        ["deadline hit rate", f"{report.deadline_hit_rate:.1%}"],
+        ["availability", f"{report.availability:.1%}"],
+        ["fleet probes", f"{report.probes_ok} ok / "
+                         f"{report.probes_shed} shed / "
+                         f"{report.probes_failed} failed"],
+        ["resume probes", report.resume_probes],
+        ["canary demotions / promotions",
+         f"{report.canary_demotions} / {report.canary_promotions}"],
+        ["canary final tier", report.canary_final_tier],
+        ["energy regret (J)", f"{report.energy_regret_j:.0f}"],
+        ["faults injected",
+         ", ".join(f"{kind} x{n}"
+                   for kind, n in sorted(report.fault_counts.items()))
+         or "none"],
+        ["fingerprint", report.fingerprint[:16]],
+    ]
+    print(format_table(
+        ["", ""], rows,
+        title=(f"{args.plan!r} soak, {args.tenants} tenants, "
+               f"seed {args.seed}")))
+    if report.incidents:
+        print()
+        print(format_table(
+            ["incident", "segments", "regret (J)", "MTTR (h)",
+             "recovered"],
+            [[inc.name, inc.segments, f"{inc.energy_regret_j:.0f}",
+              (f"{inc.mttr_s / 3600.0:.1f}"
+               if inc.mttr_s is not None else "-"),
+              "yes" if inc.recovered else "NO"]
+             for inc in report.incidents],
+            title="incidents"))
+    if report.violations:
+        print()
+        print(format_table(
+            ["invariant", "at (s)", "detail"],
+            [[v.invariant, f"{v.at_s:.0f}", v.detail]
+             for v in report.violations],
+            title="INVARIANT VIOLATIONS"))
+    if args.json is not None:
+        target = pathlib.Path(args.json)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        payload = report.to_dict()
+        payload["fingerprint"] = report.fingerprint
+        target.write_text(json.dumps(payload, indent=2,
+                                     default=float) + "\n")
+        print(f"report -> {args.json}", file=sys.stderr)
+    if args.slo is not None:
+        target = pathlib.Path(args.slo)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(report.slo, indent=2,
+                                     default=float) + "\n")
+        print(f"slo -> {args.slo}", file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -873,6 +985,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_with_observability(_cmd_hetero, args)
     if args.command == "chaos":
         return _run_with_observability(_cmd_chaos, args)
+    if args.command == "soak":
+        return _cmd_soak(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "request":

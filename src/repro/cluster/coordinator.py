@@ -289,7 +289,8 @@ class ClusterCoordinator:
                  cap_margin: float = 0.05,
                  contention_kappa: float = DEFAULT_CONTENTION_KAPPA,
                  seed: int = 0,
-                 observability: Optional[Observability] = None) -> None:
+                 observability: Optional[Observability] = None,
+                 clock=None) -> None:
         if policy not in POLICIES:
             raise ValueError(f"policy must be one of {POLICIES}, "
                              f"got {policy!r}")
@@ -309,6 +310,13 @@ class ClusterCoordinator:
         self.contention_kappa = float(contention_kappa)
         self.seed = int(seed)
         self.observability = observability
+        #: Optional :class:`~repro.clock.Clock`.  A *virtual* clock is
+        #: advanced in lockstep with the node's simulated clock at every
+        #: epoch boundary, and fault positions are reported in *its*
+        #: timeline — so a soak harness phasing faults across simulated
+        #: days sees cluster epochs land inside the right windows.
+        #: ``None`` (the default) changes nothing.
+        self.clock = clock
         allocator_cls = (PowerCapAllocator if policy == "joint"
                          else StaticAllocator)
         self.allocator = allocator_cls(cap_watts, margin=cap_margin)
@@ -368,6 +376,19 @@ class ClusterCoordinator:
         epoch = 0
         now = 0.0
         max_epochs = self._max_epochs()
+        # Virtual-time coupling: node-local epoch time ``now`` maps onto
+        # the attached virtual clock's timeline at a fixed origin, so
+        # fault positions and clock advancement agree to the epoch.
+        vclock = (self.clock if self.clock is not None
+                  and self.clock.is_virtual else None)
+        v_origin = vclock.now() if vclock is not None else 0.0
+
+        def fault_pos(local: float) -> float:
+            return v_origin + local if vclock is not None else local
+
+        def sync_vclock(local: float) -> None:
+            if vclock is not None:
+                vclock.advance_to(v_origin + local)
         with ob.tracer.span("cluster.run", policy=self.policy,
                             cap_watts=self.cap_watts) as run_span:
             while True:
@@ -375,7 +396,8 @@ class ClusterCoordinator:
                 # boundary — it departs like any other leaver (its
                 # report records the incomplete work) and the node
                 # repartitions around it.
-                for spec in injector.fire("cluster.tenant", clock=now):
+                for spec in injector.fire("cluster.tenant",
+                                          clock=fault_pos(now)):
                     if spec.kind != "tenant-crash" or not self._states:
                         continue
                     victim = (spec.target
@@ -389,6 +411,7 @@ class ClusterCoordinator:
                 if not self._states:
                     if self._pending:
                         now = min(t.arrival for t in self._pending)
+                        sync_vclock(now)
                         continue
                     break
                 if changed:
@@ -398,13 +421,15 @@ class ClusterCoordinator:
                     allocation = None
                     realloc_next = True
                 now = self.node.node_clock
+                sync_vclock(now)
 
                 # Fault-injection hook: a cap transient (facility
                 # brown-out) scales the node cap for a window.  Entering
                 # or leaving the window rebuilds the allocator at the
                 # effective cap and forces a re-allocation.
                 scale = 1.0
-                for spec in injector.active("cluster.cap", clock=now):
+                for spec in injector.active("cluster.cap",
+                                            clock=fault_pos(now)):
                     scale = min(scale, max(spec.magnitude, 0.05))
                 if scale != self._cap_scale:
                     self._cap_scale = scale
@@ -495,6 +520,7 @@ class ClusterCoordinator:
                         state.phase_fired = False
 
                 now = self.node.node_clock
+                sync_vclock(now)
                 for name, state in self._states.items():
                     if state.remaining_time <= 1e-6 * state.tenant.deadline:
                         self._departures.add(name)

@@ -48,6 +48,12 @@ class FaultInjector:
 
     Args:
         plan: The fault plan to execute.
+        clock: An optional :class:`~repro.clock.Clock`.  When set,
+            clock-less :meth:`fire` calls and clock-less :meth:`active`
+            queries position themselves at ``clock.now()`` — one global
+            timeline for every site, which is what a multi-day soak
+            needs to phase faults across days.  ``None`` keeps the
+            original semantics (site-local event indices) exactly.
 
     Attributes:
         plan: The plan in force.
@@ -57,8 +63,9 @@ class FaultInjector:
     #: Null-object discriminator: real injectors may inject.
     enabled = True
 
-    def __init__(self, plan: FaultPlan) -> None:
+    def __init__(self, plan: FaultPlan, clock=None) -> None:
         self.plan = plan
+        self.clock = clock
         self._rngs = [
             np.random.default_rng(stable_seed(plan.seed, i, spec.kind))
             for i, spec in enumerate(plan.specs)
@@ -85,10 +92,13 @@ class FaultInjector:
         """Per-event faults striking ``site`` for the current event.
 
         ``clock`` positions the event inside spec windows when the site
-        has a simulated clock; clock-less sites are positioned by their
+        has a simulated clock; clock-less sites fall back to the
+        injector's attached clock (``clock.now()``), then to their
         site-local event index.  Windowed kinds never fire here — query
         them with :meth:`active`.
         """
+        if clock is None and self.clock is not None:
+            clock = self.clock.now()
         fired: List[FaultSpec] = []
         for i, spec in enumerate(self.plan.specs):
             if spec.site != site or spec.windowed:
@@ -108,12 +118,19 @@ class FaultInjector:
             self._record(spec, site, position)
         return tuple(fired)
 
-    def active(self, site: str, clock: float) -> Tuple[FaultSpec, ...]:
+    def active(self, site: str,
+               clock: Optional[float] = None) -> Tuple[FaultSpec, ...]:
         """Windowed fault states in force at ``site`` at ``clock``.
 
         Pure query: no random draws, no event counters, no metrics —
         callers poll it freely (e.g. once per quantum or epoch).
+        ``clock`` may be omitted when the injector carries an attached
+        clock (soak mode); without either, nothing is active.
         """
+        if clock is None:
+            if self.clock is None:
+                return ()
+            clock = self.clock.now()
         return tuple(
             spec for spec in self.plan.specs
             if spec.site == site and spec.windowed
@@ -143,13 +160,14 @@ class NullInjector:
 
     enabled = False
     plan = None
+    clock = None
 
     @staticmethod
     def fire(site: str, clock: Optional[float] = None) -> Tuple[()]:
         return ()
 
     @staticmethod
-    def active(site: str, clock: float) -> Tuple[()]:
+    def active(site: str, clock: Optional[float] = None) -> Tuple[()]:
         return ()
 
     @property

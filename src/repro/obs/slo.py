@@ -30,9 +30,9 @@ fault injector cost one method call when disabled and draw no RNG.
 from __future__ import annotations
 
 import dataclasses
-import time
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.clock import get_clock
 from repro.obs.metrics import Histogram, parse_labeled
 from repro.obs.timeseries import TimeSeries
 
@@ -151,8 +151,13 @@ class SloTracker:
             :data:`DEFAULT_OBJECTIVES`.
         capacity: Ring-buffer capacity per stream.
         clock: Timestamp source for records that do not bring their own
-            ``now`` (records from simulated components should pass the
-            simulated clock explicitly).
+            ``now`` — any zero-argument callable returning seconds.
+            ``None`` (the default) reads the ambient
+            :func:`repro.clock.get_clock` per record, so a tracker
+            created inside a ``clock.use(VirtualClock())`` block stamps
+            its streams in simulated time and day-scale burn-rate
+            windows evaluate correctly.  (Records from simulated
+            components may still pass their own ``now`` explicitly.)
     """
 
     is_recording = True
@@ -165,12 +170,16 @@ class SloTracker:
     def __init__(self, objectives: Sequence[SloObjective]
                  = DEFAULT_OBJECTIVES,
                  capacity: int = 4096,
-                 clock=time.monotonic) -> None:
+                 clock: Optional[Callable[[], float]] = None) -> None:
         self.objectives = tuple(objectives)
         self.capacity = int(capacity)
         self._clock = clock
         self._streams: Dict[str, TimeSeries] = {}
         self.events: Dict[str, int] = {}
+
+    def _now(self) -> float:
+        return (self._clock() if self._clock is not None
+                else get_clock().now())
 
     # -- recording ------------------------------------------------------
     def stream(self, name: str) -> TimeSeries:
@@ -183,7 +192,7 @@ class SloTracker:
                 now: Optional[float] = None) -> None:
         """Append one point to a named stream (power, heartbeats, ...)."""
         self.stream(stream).append(
-            self._clock() if now is None else now, float(value))
+            self._now() if now is None else now, float(value))
 
     def record_latency(self, seconds: float,
                        now: Optional[float] = None) -> None:

@@ -237,7 +237,9 @@ class RuntimeController:
                  safety_margin: float = 0.04,
                  observability: Optional[Observability] = None,
                  fallback_estimators: Optional[Sequence[Estimator]] = None,
-                 promotion_cooldown: int = 8) -> None:
+                 promotion_cooldown: int = 8,
+                 clock=None,
+                 promotion_cooldown_s: Optional[float] = None) -> None:
         if sample_count < 1:
             raise ValueError(f"sample_count must be >= 1, got {sample_count}")
         if sample_window <= 0:
@@ -277,6 +279,16 @@ class RuntimeController:
         self.safety_margin = safety_margin
         self.observability = observability
         self.promotion_cooldown = promotion_cooldown
+        #: Optional :class:`~repro.clock.Clock`.  A *virtual* clock is
+        #: advanced in lockstep with the machine's simulated clock
+        #: (quantum loop, calibration sampling), so fault windows, SLO
+        #: streams, and breaker cooldowns anchored to it see the same
+        #: timeline the machine lives on.  ``None`` — the default — adds
+        #: no clock coupling and changes nothing.
+        self.clock = clock
+        #: Breaker cooldown in clock seconds; ``None`` keeps the
+        #: original quanta-counted cooldown (``promotion_cooldown``).
+        self.promotion_cooldown_s = promotion_cooldown_s
         # The degradation ladder is built lazily on first use, so the
         # fallback estimators exist only once the controller actually
         # estimates (and so construction stays cheap for callers that
@@ -289,6 +301,29 @@ class RuntimeController:
     def _obs_scope(self):
         """Install the controller's bundle, if it has one."""
         return use_observability(self.observability)
+
+    # ------------------------------------------------------------------
+    # Virtual-time coupling
+    # ------------------------------------------------------------------
+    def _clock_anchor(self):
+        """``(clock, machine_origin, clock_origin)``, or ``None``.
+
+        Anchors the attached *virtual* clock to the machine's simulated
+        clock so :meth:`_sync_clock` can mirror machine progress onto
+        it absolutely — nested scopes (an inline re-calibration inside a
+        run) each anchor themselves and compose without double counting,
+        because both resolve to the same machine-clock instant.
+        """
+        clk = self.clock
+        if clk is None or not clk.is_virtual:
+            return None
+        return (clk, self.machine.clock, clk.now())
+
+    def _sync_clock(self, anchor) -> None:
+        if anchor is not None:
+            clk, machine_origin, clock_origin = anchor
+            clk.advance_to(clock_origin
+                           + (self.machine.clock - machine_origin))
 
     # ------------------------------------------------------------------
     # Resilience: the estimator degradation ladder
@@ -316,7 +351,9 @@ class RuntimeController:
         tiers.append(Tier(PINNED_TIER, None))
         return DegradationLadder(
             tiers,
-            breaker=CircuitBreaker(cooldown_quanta=self.promotion_cooldown))
+            breaker=CircuitBreaker(cooldown_quanta=self.promotion_cooldown,
+                                   cooldown_s=self.promotion_cooldown_s,
+                                   clock=self.clock))
 
     # ------------------------------------------------------------------
     # Calibration: sample + estimate
@@ -335,6 +372,7 @@ class RuntimeController:
         """
         count = sample_count if sample_count is not None else self.sample_count
         window = sample_window if sample_window is not None else self.sample_window
+        anchor = self._clock_anchor()
         with self._obs_scope():
             ambient = get_observability()
             if ambient.tracer.is_recording:
@@ -409,6 +447,7 @@ class RuntimeController:
                         features, indices, rates, powers)
                 spans = tracer.finished_since(mark)
 
+        self._sync_clock(anchor)
         return TradeoffEstimate(
             rates=rate_curve, powers=power_curve,
             estimator_name=tier.name,
@@ -565,11 +604,13 @@ class RuntimeController:
             rate_trace = [float(x) for x in resume_state["rate_trace"]]
         minimizer = EnergyMinimizer(rates, powers, self.machine.idle_power())
         quantum = deadline * self.quantum_fraction
+        anchor = self._clock_anchor()
 
         with tracer.span("controller.run", work=work, deadline=deadline,
                          estimator=estimate.estimator_name,
                          adapt=adapt) as run_span:
             while time_left > 1e-9 * deadline:
+                self._sync_clock(anchor)
                 if checkpointer is not None:
                     checkpointer.maybe_save(
                         quantum_index,
@@ -727,6 +768,7 @@ class RuntimeController:
                     if ladder is not None:
                         ladder.note_healthy_quantum()
 
+            self._sync_clock(anchor)
             work_done = work - max(work_left, 0.0)
             met_target = work_done >= 0.99 * work
             run_span.set_attribute("work_done", work_done)

@@ -263,9 +263,19 @@ class CheckpointManager:
         return True
 
     def save(self, payload: dict) -> None:
-        """Write one checkpoint atomically (temp file + ``os.replace``)."""
+        """Write one checkpoint atomically (temp file + ``os.replace``).
+
+        The envelope carries a ``written_unix`` timestamp from the
+        ambient clock — *outside* the CRC'd payload, so it never
+        perturbs resume state or bit-equality checks, and a virtual
+        clock stamps checkpoints in simulated time (the soak harness
+        reads checkpoint age off it).
+        """
+        from repro.clock import get_clock
+
         body = self._canonical(payload)
         envelope = json.dumps({"crc32": zlib.crc32(body),
+                               "written_unix": get_clock().time(),
                                "payload": payload})
         self.path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self.path.with_name(
@@ -309,6 +319,22 @@ class CheckpointManager:
                            self.path)
             return None
         return payload
+
+    def written_unix(self) -> Optional[float]:
+        """The on-disk checkpoint's envelope timestamp, or ``None``.
+
+        ``None`` for missing or unreadable files — and for checkpoints
+        written before the envelope carried a timestamp, which still
+        load fine (``load`` only reads ``crc32`` and ``payload``).
+        """
+        if not self.path.exists():
+            return None
+        try:
+            envelope = json.loads(self.path.read_text(encoding="utf-8"))
+            stamp = envelope.get("written_unix")
+        except (OSError, ValueError, AttributeError):
+            return None
+        return float(stamp) if stamp is not None else None
 
     def clear(self) -> bool:
         """Delete the checkpoint (e.g. after a completed run)."""

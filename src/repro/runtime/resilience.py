@@ -36,6 +36,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import clock as clockmod
 from repro.errors import InsufficientSamplesError, ReproError
 from repro.estimators.base import Estimator
 from repro.obs import get_observability
@@ -76,6 +77,13 @@ class CircuitBreaker:
       above) is refused until ``cooldown`` healthy quanta accumulate.
     * **half-open** — cooled down; exactly one probe is allowed, and
       its outcome closes or re-opens the breaker.
+
+    ``cooldown_s`` switches the open→half-open transition from quanta
+    counting to elapsed clock seconds (read from ``clock``, or the
+    ambient :func:`repro.clock.get_clock`) — the mode the soak harness
+    uses so breaker recovery time is measured on the same virtual
+    timeline as the faults that tripped it.  The default (``None``)
+    keeps quanta counting, bit-identical to the original behaviour.
     """
 
     CLOSED = "closed"
@@ -83,18 +91,28 @@ class CircuitBreaker:
     HALF_OPEN = "half-open"
 
     def __init__(self, failure_threshold: int = 1,
-                 cooldown_quanta: int = 8) -> None:
+                 cooldown_quanta: int = 8,
+                 cooldown_s: Optional[float] = None,
+                 clock=None) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, "
                              f"got {failure_threshold}")
         if cooldown_quanta < 1:
             raise ValueError(f"cooldown_quanta must be >= 1, "
                              f"got {cooldown_quanta}")
+        if cooldown_s is not None and cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
         self.failure_threshold = failure_threshold
         self.cooldown_quanta = cooldown_quanta
+        self.cooldown_s = cooldown_s
+        self._clock = clock
         self.state = self.CLOSED
         self.failures = 0
         self.healthy_quanta = 0
+        self.opened_at: Optional[float] = None
+
+    def _now(self) -> float:
+        return clockmod.resolve(self._clock).now()
 
     def record_failure(self) -> None:
         """A protected operation failed; trip after the threshold."""
@@ -102,25 +120,40 @@ class CircuitBreaker:
         self.healthy_quanta = 0
         if self.failures >= self.failure_threshold:
             self.state = self.OPEN
+            if self.cooldown_s is not None:
+                self.opened_at = self._now()
 
     def record_success(self) -> None:
         """A probe succeeded; the breaker closes and forgets."""
         self.state = self.CLOSED
         self.failures = 0
         self.healthy_quanta = 0
+        self.opened_at = None
 
     def note_healthy(self) -> None:
         """One quantum passed without faults; cool an open breaker."""
-        if self.state == self.OPEN:
-            self.healthy_quanta += 1
-            if self.healthy_quanta >= self.cooldown_quanta:
+        if self.state != self.OPEN:
+            return
+        self.healthy_quanta += 1
+        if self.cooldown_s is not None:
+            now = self._now()
+            if self.opened_at is None:
+                # The breaker was opened by direct state assignment
+                # (promotion re-arm): start the cooldown at the first
+                # healthy observation.
+                self.opened_at = now
+            if now - self.opened_at >= self.cooldown_s:
                 self.state = self.HALF_OPEN
+        elif self.healthy_quanta >= self.cooldown_quanta:
+            self.state = self.HALF_OPEN
 
     def note_fault(self) -> None:
         """A fault surfaced outside the protected op; restart cooling."""
         self.healthy_quanta = 0
         if self.state == self.HALF_OPEN:
             self.state = self.OPEN
+        if self.state == self.OPEN and self.cooldown_s is not None:
+            self.opened_at = self._now()
 
     @property
     def allows_probe(self) -> bool:
@@ -128,13 +161,18 @@ class CircuitBreaker:
 
     # -- checkpoint plumbing -------------------------------------------
     def snapshot(self) -> dict:
-        return {"state": self.state, "failures": self.failures,
+        data = {"state": self.state, "failures": self.failures,
                 "healthy_quanta": self.healthy_quanta}
+        if self.opened_at is not None:
+            data["opened_at"] = self.opened_at
+        return data
 
     def restore(self, data: dict) -> None:
         self.state = data["state"]
         self.failures = int(data["failures"])
         self.healthy_quanta = int(data["healthy_quanta"])
+        opened = data.get("opened_at")
+        self.opened_at = float(opened) if opened is not None else None
 
 
 class DegradationLadder:

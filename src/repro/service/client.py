@@ -32,11 +32,12 @@ import itertools
 import logging
 import random
 import socket
-import time
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro import clock as clockmod
+from repro.clock import Clock
 from repro.estimators.base import (
     EstimationProblem,
     Estimator,
@@ -102,6 +103,10 @@ class ServiceClient:
             the point where the caller has stopped waiting.
         jitter_seed: Seed for the jitter stream (deterministic tests);
             ``None`` uses OS entropy.
+        clock: The :class:`~repro.clock.Clock` timing the deadline
+            budget and the backoff sleeps; ``None`` reads the ambient
+            clock per call, so a client created outside a
+            ``clock.use(...)`` block still goes virtual inside one.
         wire: Wire encoding.  ``"json"`` (default) is protocol v1,
             compatible with every broker ever shipped.  ``"auto"``
             probes each new server with one binary ping and downgrades
@@ -120,6 +125,7 @@ class ServiceClient:
                  retry_overloaded: bool = False,
                  default_deadline_s: Optional[float] = None,
                  jitter_seed: Optional[int] = None,
+                 clock: Optional[Clock] = None,
                  wire: str = "json") -> None:
         if retries < 0:
             raise ValueError(f"retries must be >= 0, got {retries}")
@@ -139,11 +145,17 @@ class ServiceClient:
         self.retry_overloaded = retry_overloaded
         self.default_deadline_s = default_deadline_s
         self.wire = wire
+        self._clock = clock
         self._jitter = random.Random(jitter_seed)
         self._ids = itertools.count(1)
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._negotiated: Optional[str] = None if wire == "auto" else wire
+
+    @property
+    def clock(self) -> Clock:
+        """The clock timing this client (explicit beats ambient)."""
+        return clockmod.resolve(self._clock)
 
     # -- connection management ------------------------------------------
     @property
@@ -226,7 +238,8 @@ class ServiceClient:
         """
         if deadline_s is None:
             deadline_s = self.default_deadline_s
-        started = time.monotonic()
+        clk = self.clock
+        started = clk.now()
         attempt = 0
         tracer = get_tracer()
         # The ``client.call`` span covers the whole retry loop, so its
@@ -237,7 +250,7 @@ class ServiceClient:
             while True:
                 remaining: Optional[float] = None
                 if deadline_s is not None:
-                    remaining = deadline_s - (time.monotonic() - started)
+                    remaining = deadline_s - (clk.now() - started)
                     if remaining <= 0:
                         raise DeadlineExceeded(
                             f"deadline of {deadline_s:.3f}s exhausted "
@@ -254,7 +267,7 @@ class ServiceClient:
                     self.close()
                     if (attempt >= self.retries
                             or not self._backoff_sleep(attempt, started,
-                                                       deadline_s)):
+                                                       deadline_s, clk)):
                         raise
                     logger.debug("retrying after transport failure",
                                  extra={"fields": {
@@ -264,7 +277,7 @@ class ServiceClient:
                 except ServiceOverloaded:
                     if (not self.retry_overloaded or attempt >= self.retries
                             or not self._backoff_sleep(attempt, started,
-                                                       deadline_s)):
+                                                       deadline_s, clk)):
                         raise
                     logger.debug("retrying after load shed",
                                  extra={"fields": {
@@ -273,7 +286,8 @@ class ServiceClient:
                 attempt += 1
 
     def _backoff_sleep(self, attempt: int, started: float,
-                       deadline_s: Optional[float]) -> bool:
+                       deadline_s: Optional[float],
+                       clk: Optional[Clock] = None) -> bool:
         """Sleep the full-jitter backoff for ``attempt``; False = give up.
 
         The delay is uniform in ``[0, min(backoff_cap, backoff *
@@ -282,17 +296,19 @@ class ServiceClient:
         the deadline budget; when it cannot, no sleep happens and the
         caller surfaces the pending failure.
         """
+        if clk is None:
+            clk = self.clock
         if not self.backoff:
             delay = 0.0
         else:
             envelope = min(self.backoff_cap, self.backoff * (2 ** attempt))
             delay = self._jitter.uniform(0.0, envelope)
         if deadline_s is not None:
-            remaining = deadline_s - (time.monotonic() - started)
+            remaining = deadline_s - (clk.now() - started)
             if remaining <= delay:
                 return False
         if delay > 0:
-            time.sleep(delay)
+            clk.sleep(delay)
         return True
 
     def _call_once(self, op: str, payload: Dict[str, Any],

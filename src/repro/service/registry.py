@@ -44,6 +44,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.clock import get_clock
 from repro.runtime.controller import TradeoffEstimate
 from repro.runtime.persistence import EstimateStore, _slug
 
@@ -207,7 +208,7 @@ class ModelRegistry:
                     app=app, estimator=estimate.estimator_name,
                     num_configs=int(rates.size), version=version,
                     rates=rates, powers=powers, metadata=meta,
-                    created_unix=time.time(),
+                    created_unix=get_clock().time(),
                 )
                 tmp.write_text(json.dumps(record.to_dict()) + "\n")
                 target = directory / f"v{version:06d}.json"
@@ -322,7 +323,7 @@ class ModelRegistry:
         meta = json.dumps({"schema_version": REGISTRY_SCHEMA_VERSION,
                            "space_key": space_key,
                            "names": list(names),
-                           "created_unix": time.time()})
+                           "created_unix": get_clock().time()})
         tmp = directory / (f".publish.{os.getpid()}."
                            f"{threading.get_ident()}.tmp")
         try:

@@ -48,6 +48,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.clock import get_clock
 from repro.estimators.base import InsufficientSamplesError
 from repro.estimators.registry import create_estimator
 from repro.experiments.harness import (
@@ -155,7 +156,7 @@ class EstimationService:
         if seconds < 0:
             raise RequestRejected(f"sleep seconds must be >= 0, got {seconds}")
         seconds = min(seconds, MAX_SLEEP_SECONDS)
-        time.sleep(seconds)
+        get_clock().sleep(seconds)
         return {"slept": seconds}
 
     def _op_estimate(self, payload: Dict[str, Any]) -> Dict[str, Any]:

@@ -35,12 +35,13 @@ from __future__ import annotations
 
 import logging
 import socket
-import time
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.clock import get_clock
 from repro.errors import ShardUnavailable
+from repro.faults.injector import stable_seed
 from repro.estimators.base import EstimationProblem
 from repro.faults.context import get_injector
 from repro.service.client import ServiceClient
@@ -69,6 +70,12 @@ class ShardedServiceClient:
             several clients should agree on health state.
         wire: Wire mode for the pooled clients (default ``"auto"``:
             binary against this repo's fleet, JSON fallback).
+        jitter_seed: Base seed for the pooled clients' backoff jitter.
+            Each shard's client gets a seed derived from this and its
+            shard id, so retry timing is deterministic per shard yet
+            decorrelated across the pool — the property that makes
+            virtual-clock chaos traces reproducible.  ``None`` leaves
+            every pooled client on OS entropy (the old behaviour).
         client_kwargs: Extra :class:`ServiceClient` arguments (timeout,
             retries, backoff, ...) applied to every pooled client.
     """
@@ -77,6 +84,7 @@ class ShardedServiceClient:
                  tenant_key: str = "default",
                  router: Optional[ShardRouter] = None,
                  wire: str = "auto",
+                 jitter_seed: Optional[int] = None,
                  **client_kwargs: Any) -> None:
         if not addresses:
             raise ValueError("a sharded client needs at least one shard")
@@ -89,6 +97,7 @@ class ShardedServiceClient:
                 raise ValueError(f"router shard {shard_id!r} has no "
                                  f"address")
         self.wire = wire
+        self.jitter_seed = jitter_seed
         self._client_kwargs = dict(client_kwargs)
         self._pool: Dict[str, ServiceClient] = {}
 
@@ -97,8 +106,12 @@ class ShardedServiceClient:
         """The pooled connection to one shard (created on first use)."""
         client = self._pool.get(shard_id)
         if client is None:
+            kwargs = dict(self._client_kwargs)
+            if self.jitter_seed is not None and "jitter_seed" not in kwargs:
+                kwargs["jitter_seed"] = stable_seed(
+                    "shard-jitter", self.jitter_seed, shard_id)
             client = ServiceClient(self.addresses[shard_id],
-                                   wire=self.wire, **self._client_kwargs)
+                                   wire=self.wire, **kwargs)
             self._pool[shard_id] = client
         return client
 
@@ -127,7 +140,7 @@ class ShardedServiceClient:
         shard_id = self.router.route(key)
         for spec in get_injector().fire("shard.call"):
             if spec.kind == "slow-shard":
-                time.sleep(max(0.0, spec.magnitude))
+                get_clock().sleep(max(0.0, spec.magnitude))
         crashed = any(spec.kind == "broker-crash"
                       for spec in get_injector().fire("shard.route"))
         try:

@@ -31,9 +31,9 @@ import logging
 import os
 import pathlib
 import shutil
-import time
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.clock import get_clock
 from repro.errors import PersistenceError
 from repro.faults.context import get_injector
 from repro.service.registry import (
@@ -57,20 +57,27 @@ class RegistryReplica:
         staleness_s: Reads older than this re-sync first.  ``0`` syncs
             on every read (read-your-writes against the leader);
             ``float("inf")`` never re-syncs after the first pull.
-        clock: Monotonic time source (injectable for tests).
+        clock: Monotonic time source (injectable for tests); ``None``
+            reads the ambient :func:`repro.clock.get_clock` per call,
+            so replicas age in simulated time under a virtual clock.
     """
 
     def __init__(self, leader: ModelRegistry, directory: PathLike,
                  staleness_s: float = 1.0,
-                 clock=time.monotonic) -> None:
+                 clock=None) -> None:
         if staleness_s < 0:
             raise ValueError(f"staleness_s must be >= 0, got {staleness_s}")
         self.leader = leader
         self.registry = ModelRegistry(directory)
         self.staleness_s = staleness_s
         self._clock = clock
+
         self._last_sync: Optional[float] = None
         self._pulled_files = 0
+
+    def _now(self) -> float:
+        return (self._clock() if self._clock is not None
+                else get_clock().now())
 
     # -- sync -----------------------------------------------------------
     @property
@@ -78,7 +85,7 @@ class RegistryReplica:
         """Seconds since the last successful sync; ``None`` if never."""
         if self._last_sync is None:
             return None
-        return self._clock() - self._last_sync
+        return self._now() - self._last_sync
 
     @property
     def pulled_files(self) -> int:
@@ -113,7 +120,7 @@ class RegistryReplica:
                         continue
                     target_dir.mkdir(parents=True, exist_ok=True)
                     pulled += self._pull(entry, target)
-        self._last_sync = self._clock()
+        self._last_sync = self._now()
         self._pulled_files += pulled
         return pulled
 

@@ -1,0 +1,61 @@
+"""Long-horizon chaos soak testing on the virtual clock.
+
+The soak subsystem answers the durability questions short chaos runs
+cannot: over *days* of simulated operation — tenant churn, phased
+incidents, shard outages, torn checkpoints — do the system's contracts
+ever break?  It has three layers:
+
+* :mod:`repro.soak.plans` — phased fault schedules: a daily rota of
+  named incidents (estimator storms, brownouts, network flaps, shard
+  outages, storage decay, tenant churn) over always-on background
+  noise, positioned on the virtual-clock timeline.
+* :mod:`repro.soak.invariants` — the named, machine-checkable
+  properties a soak must never violate, and their check functions.
+* :mod:`repro.soak.harness` — the driver: segments the horizon,
+  runs the canary controller / multi-tenant bursts / fleet probes /
+  crash-resume probes under the plan, and reports MTTR, availability,
+  and energy regret per incident plus a deterministic fingerprint.
+
+Quickstart::
+
+    from repro.soak import soak_run
+
+    report = soak_run(plan="default", horizon_s=2 * 86400.0)
+    assert report.passed, report.violations
+    print(report.fingerprint, report.sim_per_wall)
+
+See docs/SOAK.md for the invariant catalog and operational recipes.
+"""
+
+from repro.soak.harness import (
+    SegmentRecord,
+    SoakConfig,
+    SoakHarness,
+    SoakReport,
+    IncidentReport,
+    soak_run,
+)
+from repro.soak.invariants import INVARIANTS, InvariantViolation
+from repro.soak.plans import (
+    DAY_S,
+    Incident,
+    SoakPlan,
+    soak_plan,
+    soak_plan_names,
+)
+
+__all__ = [
+    "DAY_S",
+    "INVARIANTS",
+    "Incident",
+    "IncidentReport",
+    "InvariantViolation",
+    "SegmentRecord",
+    "SoakConfig",
+    "SoakHarness",
+    "SoakPlan",
+    "SoakReport",
+    "soak_plan",
+    "soak_plan_names",
+    "soak_run",
+]

@@ -1,0 +1,758 @@
+"""The long-horizon chaos soak harness.
+
+A soak answers the question a chaos run cannot: does the *whole* system
+— multi-tenant cluster, estimator ladder, sharded service fleet,
+checkpoints, metrics — stay inside its contracts over **days** of
+simulated operation under recurring incidents?  Wall time stays in
+seconds because every loop runs on one shared
+:class:`~repro.clock.VirtualClock`: activity advances the clock through
+the machine anchors the runtime threads through its loops, and the idle
+hours between activity bursts are fast-forwarded in one jump.
+
+The timeline is divided into **segments**, one every few simulated
+hours.  Each segment runs, in order:
+
+1. A fault-free **baseline twin** of the segment's cluster burst (own
+   seeds, no clock, null observability) — the denominator for energy
+   regret.
+2. The **canary**: one long-lived LEO
+   :class:`~repro.runtime.controller.RuntimeController` driven through
+   back-to-back deadline windows on the virtual clock.  Its degradation
+   ladder and *time-based* circuit breaker live across the whole soak,
+   so "the breaker re-closes after the storm" is measured in simulated
+   hours, not quanta.
+3. A **cluster burst**: a fresh multi-tenant
+   :class:`~repro.cluster.coordinator.ClusterCoordinator` (offline
+   estimators + priors) with staggered arrivals under the node power
+   cap — arrival/departure churn, clock-coupled so the day's phased
+   incidents strike the bursts that overlap their windows.
+4. **Fleet probes** against a real :class:`~repro.shard.fleet.
+   ShardFleet` through a :class:`~repro.shard.client.
+   ShardedServiceClient` (seeded backoff jitter) — the typed-shedding
+   invariant's subject.  A health-check loop readmits shards that went
+   down, modelling recovery.
+5. Periodically, a **crash-resume probe**: a checkpointed run replayed
+   by a fresh controller must be bit-equal — even while torn-write
+   faults are active.
+
+Invariants (:mod:`repro.soak.invariants`) are evaluated continuously;
+the report carries MTTR, availability, and energy regret per scheduled
+incident, and a deterministic fingerprint — two soaks with the same
+config hash identically, which is how the CI smoke job asserts
+reproducibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import logging
+import pathlib
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import clock as clockmod
+from repro.clock import VirtualClock
+from repro.cluster.coordinator import ClusterCoordinator, Tenant
+from repro.errors import InsufficientSamplesError, ReproError
+from repro.experiments.harness import ExperimentContext, default_context
+from repro.faults import FaultInjector
+from repro.faults import use as use_faults
+from repro.faults.injector import stable_seed
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    SloObjective,
+    SloTracker,
+)
+from repro.obs import use as use_observability
+from repro.runtime.persistence import CheckpointManager
+from repro.shard.client import ShardedServiceClient
+from repro.shard.fleet import ShardFleet
+from repro.soak.invariants import (
+    InvariantViolation,
+    check_cap,
+    check_memory_growth,
+    check_probe_error,
+    check_resume_pair,
+)
+from repro.soak.plans import DAY_S, Incident, SoakPlan, soak_plan
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["SoakConfig", "SegmentRecord", "IncidentReport", "SoakReport",
+           "SoakHarness", "soak_run"]
+
+#: Extra series the registry may legitimately gain after the first
+#: quarter (a fault kind that first fires late creates its counter).
+_MEMORY_SLACK_SERIES = 12
+
+
+@dataclasses.dataclass
+class SoakConfig:
+    """Everything one soak run depends on (the fingerprint's domain).
+
+    Attributes:
+        horizon_s: Simulated soak length (default two days).
+        tenants: Cluster tenants per burst (≤ the node's core count).
+        seed: Master seed; every stream derives from it stably.
+        plan: Soak fault profile (:func:`repro.soak.plans.soak_plan`).
+        segment_interval_s: Simulated seconds between segment starts.
+        cap_watts: Node power cap for every cluster burst.  Must clear
+            the degenerate-budget floor (every tenant pinned to its
+            cheapest configuration) *plus* worst-case sensor-bias
+            inflation of the measured peaks, or the cap invariant is
+            unsatisfiable by construction.
+        cap_margin: Allocator headroom fraction (absorbs offline-prior
+            estimation error under contention).
+        tenant_deadline_s: Per-tenant deadline within a burst.
+        utilization: Tenant demand as a fraction of its *slowest*
+            configuration's rate — conservative, so a healthy burst
+            meets every deadline.
+        sample_count: Calibration samples per tenant (small partitions).
+        canary_benchmark: The long-lived controller's workload.
+        canary_estimator: Its configured (tier-0) estimator.
+        canary_windows: Deadline windows the canary runs per segment.
+        canary_deadline_s: Seconds per canary window.
+        canary_utilization: Canary demand fraction of its peak rate.
+        promotion_cooldown_s: The canary breaker's open→half-open
+            cooldown in *simulated seconds* (the time-based mode).
+        recovery_budget_s: Simulated seconds after an estimator
+            incident clears within which the ladder must re-close.
+        resume_every: Run the crash-resume probe every N segments
+            (0 disables).
+        fleet_shards: Brokers in the service fleet.
+        fleet_probes: Ping probes per segment through the shard client.
+        slo_target: Deadline-hit-rate floor for the SLO objectives.
+        slo_window_s: The day-scale SLO evaluation window.
+        space_kind: Experiment context space (``"cores"`` keeps bursts
+            fast).
+    """
+
+    horizon_s: float = 2 * DAY_S
+    tenants: int = 16
+    seed: int = 0
+    plan: str = "default"
+    segment_interval_s: float = 7200.0
+    cap_watts: float = 800.0
+    cap_margin: float = 0.15
+    tenant_deadline_s: float = 30.0
+    utilization: float = 0.5
+    sample_count: int = 4
+    canary_benchmark: str = "kmeans"
+    canary_estimator: str = "leo"
+    canary_windows: int = 2
+    canary_deadline_s: float = 25.0
+    canary_utilization: float = 0.5
+    promotion_cooldown_s: float = 1800.0
+    recovery_budget_s: float = 4 * 7200.0
+    resume_every: int = 4
+    fleet_shards: int = 2
+    fleet_probes: int = 4
+    slo_target: float = 0.9
+    slo_window_s: float = DAY_S
+    space_kind: str = "cores"
+
+    def validate(self) -> None:
+        if self.horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, "
+                             f"got {self.horizon_s}")
+        if self.segment_interval_s <= 0:
+            raise ValueError(f"segment_interval_s must be positive, "
+                             f"got {self.segment_interval_s}")
+        if self.tenants < 1:
+            raise ValueError(f"tenants must be >= 1, got {self.tenants}")
+        if self.fleet_shards < 1:
+            raise ValueError(f"fleet_shards must be >= 1, "
+                             f"got {self.fleet_shards}")
+        if not 0 < self.utilization <= 1:
+            raise ValueError(f"utilization must be in (0, 1], "
+                             f"got {self.utilization}")
+        if self.num_segments < 1:
+            raise ValueError(
+                f"horizon {self.horizon_s}s holds no segment at an "
+                f"interval of {self.segment_interval_s}s")
+
+    @property
+    def num_segments(self) -> int:
+        return int(self.horizon_s // self.segment_interval_s)
+
+    def segment_start(self, index: int) -> float:
+        return index * self.segment_interval_s
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass
+class SegmentRecord:
+    """What one segment did and how healthy it ended."""
+
+    index: int
+    start_s: float
+    end_s: float
+    energy_j: float
+    baseline_energy_j: float
+    deadlines_met: int
+    deadlines_total: int
+    cap_ok: bool
+    probes_ok: int
+    probes_shed: int
+    probes_failed: int
+    canary_tier_index: int
+    canary_tier: str
+
+    @property
+    def healthy(self) -> bool:
+        """All green: cap held, every deadline met, every probe served,
+        canary back on its configured estimator."""
+        return (self.cap_ok
+                and self.deadlines_met == self.deadlines_total
+                and self.probes_shed == 0 and self.probes_failed == 0
+                and self.canary_tier_index == 0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["healthy"] = self.healthy
+        return data
+
+
+@dataclasses.dataclass
+class IncidentReport:
+    """One scheduled incident's measured cost and recovery.
+
+    Attributes:
+        name: The incident's stable name (``"day0/brownout"``).
+        kinds: Fault kinds the incident injected.
+        start_s: Window start (simulated seconds).
+        end_s: Window end.
+        segments: Segments whose activity overlapped the window.
+        energy_regret_j: Summed (faulted − baseline-twin) burst energy
+            over the overlapping segments — what the incident cost.
+        mttr_s: Time from incident start to the end of the first fully
+            healthy segment after the window cleared; ``None`` when the
+            soak ended before recovery was observed.
+        recovered: Whether such a segment exists.
+    """
+
+    name: str
+    kinds: Tuple[str, ...]
+    start_s: float
+    end_s: float
+    segments: int
+    energy_regret_j: float
+    mttr_s: Optional[float]
+    recovered: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["kinds"] = list(self.kinds)
+        return data
+
+
+@dataclasses.dataclass
+class SoakReport:
+    """Outcome of one soak: health, accounting, and the fingerprint.
+
+    ``wall_s`` and ``sim_per_wall`` are measured on the host and are
+    the only nondeterministic fields; :meth:`fingerprint` excludes
+    them, so two runs of the same config must hash identically.
+    """
+
+    plan: str
+    seed: int
+    horizon_s: float
+    tenants: int
+    segments_run: int
+    simulated_s: float
+    wall_s: float
+    total_energy_j: float
+    baseline_energy_j: float
+    energy_regret_j: float
+    deadline_hit_rate: float
+    availability: float
+    probes_ok: int
+    probes_shed: int
+    probes_failed: int
+    resume_probes: int
+    canary_demotions: int
+    canary_promotions: int
+    canary_final_tier: str
+    fault_counts: Dict[str, int]
+    metrics_series: int
+    slo: Dict[str, Any]
+    incidents: List[IncidentReport]
+    violations: List[InvariantViolation]
+    segments: List[SegmentRecord]
+
+    @property
+    def passed(self) -> bool:
+        """Whether every invariant held for the whole horizon."""
+        return not self.violations
+
+    @property
+    def sim_per_wall(self) -> float:
+        """Soak throughput: simulated seconds per wall second."""
+        return self.simulated_s / self.wall_s if self.wall_s > 0 else 0.0
+
+    def to_dict(self, with_wall: bool = True) -> Dict[str, Any]:
+        data = {
+            "plan": self.plan,
+            "seed": self.seed,
+            "horizon_s": self.horizon_s,
+            "tenants": self.tenants,
+            "segments_run": self.segments_run,
+            "simulated_s": self.simulated_s,
+            "total_energy_j": self.total_energy_j,
+            "baseline_energy_j": self.baseline_energy_j,
+            "energy_regret_j": self.energy_regret_j,
+            "deadline_hit_rate": self.deadline_hit_rate,
+            "availability": self.availability,
+            "probes_ok": self.probes_ok,
+            "probes_shed": self.probes_shed,
+            "probes_failed": self.probes_failed,
+            "resume_probes": self.resume_probes,
+            "canary_demotions": self.canary_demotions,
+            "canary_promotions": self.canary_promotions,
+            "canary_final_tier": self.canary_final_tier,
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+            "metrics_series": self.metrics_series,
+            "slo": self.slo,
+            "incidents": [i.to_dict() for i in self.incidents],
+            "violations": [v.to_dict() for v in self.violations],
+            "segments": [s.to_dict() for s in self.segments],
+            "passed": self.passed,
+        }
+        if with_wall:
+            data["wall_s"] = self.wall_s
+            data["sim_per_wall"] = self.sim_per_wall
+        return data
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical wall-free report JSON."""
+        canonical = json.dumps(self.to_dict(with_wall=False),
+                               sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class SoakHarness:
+    """Drives one soak; see the module docstring for the segment shape.
+
+    Args:
+        config: The soak configuration (validated on construction).
+        ctx: Optional shared experiment context (the CLI and smoke
+            benchmark pass the cached one); ``None`` builds/caches the
+            default for ``config.space_kind``.
+    """
+
+    def __init__(self, config: SoakConfig,
+                 ctx: Optional[ExperimentContext] = None) -> None:
+        config.validate()
+        self.config = config
+        self.ctx = (ctx if ctx is not None else
+                    default_context(space_kind=config.space_kind,
+                                    seed=config.seed))
+        if config.tenants > self.ctx.space.topology.total_cores:
+            raise ValueError(
+                f"{config.tenants} tenants exceed the node's "
+                f"{self.ctx.space.topology.total_cores} cores")
+        self._views: Dict[str, Tuple] = {}
+        self._canary_estimate = None
+
+    # -- building blocks ------------------------------------------------
+    def _view(self, benchmark: str):
+        """Cached (profile, priors view, slowest true rate, peak rate)."""
+        cached = self._views.get(benchmark)
+        if cached is None:
+            profile = self.ctx.profile(benchmark)
+            view = self.ctx.dataset.leave_one_out(benchmark)
+            truth = self.ctx.truth.leave_one_out(benchmark)
+            cached = (profile, view, float(truth.true_rates.min()),
+                      float(truth.true_rates.max()))
+            self._views[benchmark] = cached
+        return cached
+
+    def _build_canary(self, vclock: VirtualClock):
+        from repro.estimators.registry import create_estimator
+        from repro.runtime.controller import RuntimeController
+        from repro.runtime.sampling import RandomSampler
+
+        cfg = self.config
+        _, view, _, peak = self._view(cfg.canary_benchmark)
+        controller = RuntimeController(
+            machine=self.ctx.machine(seed_offset=cfg.seed + 1),
+            space=self.ctx.space,
+            estimator=create_estimator(cfg.canary_estimator),
+            prior_rates=view.prior_rates,
+            prior_powers=view.prior_powers,
+            sampler=RandomSampler(seed=cfg.seed),
+            promotion_cooldown_s=cfg.promotion_cooldown_s,
+            clock=vclock,
+        )
+        work = cfg.canary_utilization * peak * cfg.canary_deadline_s
+        return controller, work
+
+    def _cluster_burst(self, index: int, seed: int, clock,
+                       observability) -> Any:
+        """One multi-tenant burst; benchmarks rotate with the segment
+        index while tenant *names* are recycled (bounded label
+        cardinality — the memory invariant depends on it)."""
+        cfg = self.config
+        names = self.ctx.benchmark_names
+        coordinator = ClusterCoordinator(
+            self.ctx.space, cap_watts=cfg.cap_watts, policy="joint",
+            sample_count=cfg.sample_count, cap_margin=cfg.cap_margin,
+            seed=seed, clock=clock, observability=observability)
+        for i in range(cfg.tenants):
+            benchmark = names[(i + index) % len(names)]
+            profile, view, slowest, _ = self._view(benchmark)
+            coordinator.admit(Tenant(
+                name=f"t{i:02d}", workload=profile,
+                work=cfg.utilization * slowest * cfg.tenant_deadline_s,
+                deadline=cfg.tenant_deadline_s,
+                estimator="offline",
+                prior_rates=view.prior_rates,
+                prior_powers=view.prior_powers,
+                arrival=float(i % 4)))
+        return coordinator.run()
+
+    def _canary_segment(self, canary, work: float, vclock: VirtualClock,
+                        violations: List[InvariantViolation]) -> None:
+        """The canary's windows for one segment (keep-previous on a
+        calibration that lost every sample; any escaping exception is a
+        survival violation)."""
+        cfg = self.config
+        profile, _, _, _ = self._view(cfg.canary_benchmark)
+        for _ in range(cfg.canary_windows):
+            try:
+                try:
+                    self._canary_estimate = canary.calibrate(profile)
+                except InsufficientSamplesError:
+                    if self._canary_estimate is None:
+                        continue
+                canary.run(profile, work, cfg.canary_deadline_s,
+                           self._canary_estimate, adapt=True)
+            except Exception as exc:  # noqa: BLE001 — survival check
+                violations.append(InvariantViolation(
+                    "soak-survives", vclock.now(),
+                    f"canary window escaped with "
+                    f"{type(exc).__name__}: {exc}"))
+                return
+
+    def _resume_probe(self, index: int, directory: pathlib.Path,
+                      vclock: VirtualClock) -> List[InvariantViolation]:
+        """Crash-resume bit-equality, probed under the live fault plan.
+
+        Two fresh controllers with identical seeds: one runs to
+        completion while checkpointing through a real
+        :class:`CheckpointManager` (torn-write faults and all); the
+        other resumes from whatever landed on disk.  A torn checkpoint
+        that *loads* as ``None`` is the protocol working (detected,
+        fresh fallback) — only a loaded state that resumes to a
+        different report violates the invariant.
+        """
+        from repro.estimators.registry import create_estimator
+        from repro.runtime.controller import RuntimeController
+        from repro.runtime.sampling import RandomSampler
+
+        cfg = self.config
+        profile, view, _, peak = self._view(cfg.canary_benchmark)
+        seed = stable_seed("soak-resume", cfg.seed, index) % (2 ** 31)
+
+        def build():
+            return RuntimeController(
+                machine=self.ctx.machine(seed_offset=seed + 1),
+                space=self.ctx.space,
+                estimator=create_estimator("offline"),
+                prior_rates=view.prior_rates,
+                prior_powers=view.prior_powers,
+                sampler=RandomSampler(seed=seed))
+
+        manager = CheckpointManager(
+            directory / f"segment-{index}.ckpt", every_quanta=5)
+        deadline = cfg.canary_deadline_s
+        work = cfg.canary_utilization * peak * deadline
+        try:
+            first = build()
+            estimate = first.calibrate(profile)
+            full = first.run(profile, work, deadline, estimate,
+                             adapt=True, checkpointer=manager)
+        except ReproError:
+            return []  # the probe itself was shot down by a fault
+        state = manager.load()
+        manager.clear()
+        if state is None:
+            return []  # torn write detected and skipped — correct
+        try:
+            resumed = build().resume(state, profile)
+        except ReproError as exc:
+            return [InvariantViolation(
+                "crash-resume-bit-equal", vclock.now(),
+                f"resume from a CRC-valid checkpoint failed with "
+                f"{type(exc).__name__}: {exc}")]
+        violation = check_resume_pair(full, resumed, vclock.now())
+        return [violation] if violation is not None else []
+
+    # -- the soak loop --------------------------------------------------
+    def run(self) -> SoakReport:
+        cfg = self.config
+        wall_start = time.perf_counter()
+        vclock = VirtualClock()
+        schedule = soak_plan(cfg.plan, cfg.horizon_s, seed=cfg.seed)
+        injector = FaultInjector(schedule.plan, clock=vclock)
+        slo = SloTracker(objectives=(
+            SloObjective(name="deadline-hit-rate-window",
+                         kind="deadline-hit-rate", target=cfg.slo_target,
+                         window_s=cfg.slo_window_s),
+            SloObjective(name="deadline-hit-rate-total",
+                         kind="deadline-hit-rate", target=cfg.slo_target),
+        ))
+        observability = Observability(metrics=MetricsRegistry(), slo=slo)
+        violations: List[InvariantViolation] = []
+        segments: List[SegmentRecord] = []
+        resume_probes = 0
+        early_series: Optional[int] = None
+        quarter = max(1, cfg.num_segments // 4)
+        with clockmod.use(vclock), use_observability(observability), \
+                tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+            tmpdir = pathlib.Path(tmp)
+            fleet = ShardFleet(num_shards=cfg.fleet_shards,
+                               registry_root=tmpdir / "fleet")
+            fleet.start()
+            client = ShardedServiceClient(
+                fleet.addresses, jitter_seed=cfg.seed,
+                timeout=5.0, retries=1, backoff=0.05)
+            canary, canary_work = self._build_canary(vclock)
+            try:
+                for index in range(cfg.num_segments):
+                    start = cfg.segment_start(index)
+                    if vclock.now() < start:
+                        vclock.advance_to(start)
+                    record = self._segment(index, start, vclock, injector,
+                                           canary, canary_work, client,
+                                           tmpdir, violations)
+                    if (cfg.resume_every
+                            and index % cfg.resume_every
+                            == cfg.resume_every - 1):
+                        with use_faults(injector):
+                            violations.extend(self._resume_probe(
+                                index, tmpdir, vclock))
+                        resume_probes += 1
+                    segments.append(record)
+                    if index + 1 == quarter:
+                        early_series = _series_count(observability.metrics)
+                if vclock.now() < cfg.horizon_s:  # the idle tail
+                    vclock.advance_to(cfg.horizon_s)
+            finally:
+                client.close()
+                fleet.stop()
+            simulated = vclock.now()
+            late_series = _series_count(observability.metrics)
+            slo_report = _slo_summary(slo)
+        if early_series is not None:
+            growth = check_memory_growth(
+                "metrics series", early_series, late_series,
+                _MEMORY_SLACK_SERIES, simulated)
+            if growth is not None:
+                violations.append(growth)
+        violations.extend(self._check_breaker_recovery(
+            schedule, segments, simulated))
+        ladder = canary._ladder
+        incidents = self._incident_reports(schedule, segments)
+        met = sum(s.deadlines_met for s in segments)
+        total = sum(s.deadlines_total for s in segments)
+        probes_ok = sum(s.probes_ok for s in segments)
+        probes_shed = sum(s.probes_shed for s in segments)
+        probes_failed = sum(s.probes_failed for s in segments)
+        served = met + probes_ok
+        demanded = total + probes_ok + probes_shed + probes_failed
+        return SoakReport(
+            plan=cfg.plan, seed=cfg.seed, horizon_s=cfg.horizon_s,
+            tenants=cfg.tenants, segments_run=len(segments),
+            simulated_s=simulated,
+            wall_s=time.perf_counter() - wall_start,
+            total_energy_j=sum(s.energy_j for s in segments),
+            baseline_energy_j=sum(s.baseline_energy_j for s in segments),
+            energy_regret_j=sum(s.energy_j - s.baseline_energy_j
+                                for s in segments),
+            deadline_hit_rate=(met / total if total else 1.0),
+            availability=(served / demanded if demanded else 1.0),
+            probes_ok=probes_ok, probes_shed=probes_shed,
+            probes_failed=probes_failed, resume_probes=resume_probes,
+            canary_demotions=ladder.demotions if ladder else 0,
+            canary_promotions=ladder.promotions if ladder else 0,
+            canary_final_tier=(ladder.current.name if ladder
+                               else cfg.canary_estimator),
+            fault_counts=dict(injector.fired_counts),
+            metrics_series=late_series,
+            slo=slo_report,
+            incidents=incidents,
+            violations=violations,
+            segments=segments)
+
+    def _segment(self, index: int, start: float, vclock: VirtualClock,
+                 injector: FaultInjector, canary, canary_work: float,
+                 client: ShardedServiceClient, tmpdir: pathlib.Path,
+                 violations: List[InvariantViolation]) -> SegmentRecord:
+        cfg = self.config
+        seed = stable_seed("soak-segment", cfg.seed, index) % (2 ** 31)
+
+        # Health-check loop: readmit shards that went down (the
+        # explicit mark_up recovery the router documents).  call_shard
+        # bypasses fault routing, so this observes the broker's *real*
+        # liveness, not the injected outage.
+        for shard in client.router.down:
+            try:
+                client.call_shard(shard, "ping")
+            except (ReproError, OSError):
+                continue
+            client.router.mark_up(shard)
+
+        # Fault-free baseline twin: same seed and tenants, no clock
+        # coupling (it must not advance the soak timeline), null
+        # observability (it must not pollute the soak's streams).
+        baseline = self._cluster_burst(index, seed, clock=None,
+                                       observability=Observability())
+
+        energy = baseline.node_energy
+        met = sum(1 for r in baseline.tenants.values() if r.met_deadline)
+        total = len(baseline.tenants)
+        cap_ok = True
+        probes_ok = probes_shed = probes_failed = 0
+        with use_faults(injector):
+            self._canary_segment(canary, canary_work, vclock, violations)
+            try:
+                report = self._cluster_burst(index, seed, clock=vclock,
+                                             observability=None)
+            except Exception as exc:  # noqa: BLE001 — survival check
+                violations.append(InvariantViolation(
+                    "soak-survives", vclock.now(),
+                    f"cluster burst {index} escaped with "
+                    f"{type(exc).__name__}: {exc}"))
+                report = None
+            if report is not None:
+                violations.extend(check_cap(
+                    cfg.cap_watts, report.epoch_peak_watts, vclock.now()))
+                cap_ok = report.cap_respected
+                energy = report.node_energy
+                met = sum(1 for r in report.tenants.values()
+                          if r.met_deadline)
+                total = len(report.tenants)
+            for probe in range(cfg.fleet_probes):
+                key = f"t{probe % cfg.tenants:02d}"
+                try:
+                    client.ping(echo=probe, tenant_key=key)
+                except ReproError:
+                    probes_shed += 1
+                except Exception as exc:  # noqa: BLE001 — typed check
+                    probes_failed += 1
+                    violation = check_probe_error(exc, vclock.now())
+                    if violation is not None:
+                        violations.append(violation)
+                else:
+                    probes_ok += 1
+        ladder = canary._ladder
+        tier_index = ladder.tier_index if ladder is not None else 0
+        tier = (ladder.current.name if ladder is not None
+                else cfg.canary_estimator)
+        return SegmentRecord(
+            index=index, start_s=start, end_s=vclock.now(),
+            energy_j=energy, baseline_energy_j=baseline.node_energy,
+            deadlines_met=met, deadlines_total=total, cap_ok=cap_ok,
+            probes_ok=probes_ok, probes_shed=probes_shed,
+            probes_failed=probes_failed,
+            canary_tier_index=tier_index, canary_tier=tier)
+
+    # -- post-processing ------------------------------------------------
+    def _check_breaker_recovery(self, schedule: SoakPlan,
+                                segments: List[SegmentRecord],
+                                simulated: float
+                                ) -> List[InvariantViolation]:
+        """``breaker-recloses``: after each estimator incident clears,
+        the canary must be back at tier 0 within the recovery budget
+        (storms that never demoted pass trivially); and the soak must
+        *end* at tier 0."""
+        cfg = self.config
+        out: List[InvariantViolation] = []
+        storms = [i for i in schedule.incidents
+                  if "estimator-crash" in i.kinds
+                  or "em-nonconvergence" in i.kinds]
+        for storm in storms:
+            degraded = [s for s in segments
+                        if storm.overlaps(s.start_s, s.end_s)
+                        and s.canary_tier_index > 0]
+            if not degraded:
+                continue
+            deadline = storm.end + cfg.recovery_budget_s
+            if deadline > simulated:
+                continue  # the soak ended inside the budget; judged
+                # by the final-tier check below if it never recovered
+            recovered = any(s.canary_tier_index == 0
+                            for s in segments
+                            if storm.end <= s.start_s <= deadline)
+            if not recovered:
+                out.append(InvariantViolation(
+                    "breaker-recloses", deadline,
+                    f"canary still degraded "
+                    f"{cfg.recovery_budget_s:.0f}s after {storm.name} "
+                    f"cleared"))
+        if segments and segments[-1].canary_tier_index > 0:
+            out.append(InvariantViolation(
+                "breaker-recloses", simulated,
+                f"soak ended with the canary degraded to tier "
+                f"{segments[-1].canary_tier!r}"))
+        return out
+
+    def _incident_reports(self, schedule: SoakPlan,
+                          segments: List[SegmentRecord]
+                          ) -> List[IncidentReport]:
+        out = []
+        for incident in schedule.incidents:
+            overlapping = [s for s in segments
+                           if incident.overlaps(s.start_s, s.end_s)]
+            regret = sum(s.energy_j - s.baseline_energy_j
+                         for s in overlapping)
+            first_healthy = next(
+                (s for s in segments
+                 if s.start_s >= incident.end and s.healthy), None)
+            out.append(IncidentReport(
+                name=incident.name, kinds=incident.kinds,
+                start_s=incident.start, end_s=incident.end,
+                segments=len(overlapping), energy_regret_j=regret,
+                mttr_s=(first_healthy.end_s - incident.start
+                        if first_healthy is not None else None),
+                recovered=first_healthy is not None))
+        return out
+
+
+def _series_count(metrics: MetricsRegistry) -> int:
+    dump = metrics.dump()
+    return sum(len(dump.get(kind, {}))
+               for kind in ("counters", "gauges", "histograms"))
+
+
+def _slo_summary(slo: SloTracker) -> Dict[str, Any]:
+    """The deterministic slice of the SLO report: objective statuses
+    (deadline streams are 0/1 in simulated time), event counts, and
+    stream point counts — but not raw latency values, which are wall
+    measurements."""
+    return {
+        "objectives": [status.to_dict() for status in slo.status()],
+        "events": dict(sorted(slo.events.items())),
+        "streams": {name: len(slo.stream(name))
+                    for name in sorted(slo._streams)},
+    }
+
+
+def soak_run(config: Optional[SoakConfig] = None,
+             ctx: Optional[ExperimentContext] = None,
+             **overrides: Any) -> SoakReport:
+    """Run one soak; keyword overrides patch the default config."""
+    if config is None:
+        config = SoakConfig(**overrides)
+    elif overrides:
+        config = dataclasses.replace(config, **overrides)
+    return SoakHarness(config, ctx=ctx).run()

@@ -1,0 +1,149 @@
+"""The soak harness's invariant catalog.
+
+A soak is not judged on throughput — it is judged on what *never*
+happened over days of simulated chaos.  Each invariant is a named,
+machine-checkable property; a violation is a typed record carrying the
+simulated time and enough detail to reproduce.  The harness evaluates
+them continuously (per segment) and the soak passes only when the
+violation list is empty — the property the CI soak-smoke job and the
+``repro soak`` exit code both key on.
+
+The catalog (see docs/SOAK.md for the full semantics):
+
+``cap-never-exceeded``
+    No cluster epoch's conservative peak draw exceeds the nominal node
+    cap — under brown-outs the *effective* cap is lower still, so this
+    is the weakest bound every epoch must clear.
+``typed-errors-only``
+    Every failed fleet request surfaces a :class:`~repro.errors.
+    ReproError` subclass (:class:`~repro.errors.ShardUnavailable` and
+    friends) — shedding is part of the API, stack traces are not.
+``crash-resume-bit-equal``
+    A run checkpointed mid-flight and resumed by a fresh controller
+    yields the same :class:`~repro.runtime.controller.RunReport`,
+    field for field, as the uninterrupted run — even while torn-write
+    faults are active (a torn checkpoint must be *detected*, never
+    resumed from).
+``breaker-recloses``
+    After the last estimator incident clears, the canary's degradation
+    ladder returns to tier 0 (configured estimator, breaker closed)
+    within a bounded recovery budget — degradation is always temporary.
+``bounded-memory``
+    The metrics registry's series count and the SLO tracker's stream
+    count stop growing once every code path has run: day N must not
+    hold more series than day 1 plus slack.  (Tenant names and label
+    dimensions are recycled across segments precisely so that this
+    holds.)
+``soak-survives``
+    No segment activity — canary window, cluster burst, fleet probe —
+    escapes with an unhandled exception.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError
+
+__all__ = [
+    "INVARIANTS",
+    "InvariantViolation",
+    "check_cap",
+    "check_memory_growth",
+    "check_probe_error",
+    "check_resume_pair",
+]
+
+#: Every invariant the harness evaluates, in report order.
+INVARIANTS: Tuple[str, ...] = (
+    "cap-never-exceeded",
+    "typed-errors-only",
+    "crash-resume-bit-equal",
+    "breaker-recloses",
+    "bounded-memory",
+    "soak-survives",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class InvariantViolation:
+    """One observed breach of a named invariant.
+
+    Attributes:
+        invariant: The catalog name (one of :data:`INVARIANTS`).
+        at_s: Simulated time of the observation.
+        detail: Human-readable evidence, stable across runs.
+    """
+
+    invariant: str
+    at_s: float
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {"invariant": self.invariant, "at_s": self.at_s,
+                "detail": self.detail}
+
+
+def check_cap(cap_watts: float, epoch_peaks: List[float],
+              at_s: float) -> List[InvariantViolation]:
+    """``cap-never-exceeded`` over one cluster burst's epoch peaks."""
+    return [
+        InvariantViolation(
+            "cap-never-exceeded", at_s,
+            f"epoch {index} peaked at {peak:.1f} W over the "
+            f"{cap_watts:.0f} W cap")
+        for index, peak in enumerate(epoch_peaks)
+        if peak > cap_watts * (1.0 + 1e-6)
+    ]
+
+
+def check_probe_error(exc: BaseException,
+                      at_s: float) -> Optional[InvariantViolation]:
+    """``typed-errors-only`` for one failed fleet request.
+
+    A :class:`ReproError` (shedding, overload, shard loss) is the
+    contract working as designed — not a violation.  Anything else
+    leaking out of the client is.
+    """
+    if isinstance(exc, ReproError):
+        return None
+    return InvariantViolation(
+        "typed-errors-only", at_s,
+        f"fleet probe escaped with untyped "
+        f"{type(exc).__name__}: {exc}")
+
+
+def check_resume_pair(full, resumed,
+                      at_s: float) -> Optional[InvariantViolation]:
+    """``crash-resume-bit-equal`` for one (full, resumed) report pair.
+
+    Both are :class:`~repro.runtime.controller.RunReport` dataclasses;
+    equality is field-wise and exact (no tolerance) — the checkpoint
+    protocol promises bit-equality, not approximation.
+    """
+    if resumed == full:
+        return None
+    fields = [f.name for f in dataclasses.fields(full)
+              if getattr(full, f.name) != getattr(resumed, f.name)]
+    return InvariantViolation(
+        "crash-resume-bit-equal", at_s,
+        f"resumed report diverged from the uninterrupted run "
+        f"in fields {fields}")
+
+
+def check_memory_growth(label: str, early: int, late: int, slack: int,
+                        at_s: float) -> Optional[InvariantViolation]:
+    """``bounded-memory``: ``late`` must not exceed ``early`` + slack.
+
+    ``early`` is the cardinality once every code path has run (the end
+    of the soak's first quarter); ``late`` is the cardinality at soak
+    end.  Growth beyond ``slack`` means something allocates per segment
+    — the leak class a long soak exists to catch.
+    """
+    if late <= early + slack:
+        return None
+    return InvariantViolation(
+        "bounded-memory", at_s,
+        f"{label} grew from {early} to {late} "
+        f"(slack {slack}) between the first quarter and soak end")

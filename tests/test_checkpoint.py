@@ -217,3 +217,77 @@ class TestCheckpointManager:
         assert manager.clear() is True
         assert manager.load() is None
         assert manager.clear() is False
+
+
+class TestResumeUnderShardLoss:
+    """Satellite of the soak work: crash-resume must stay bit-equal even
+    mid-soak, with the estimator remoted onto a *degraded* fleet under
+    the shipped ``shard-loss`` fault plan."""
+
+    def test_resume_against_degraded_fleet_bit_equal(
+            self, cores_space, cores_dataset, kmeans, tmp_path):
+        from repro.errors import ShardUnavailable
+        from repro.faults import get_plan
+        from repro.service import RemoteEstimator
+        from repro.shard.client import ShardedServiceClient
+        from repro.shard.fleet import ShardFleet
+
+        view = cores_dataset.leave_one_out("kmeans")
+        fleet = ShardFleet(num_shards=2, registry_root=tmp_path / "fleet")
+        fleet.start()
+        client = ShardedServiceClient(
+            fleet.addresses, tenant_key="runner", retries=0, backoff=0.0)
+        try:
+            runner_shard = client.router.route("runner")
+            victim = next(key for key in (f"v{i}" for i in range(32))
+                          if client.router.route(key) != runner_shard)
+            injector = FaultInjector(get_plan("shard-loss"))
+            with use(injector):
+                # "Mid-soak": earlier fleet traffic soaks up the plan's
+                # broker-crash budget (max_events=4) and trips the
+                # victim's shard down — the runner's estimation traffic
+                # must ride out the storm on the surviving shard.
+                sheds = 0
+                for _ in range(4):  # 3 crashes trip the victim's shard
+                    with pytest.raises(ShardUnavailable):
+                        client.ping(tenant_key=victim)
+                    sheds += 1
+                with pytest.raises(ShardUnavailable):
+                    client.ping(tenant_key="runner")  # 4th, last crash
+                client.ping(tenant_key="runner")  # healthy again
+                down = set(client.router.down)
+                assert down and runner_shard not in down
+
+                def build():
+                    return RuntimeController(
+                        machine=Machine(PAPER_TOPOLOGY, seed=1234),
+                        space=cores_space,
+                        estimator=RemoteEstimator(client,
+                                                  estimator="offline"),
+                        prior_rates=view.prior_rates,
+                        prior_powers=view.prior_powers,
+                        sampler=RandomSampler(seed=0), sample_count=6)
+
+                baseline = build()
+                estimate = baseline.calibrate(kmeans)
+                work = WORK_FRACTION * estimate.rates.max() * DEADLINE
+                full = baseline.run(kmeans, work, DEADLINE, estimate)
+
+                manager = CheckpointManager(tmp_path / "run.ckpt",
+                                            every_quanta=4)
+                crashing = build()
+                estimate2 = crashing.calibrate(kmeans)
+                crashing.run(kmeans, work, DEADLINE, estimate2,
+                             checkpointer=manager)
+                assert manager.saves >= 1
+                state = manager.load()
+                assert state is not None
+
+                resumed = build().resume(state, kmeans)
+            assert resumed == full
+            # The fleet stayed degraded throughout: the victim's shard
+            # never silently recovered under the controller's feet.
+            assert set(client.router.down) == down
+        finally:
+            client.close()
+            fleet.stop()

@@ -96,3 +96,36 @@ class TestChaos:
     def test_rejects_bad_utilization(self, capsys):
         assert main(["chaos", "--utilization", "0",
                      "--space", "cores"]) == 1
+
+
+class TestSoakCommand:
+    def test_quiet_soak_passes(self, capsys, tmp_path):
+        out = tmp_path / "soak.json"
+        code = main(["soak", "--plan", "quiet", "--horizon", "14400",
+                     "--tenants", "4", "--json", str(out),
+                     "--slo", str(tmp_path / "slo.json")])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "soak" in captured.out
+        assert "fingerprint" in captured.out
+        import json
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["fingerprint"]
+        slo = json.loads((tmp_path / "slo.json").read_text())
+        assert set(slo) == {"objectives", "events", "streams"}
+
+    def test_horizon_accepts_days_suffix(self, capsys):
+        code = main(["soak", "--plan", "none", "--horizon", "0.1d",
+                     "--tenants", "2"])
+        assert code == 0
+        assert "0.10 days" in capsys.readouterr().out
+
+    def test_unknown_plan_rejected(self, capsys):
+        assert main(["soak", "--plan", "mayhem",
+                     "--horizon", "7200"]) == 1
+        assert "profile" in capsys.readouterr().err
+
+    def test_bad_horizon_rejected(self, capsys):
+        assert main(["soak", "--horizon", "soon"]) == 1
+        assert "horizon" in capsys.readouterr().err

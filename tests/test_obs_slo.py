@@ -241,3 +241,74 @@ class TestNullTracker:
         assert null.status() == []
         assert null.report() == {"objectives": [], "events": {},
                                  "streams": {}}
+
+
+class TestDayScaleWindows:
+    """Burn-rate windows positioned by the ambient virtual clock.
+
+    The soak harness evaluates day-long SLO windows over multi-day
+    simulated horizons; the tracker must window on the injected clock's
+    timeline, not the wall's, or every point would land in the same
+    instant and the window would be meaningless.
+    """
+
+    DAY = 86400.0
+
+    def test_window_slides_over_simulated_days(self):
+        from repro.clock import VirtualClock, use
+
+        objective = SloObjective(name="daily", kind="deadline-hit-rate",
+                                 target=0.9, window_s=self.DAY)
+        clock = VirtualClock()
+        with use(clock):
+            tracker = SloTracker(objectives=(objective,))
+            # Day 1: a bad day — half the deadlines missed.
+            for i in range(10):
+                tracker.record_deadline(met=(i % 2 == 0))
+                clock.advance(3600.0)
+            status = tracker.status()[0]
+            assert not status.met
+            # Fast-forward through a quiet day, then a clean day 3.
+            clock.advance(self.DAY)
+            for _ in range(10):
+                tracker.record_deadline(met=True)
+                clock.advance(3600.0)
+        status = tracker.status()[0]
+        assert status.met  # the bad day has left the window
+        assert status.observed == 1.0
+
+    def test_full_history_objective_still_sees_the_bad_day(self):
+        from repro.clock import VirtualClock, use
+
+        windowed = SloObjective(name="daily", kind="deadline-hit-rate",
+                                target=0.9, window_s=self.DAY)
+        total = SloObjective(name="total", kind="deadline-hit-rate",
+                             target=0.9)
+        clock = VirtualClock()
+        with use(clock):
+            tracker = SloTracker(objectives=(windowed, total))
+            tracker.record_deadline(met=False)
+            clock.advance(2 * self.DAY)
+            for _ in range(5):
+                tracker.record_deadline(met=True)
+                clock.advance(60.0)
+        by_name = {s.objective.name: s for s in tracker.status()}
+        assert by_name["daily"].met          # miss aged out of the day
+        assert not by_name["total"].met      # 5/6 < 0.9 over everything
+
+    def test_explicit_clock_callable_beats_ambient(self):
+        from repro.clock import VirtualClock, use
+
+        objective = SloObjective(name="daily", kind="deadline-hit-rate",
+                                 target=0.9, window_s=self.DAY)
+        explicit = VirtualClock()
+        tracker = SloTracker(objectives=(objective,), clock=explicit.now)
+        with use(VirtualClock()):
+            tracker.record_deadline(met=False)
+            explicit.advance(2 * self.DAY)
+            tracker.record_deadline(met=True)
+        series = tracker.stream(tracker.DEADLINE)
+        assert series.values(None) == [0.0, 1.0]
+        # Windowed view keyed to the explicit clock: only the second
+        # point is inside the last day.
+        assert series.values(self.DAY, now=explicit.now()) == [1.0]

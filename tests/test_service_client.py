@@ -1,6 +1,7 @@
 """Tests for repro.service.client (retries, deadlines, RemoteEstimator)."""
 
 import json
+import random
 import socket
 import threading
 import time
@@ -300,3 +301,106 @@ class TestRemoteEstimator:
             from repro.estimators import KNNEstimator
             assert np.array_equal(remote.estimate(problem),
                                   KNNEstimator(k=2).estimate(problem))
+
+
+class TestSeededBackoff:
+    """The full-jitter backoff stream: seeded, clocked, budgeted."""
+
+    def _delays(self, client, attempts, clk, deadline_s=None):
+        delays = []
+        for attempt in range(attempts):
+            before = clk.now()
+            if not client._backoff_sleep(attempt, started=0.0,
+                                         deadline_s=deadline_s, clk=clk):
+                break
+            delays.append(clk.now() - before)
+        return delays
+
+    def test_same_seed_same_delays(self):
+        from repro.clock import VirtualClock
+        addr = ServiceAddress(host="127.0.0.1", port=1)
+        first = self._delays(ServiceClient(addr, jitter_seed=7),
+                             5, VirtualClock())
+        second = self._delays(ServiceClient(addr, jitter_seed=7),
+                              5, VirtualClock())
+        assert first == second
+        assert any(d > 0 for d in first)
+
+    def test_different_seeds_decorrelate(self):
+        from repro.clock import VirtualClock
+        addr = ServiceAddress(host="127.0.0.1", port=1)
+        assert (self._delays(ServiceClient(addr, jitter_seed=7),
+                             5, VirtualClock())
+                != self._delays(ServiceClient(addr, jitter_seed=8),
+                                5, VirtualClock()))
+
+    def test_delays_stay_inside_the_jitter_envelope(self):
+        from repro.clock import VirtualClock
+        addr = ServiceAddress(host="127.0.0.1", port=1)
+        client = ServiceClient(addr, jitter_seed=0, backoff=0.05,
+                               backoff_cap=0.4)
+        delays = self._delays(client, 8, VirtualClock())
+        for attempt, delay in enumerate(delays):
+            assert 0.0 <= delay <= min(0.4, 0.05 * 2 ** attempt)
+
+    def test_budget_exhaustion_refuses_the_sleep(self):
+        from repro.clock import VirtualClock
+        addr = ServiceAddress(host="127.0.0.1", port=1)
+        client = ServiceClient(addr, jitter_seed=0, backoff=10.0,
+                               backoff_cap=10.0)
+        clk = VirtualClock()
+        clk.advance(5.0)  # 5s into a 5s budget: nothing left
+        assert client._backoff_sleep(3, started=0.0, deadline_s=5.0,
+                                     clk=clk) is False
+        assert clk.now() == 5.0  # no sleep happened
+
+    def test_explicit_clock_beats_ambient(self):
+        from repro.clock import VirtualClock, use
+        addr = ServiceAddress(host="127.0.0.1", port=1)
+        explicit = VirtualClock()
+        client = ServiceClient(addr, jitter_seed=1, clock=explicit)
+        with use(VirtualClock()) as ambient:
+            client._backoff_sleep(4, started=0.0, deadline_s=None)
+            assert explicit.sleep_count == 1
+            assert ambient.sleep_count == 0
+        assert client.clock is explicit
+
+    def test_retries_consume_no_wall_time_on_a_virtual_clock(self):
+        from repro.clock import VirtualClock, use
+        server = _FlakyServer(["drop", "drop", "ok"])
+        try:
+            clk = VirtualClock()
+            with use(clk):
+                client = ServiceClient(server.address, retries=2,
+                                       backoff=5.0, backoff_cap=60.0,
+                                       jitter_seed=3)
+                started = time.monotonic()
+                assert client.ping()["pong"] is True
+                assert time.monotonic() - started < 3.0
+                assert clk.sleep_count == 2  # both backoffs virtual
+                assert clk.now() > 0.0
+                client.close()
+        finally:
+            server.close()
+
+    def test_sharded_client_derives_per_shard_seeds(self):
+        from repro.faults.injector import stable_seed
+        from repro.shard.client import ShardedServiceClient
+        addresses = {
+            "shard-0": ServiceAddress(host="127.0.0.1", port=1),
+            "shard-1": ServiceAddress(host="127.0.0.1", port=2),
+        }
+        sharded = ShardedServiceClient(addresses, jitter_seed=42)
+        a = sharded.client_for("shard-0")
+        b = sharded.client_for("shard-1")
+        # Streams must be decorrelated across shards but reproducible
+        # for (seed, shard): a retry storm never synchronizes.
+        expect = random.Random(
+            stable_seed("shard-jitter", 42, "shard-0")).uniform(0.0, 1.0)
+        assert a._jitter.uniform(0.0, 1.0) == expect
+        assert (random.Random(stable_seed("shard-jitter", 42, "shard-0"))
+                .random()
+                != random.Random(stable_seed("shard-jitter", 42, "shard-1"))
+                .random())
+        assert b._jitter is not a._jitter
+        sharded.close()

@@ -1,0 +1,265 @@
+"""Tests for repro.soak: plans, invariants, and the harness.
+
+The full two-day acceptance soak lives in ``benchmarks/soak_smoke.py``;
+here the harness runs short horizons (a few simulated hours) so the
+suite stays fast while still exercising every invariant path, the
+fingerprint determinism, and crash-resume under live faults.
+"""
+
+import dataclasses
+import json
+import logging
+import math
+
+import pytest
+
+from repro.errors import FaultPlanError, ReproError
+from repro.service.protocol import ServiceOverloaded
+from repro.soak import (
+    DAY_S,
+    INVARIANTS,
+    Incident,
+    InvariantViolation,
+    SoakConfig,
+    soak_plan,
+    soak_plan_names,
+    soak_run,
+)
+from repro.soak.invariants import (
+    check_cap,
+    check_memory_growth,
+    check_probe_error,
+    check_resume_pair,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore")
+
+
+@pytest.fixture(autouse=True)
+def _quiet_logs():
+    logging.disable(logging.WARNING)
+    yield
+    logging.disable(logging.NOTSET)
+
+
+class TestSoakPlans:
+    def test_shipped_profiles(self):
+        assert soak_plan_names() == ["default", "heavy", "none", "quiet"]
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(FaultPlanError, match="profile"):
+            soak_plan("storm")
+
+    def test_bad_horizon_rejected(self):
+        with pytest.raises(FaultPlanError, match="horizon"):
+            soak_plan("default", horizon_s=0.0)
+
+    def test_none_profile_is_empty(self):
+        plan = soak_plan("none", horizon_s=DAY_S)
+        assert plan.plan.specs == ()
+        assert plan.incidents == ()
+
+    def test_quiet_profile_is_background_only(self):
+        plan = soak_plan("quiet", horizon_s=DAY_S)
+        assert plan.incidents == ()
+        assert plan.plan.specs  # the always-on sensor noise
+        assert all(math.isinf(spec.end) for spec in plan.plan.specs)
+
+    def test_default_schedules_the_daily_rota(self):
+        plan = soak_plan("default", horizon_s=2 * DAY_S)
+        names = [i.name for i in plan.incidents]
+        assert "day0/estimator-storm" in names
+        assert "day1/estimator-storm" in names
+        assert len(plan.incidents) == 12  # 6 templates x 2 days
+        starts = [i.start for i in plan.incidents]
+        assert starts == sorted(starts)
+
+    def test_incidents_clip_to_the_horizon(self):
+        horizon = 0.25 * DAY_S  # ends inside the brownout window
+        plan = soak_plan("default", horizon_s=horizon)
+        assert all(i.start < horizon for i in plan.incidents)
+        assert all(i.end <= horizon for i in plan.incidents)
+
+    def test_heavy_scales_probabilities(self):
+        default = soak_plan("default", horizon_s=DAY_S)
+        heavy = soak_plan("heavy", horizon_s=DAY_S)
+        by_kind = {s.kind: s for s in default.plan.specs
+                   if not math.isinf(s.end)}
+        for spec in heavy.plan.specs:
+            if math.isinf(spec.end) or spec.probability >= 1.0:
+                continue
+            assert spec.probability == pytest.approx(
+                min(by_kind[spec.kind].probability * 1.6, 1.0))
+
+    def test_incident_overlap_is_half_open(self):
+        incident = Incident("day0/x", ("cap-transient",), 100.0, 200.0)
+        assert incident.overlaps(150.0, 160.0)
+        assert incident.overlaps(50.0, 101.0)
+        assert not incident.overlaps(200.0, 300.0)
+        assert not incident.overlaps(0.0, 100.0)
+        assert incident.duration_s == 100.0
+
+
+class TestInvariantChecks:
+    def test_catalog_is_stable(self):
+        assert "cap-never-exceeded" in INVARIANTS
+        assert len(INVARIANTS) == 6
+
+    def test_check_cap_flags_only_exceeding_epochs(self):
+        violations = check_cap(100.0, [99.0, 100.0, 130.0, 80.0], 7.0)
+        assert len(violations) == 1
+        assert violations[0].invariant == "cap-never-exceeded"
+        assert "epoch 2" in violations[0].detail
+        assert violations[0].at_s == 7.0
+
+    def test_check_probe_error_accepts_typed(self):
+        assert check_probe_error(ServiceOverloaded("shed"), 1.0) is None
+        assert check_probe_error(ReproError("typed"), 1.0) is None
+
+    def test_check_probe_error_rejects_untyped(self):
+        violation = check_probe_error(KeyError("boom"), 2.0)
+        assert violation is not None
+        assert violation.invariant == "typed-errors-only"
+        assert "KeyError" in violation.detail
+
+    def test_check_resume_pair_equal_passes(self):
+        @dataclasses.dataclass
+        class Report:
+            energy: float
+            met: bool
+
+        assert check_resume_pair(Report(1.0, True),
+                                 Report(1.0, True), 3.0) is None
+
+    def test_check_resume_pair_divergence_names_fields(self):
+        @dataclasses.dataclass
+        class Report:
+            energy: float
+            met: bool
+
+        violation = check_resume_pair(Report(1.0, True),
+                                      Report(2.0, True), 3.0)
+        assert violation.invariant == "crash-resume-bit-equal"
+        assert "energy" in violation.detail
+        assert "met" not in violation.detail.split("[")[1]
+
+    def test_check_memory_growth_within_slack_passes(self):
+        assert check_memory_growth("series", 40, 45, 8, 9.0) is None
+
+    def test_check_memory_growth_beyond_slack_fails(self):
+        violation = check_memory_growth("series", 40, 60, 8, 9.0)
+        assert violation.invariant == "bounded-memory"
+        assert "40" in violation.detail and "60" in violation.detail
+
+    def test_violation_round_trips_to_dict(self):
+        violation = InvariantViolation("soak-survives", 5.0, "boom")
+        assert json.loads(json.dumps(violation.to_dict())) == {
+            "invariant": "soak-survives", "at_s": 5.0, "detail": "boom"}
+
+
+class TestSoakConfig:
+    def test_defaults_validate(self):
+        SoakConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("horizon_s", 0.0),
+        ("segment_interval_s", -1.0),
+        ("tenants", 0),
+        ("fleet_shards", 0),
+        ("utilization", 1.5),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            SoakConfig(**{field: value}).validate()
+
+    def test_horizon_shorter_than_a_segment_rejected(self):
+        with pytest.raises(ValueError, match="segment"):
+            SoakConfig(horizon_s=10.0, segment_interval_s=100.0).validate()
+
+    def test_segment_grid(self):
+        config = SoakConfig(horizon_s=10 * 3600.0,
+                            segment_interval_s=3600.0)
+        assert config.num_segments == 10
+        assert config.segment_start(3) == 3 * 3600.0
+
+    def test_too_many_tenants_rejected(self):
+        from repro.soak import SoakHarness
+        with pytest.raises(ValueError, match="tenants"):
+            SoakHarness(SoakConfig(tenants=4096))
+
+
+def _short(plan, **overrides):
+    defaults = dict(horizon_s=2 * 3600.0, segment_interval_s=3600.0,
+                    tenants=4, plan=plan, fleet_probes=2,
+                    canary_windows=1, resume_every=2)
+    defaults.update(overrides)
+    return SoakConfig(**defaults)
+
+
+class TestSoakHarness:
+    def test_none_plan_passes_everything(self):
+        report = soak_run(_short("none"))
+        assert report.passed
+        assert report.segments_run == 2
+        assert report.deadline_hit_rate == 1.0
+        assert report.availability == 1.0
+        assert report.fault_counts == {}
+        assert report.canary_final_tier == "leo"
+
+    def test_simulates_the_full_horizon(self):
+        report = soak_run(_short("none"))
+        assert report.simulated_s == pytest.approx(2 * 3600.0)
+
+    def test_fingerprint_is_bit_identical_across_runs(self):
+        first = soak_run(_short("default"))
+        second = soak_run(_short("default"))
+        assert first.fingerprint == second.fingerprint
+        assert first.wall_s != second.wall_s or True  # wall may differ
+
+    def test_fingerprint_excludes_wall_time(self):
+        report = soak_run(_short("none"))
+        fingerprint = report.fingerprint
+        report.wall_s *= 100.0
+        assert report.fingerprint == fingerprint
+
+    def test_fingerprint_varies_with_seed(self):
+        assert (soak_run(_short("default")).fingerprint
+                != soak_run(_short("default", seed=1)).fingerprint)
+
+    def test_default_plan_injects_and_survives(self):
+        report = soak_run(_short("default"))
+        assert report.passed, [v.to_dict() for v in report.violations]
+        assert report.fault_counts
+        assert report.segments_run == 2
+
+    def test_resume_probe_runs_under_faults(self):
+        report = soak_run(_short("default"))
+        assert report.resume_probes == 1
+        report = soak_run(_short("default", resume_every=0))
+        assert report.resume_probes == 0
+
+    def test_report_round_trips_to_json(self):
+        report = soak_run(_short("default"))
+        payload = json.loads(json.dumps(report.to_dict(), default=float))
+        assert payload["passed"] is report.passed
+        assert payload["segments"][0]["index"] == 0
+        assert set(payload["slo"]) == {"objectives", "events", "streams"}
+
+    def test_incident_reports_cover_the_schedule(self):
+        # Half a day at hourly segments crosses the estimator storm
+        # and brownout windows.
+        report = soak_run(_short("default", horizon_s=12 * 3600.0))
+        names = [i.name for i in report.incidents]
+        assert "day0/estimator-storm" in names
+        assert "day0/brownout" in names
+        storm = next(i for i in report.incidents
+                     if i.name == "day0/estimator-storm")
+        assert storm.segments >= 1
+
+    def test_shared_context_reused(self):
+        from repro.experiments.harness import default_context
+        from repro.soak import SoakHarness
+
+        ctx = default_context(space_kind="cores", seed=0)
+        harness = SoakHarness(_short("none"), ctx=ctx)
+        assert harness.ctx is ctx
